@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks: single-thread decode kernels
+//! (scalar vs AVX2 vs AVX-512, packed vs wide LUT layouts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use recoil::prelude::*;
+
+fn bench_kernels(c: &mut Criterion) {
+    let data = recoil::data::text_like_bytes(2_000_000, 5.1, 99);
+    for n in [11u32, 16] {
+        let model = StaticModelProvider::new(CdfTable::of_bytes(&data, n));
+        let mut enc = InterleavedEncoder::new(&model, 32);
+        enc.encode_all(&data, &mut NullSink);
+        let stream = enc.finish();
+        let simd_model = SimdModel::from_provider(&model);
+
+        let mut group = c.benchmark_group(format!("single_thread_decode_n{n}"));
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.sample_size(10);
+        for kernel in Kernel::all_available() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{kernel:?}")),
+                &kernel,
+                |b, &kernel| {
+                    let mut out = vec![0u8; data.len()];
+                    b.iter(|| {
+                        decode_interleaved_simd(kernel, &stream, &simd_model, &mut out).unwrap();
+                        std::hint::black_box(&out);
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Tables 4, 5 and 6: baseline compressed sizes and the size deltas of the
+//! six variations, for every dataset and both quantization levels.
+//!
+//! ```sh
+//! cargo run -p recoil-bench --release --bin tables            # scaled sizes
+//! cargo run -p recoil-bench --release --bin tables -- --full  # paper sizes
+//! ```
+
+use recoil_bench::report::{fmt_delta, print_table, Reporter};
+use recoil_bench::variations::{ByteVariations, LARGE, SMALL};
+use recoil_bench::BenchConfig;
+use recoil::data::ALL_DATASETS;
+use recoil::prelude::*;
+use std::sync::Arc;
+
+/// Paper deltas for Tables 5/6: (dataset, n, variation) → percent.
+/// Used for the side-by-side "paper" column.
+fn paper_pct(dataset: &str, n: u32, variation: &str) -> Option<f64> {
+    let t5: &[(&str, [f64; 5])] = &[
+        // (b) ConvL, (c) RecL, (d) ConvS, (e) RecS, (f) multians — n=11
+        ("rand_10", [2.70, 2.09, 0.02, 0.01, 0.98]),
+        ("rand_50", [3.95, 3.18, 0.03, 0.02, -3.32]),
+        ("rand_100", [5.08, 4.16, 0.03, 0.03, -4.29]),
+        ("rand_200", [6.94, 5.89, 0.04, 0.04, -11.68]),
+        ("rand_500", [14.57, 13.59, 0.09, 0.08, -9.51]),
+        ("dickens", [3.38, 2.63, 0.02, 0.02, -1.56]),
+        ("webster", [0.77, 0.60, 0.01, 0.00, -0.44]),
+        ("enwik8", [0.32, 0.25, 0.00, 0.00, 0.77]),
+        ("enwik9", [0.03, 0.02, 0.00, 0.00, 0.50]),
+    ];
+    let t6: &[(&str, [f64; 5])] = &[
+        ("rand_10", [2.76, 2.14, 0.02, 0.01, 2.62]),
+        ("rand_50", [4.41, 3.59, 0.03, 0.02, 7.06]),
+        ("rand_100", [5.97, 4.87, 0.04, 0.03, 10.15]),
+        ("rand_200", [9.02, 7.81, 0.06, 0.05, 16.07]),
+        ("rand_500", [23.54, 21.53, 0.14, 0.13, 42.54]),
+        ("dickens", [3.65, 2.84, 0.03, 0.02, 5.39]),
+        ("webster", [0.82, 0.64, 0.01, 0.00, 4.67]),
+        ("enwik8", [0.33, 0.26, 0.00, 0.00, 3.94]),
+        ("enwik9", [0.03, 0.03, 0.00, 0.00, 3.98]),
+        ("div2k801", [10.31, 8.28, 0.07, 0.06, f64::NAN]),
+        ("div2k803", [6.99, 5.37, 0.05, 0.04, f64::NAN]),
+        ("div2k805", [14.20, 11.80, 0.10, 0.08, f64::NAN]),
+    ];
+    let table = if n == 11 { t5 } else { t6 };
+    let idx = match variation {
+        "(b)" => 0,
+        "(c)" => 1,
+        "(d)" => 2,
+        "(e)" => 3,
+        "(f)" => 4,
+        _ => return None,
+    };
+    table
+        .iter()
+        .find(|(d, _)| *d == dataset)
+        .map(|(_, v)| v[idx])
+        .filter(|v| !v.is_nan())
+}
+
+fn byte_dataset_tables(cfg: &BenchConfig, reporter: &mut Reporter) {
+    for &n in &[11u32, 16] {
+        let mut t4_rows = Vec::new();
+        let mut delta_rows = Vec::new();
+        for d in ALL_DATASETS.iter().filter(|d| !d.is_latent()) {
+            let bytes = cfg.dataset_bytes(d);
+            let scale = bytes as f64 / d.full_bytes() as f64;
+            eprintln!("[{} n={n}: generating {bytes} bytes + building 6 variations]", d.name);
+            let data = d.generate_bytes(bytes);
+            let v = ByteVariations::build(&data, n);
+            let a = v.baseline_bytes();
+
+            // Table 4 row: baseline size vs paper (paper value scaled when
+            // we run a scaled dataset).
+            let paper_a = if n == 11 {
+                d.paper.baseline_n11_kb.unwrap() as f64
+            } else {
+                d.paper.baseline_n16_kb as f64
+            } * 1000.0
+                * scale;
+            reporter.push("table4", d.name, &format!("(a) n={n}"), a as f64, "bytes", Some(paper_a));
+            t4_rows.push(vec![
+                d.name.to_string(),
+                format!("{:.0} KB", bytes as f64 / 1e3),
+                format!("{:.0} KB", a as f64 / 1e3),
+                format!("{:.0} KB", paper_a / 1e3),
+                format!("{:+.1}%", 100.0 * (a as f64 - paper_a) / paper_a),
+            ]);
+
+            // Table 5/6 row: deltas of (b)-(f) vs (a).
+            let mut row = vec![d.name.to_string()];
+            for (label, total) in v.sizes() {
+                let code = &label[..3];
+                let delta = total as i64 - a as i64;
+                let pct = 100.0 * delta as f64 / a as f64;
+                let paper = paper_pct(d.name, n, code);
+                reporter.push(
+                    &format!("table{}", if n == 11 { 5 } else { 6 }),
+                    d.name,
+                    code,
+                    pct,
+                    "%",
+                    paper,
+                );
+                row.push(format!(
+                    "{} [paper {}]",
+                    fmt_delta(delta, a),
+                    paper.map_or("-".into(), |p| format!("{p:+.2}%"))
+                ));
+            }
+            delta_rows.push(row);
+        }
+        print_table(
+            &format!("Table 4 (n={n}): baseline (a) compressed sizes"),
+            &["dataset", "input", "ours", "paper(scaled)", "diff"],
+            &t4_rows,
+        );
+        print_table(
+            &format!(
+                "Table {} (n={n}): size deltas vs (a); Large={LARGE}, Small={SMALL}",
+                if n == 11 { 5 } else { 6 }
+            ),
+            &["dataset", "(b) ConvLarge", "(c) RecoilLarge", "(d) ConvSmall", "(e) RecoilSmall", "(f) multians"],
+            &delta_rows,
+        );
+    }
+}
+
+fn latent_tables(cfg: &BenchConfig, reporter: &mut Reporter) {
+    eprintln!("[building n=16 Gaussian scale bank]");
+    let bank = Arc::new(GaussianScaleBank::default_latent_bank());
+    let mut rows = Vec::new();
+    for d in ALL_DATASETS.iter().filter(|d| d.is_latent()) {
+        let bytes = cfg.dataset_bytes(d);
+        eprintln!("[{}: generating {bytes} latent bytes + variations]", d.name);
+        let ds = d.generate_latents(Arc::clone(&bank), bytes);
+        let recoil_large = encode_with_splits(&ds.symbols, &ds.provider, 32, 2176);
+        let recoil_small = combine_splits(&recoil_large.metadata, 16);
+        let conv_large =
+            recoil::conventional::encode_conventional(&ds.symbols, &ds.provider, 32, 2176);
+        let conv_small =
+            recoil::conventional::encode_conventional(&ds.symbols, &ds.provider, 32, 16);
+
+        let a = recoil_large.stream_bytes();
+        let paper_a = d.paper.baseline_n16_kb as f64 * 1000.0 * (bytes as f64 / d.full_bytes() as f64);
+        reporter.push("table4", d.name, "(a) n=16", a as f64, "bytes", Some(paper_a));
+
+        let deltas = [
+            ("(b)", conv_large.payload_bytes() as i64 - a as i64),
+            ("(c)", recoil_large.metadata_bytes() as i64),
+            ("(d)", conv_small.payload_bytes() as i64 - a as i64),
+            ("(e)", metadata_to_bytes(&recoil_small).len() as i64),
+        ];
+        let mut row = vec![
+            d.name.to_string(),
+            format!("{:.0}/{:.0} KB", a as f64 / 1e3, paper_a / 1e3),
+        ];
+        for (code, delta) in deltas {
+            let pct = 100.0 * delta as f64 / a as f64;
+            let paper = paper_pct(d.name, 16, code);
+            reporter.push("table6", d.name, code, pct, "%", paper);
+            row.push(format!(
+                "{} [paper {}]",
+                fmt_delta(delta, a),
+                paper.map_or("-".into(), |p| format!("{p:+.2}%"))
+            ));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 6 (div2k, adaptive n=16): size deltas vs (a)",
+        &["dataset", "(a) ours/paper", "(b) ConvLarge", "(c) RecoilLarge", "(d) ConvSmall", "(e) RecoilSmall"],
+        &rows,
+    );
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let mut reporter = Reporter::new();
+    byte_dataset_tables(&cfg, &mut reporter);
+    latent_tables(&cfg, &mut reporter);
+
+    // §5.2 headline: the max overhead reduction from serving Recoil Small
+    // instead of Conventional Large is checked on rand_500 at n=16.
+    println!("\nheadline (§5.2): serve (e) instead of (b) for a 16-way client on rand_500/n=16;");
+    println!("the paper reports a -23.41% overhead reduction (ours in results/tables.json).");
+    reporter.flush("tables");
+}

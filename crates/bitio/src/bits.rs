@@ -1,0 +1,239 @@
+//! Bit-granular writer/reader used by the §4.3 metadata format and the tANS
+//! bitstream.
+//!
+//! Bits are packed LSB-first within each byte: the first bit written lands in
+//! bit 0 of byte 0. `write(v, n)` stores the low `n` bits of `v`; `read(n)`
+//! returns them in the same order. This matches how the metadata series are
+//! specified (a width field followed by fixed-width values) and keeps the
+//! reader branch-light.
+
+/// LSB-first bit writer backed by a byte vector.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the last byte (0..8); 0 means byte-aligned.
+    used: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `n` bits of `v` (`n <= 64`).
+    pub fn write(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 64);
+        debug_assert!(n == 64 || v < (1u64 << n), "value {v} does not fit in {n} bits");
+        let mut v = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+        let mut left = n;
+        while left > 0 {
+            if self.used == 0 {
+                self.bytes.push(0);
+            }
+            let room = 8 - self.used;
+            let take = room.min(left);
+            let last = self.bytes.last_mut().expect("just ensured non-empty");
+            *last |= ((v & ((1u64 << take) - 1)) as u8) << self.used;
+            v >>= take;
+            self.used = (self.used + take) % 8;
+            left -= take;
+        }
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write(bit as u64, 1);
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        let full = self.bytes.len() as u64 * 8;
+        if self.used == 0 {
+            full
+        } else {
+            full - (8 - self.used as u64)
+        }
+    }
+
+    /// Finish and return the packed bytes (final partial byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrow the packed bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// LSB-first bit reader over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader starting at bit 0 of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads `n` bits (`n <= 64`); returns `None` if the stream is short.
+    #[inline]
+    pub fn read(&mut self, n: u32) -> Option<u64> {
+        debug_assert!(n <= 64);
+        // Fast path: one unaligned u64 load covers any `n <= 57` plus the
+        // sub-byte offset. This is the hot call of the tANS decoders.
+        let byte = (self.pos / 8) as usize;
+        if n <= 57 && byte + 8 <= self.bytes.len() {
+            let word = u64::from_le_bytes(
+                self.bytes[byte..byte + 8].try_into().expect("8 bytes"),
+            );
+            let off = (self.pos % 8) as u32;
+            self.pos += n as u64;
+            // `n == 0` must yield 0 (shift-by-64 is UB-adjacent otherwise).
+            let mask = (1u64 << n).wrapping_sub(1);
+            return Some(if n == 0 { 0 } else { (word >> off) & mask });
+        }
+        self.read_slow(n)
+    }
+
+    #[cold]
+    fn read_slow(&mut self, n: u32) -> Option<u64> {
+        if self.pos + n as u64 > self.bytes.len() as u64 * 8 {
+            return None;
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let byte = self.bytes[(self.pos / 8) as usize];
+            let off = (self.pos % 8) as u32;
+            let room = 8 - off;
+            let take = room.min(n - got);
+            let chunk = ((byte >> off) & ((1u16 << take) - 1) as u8) as u64;
+            out |= chunk << got;
+            got += take;
+            self.pos += take as u64;
+        }
+        Some(out)
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read(1).map(|b| b != 0)
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Bits remaining.
+    pub fn remaining_bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8 - self.pos
+    }
+
+    /// Skips to the next byte boundary (no-op if already aligned).
+    pub fn align_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Jumps to an absolute bit position (multians decoder threads start at
+    /// arbitrary chunk-boundary offsets).
+    pub fn set_pos(&mut self, bit: u64) {
+        debug_assert!(bit <= self.bytes.len() as u64 * 8);
+        self.pos = bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0xFFFF, 16);
+        w.write(0, 1);
+        w.write(0x1234_5678_9ABC_DEF0, 64);
+        w.write(1, 1);
+        let bits = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), Some(0b101));
+        assert_eq!(r.read(16), Some(0xFFFF));
+        assert_eq!(r.read(1), Some(0));
+        assert_eq!(r.read(64), Some(0x1234_5678_9ABC_DEF0));
+        assert_eq!(r.read(1), Some(1));
+        assert_eq!(r.bit_pos(), bits);
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bit(true);
+        assert_eq!(w.bit_len(), 1);
+        w.write(0, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.write(0b11, 2);
+        assert_eq!(w.bit_len(), 10);
+    }
+
+    #[test]
+    fn reader_detects_underflow() {
+        let mut w = BitWriter::new();
+        w.write(0b1010, 4);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // One padded byte is present, so 8 bits are readable but not 9.
+        assert_eq!(r.read(8), Some(0b1010));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn zero_width_writes_are_noops() {
+        let mut w = BitWriter::new();
+        w.write(0, 0);
+        assert_eq!(w.bit_len(), 0);
+        w.write(0b1, 1);
+        w.write(0, 0);
+        assert_eq!(w.bit_len(), 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(0), Some(0));
+        assert_eq!(r.read(1), Some(1));
+    }
+
+    #[test]
+    fn align_byte_skips_padding() {
+        let mut w = BitWriter::new();
+        w.write(0b1, 1);
+        // Writer pads the remainder of the byte with zeros on flush.
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(1), Some(1));
+        r.align_byte();
+        assert_eq!(r.bit_pos(), 8);
+    }
+
+    #[test]
+    fn many_single_bits_round_trip() {
+        let pattern: Vec<bool> = (0..1000).map(|i| (i * 7) % 3 == 0).collect();
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Parallel decode of partitioned streams: one task per chunk.
+
+use crate::container::ConventionalContainer;
+use crate::encode::OffsetProvider;
+use parking_lot::Mutex;
+use recoil_models::{ModelProvider, Symbol};
+use recoil_parallel::ThreadPool;
+use recoil_rans::{decode_interleaved_into, RansError};
+
+/// Decodes all partitions, optionally on a pool, into a fresh buffer.
+pub fn decode_conventional<S: Symbol, P: ModelProvider>(
+    container: &ConventionalContainer,
+    provider: &P,
+    pool: Option<&ThreadPool>,
+) -> Result<Vec<S>, RansError> {
+    let mut out = vec![S::from_u16(0); container.num_symbols() as usize];
+    decode_conventional_into(container, provider, pool, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_conventional`] into a caller-provided buffer.
+pub fn decode_conventional_into<S: Symbol, P: ModelProvider>(
+    container: &ConventionalContainer,
+    provider: &P,
+    pool: Option<&ThreadPool>,
+    out: &mut [S],
+) -> Result<(), RansError> {
+    if out.len() as u64 != container.num_symbols() {
+        return Err(RansError::MalformedStream(format!(
+            "output buffer holds {} symbols, container has {}",
+            out.len(),
+            container.num_symbols()
+        )));
+    }
+    let bounds = container.symbol_bounds();
+    let tasks = container.chunks.len();
+
+    let mut segments: Vec<Mutex<&mut [S]>> = Vec::with_capacity(tasks);
+    let mut rest = out;
+    for m in 0..tasks {
+        let (seg, tail) = rest.split_at_mut((bounds[m + 1] - bounds[m]) as usize);
+        segments.push(Mutex::new(seg));
+        rest = tail;
+    }
+
+    let first_error: Mutex<Option<RansError>> = Mutex::new(None);
+    let run_task = |m: usize| {
+        let local = OffsetProvider::new(provider, bounds[m]);
+        let mut seg = segments[m].lock();
+        if let Err(e) = decode_interleaved_into(&container.chunks[m], &local, &mut seg) {
+            let mut slot = first_error.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    };
+
+    match pool {
+        Some(pool) if tasks > 1 => pool.run(tasks, run_task),
+        _ => (0..tasks).for_each(run_task),
+    }
+    match first_error.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_conventional;
+    use recoil_models::{CdfTable, StaticModelProvider};
+
+    fn sample(len: usize, seed: u32) -> Vec<u8> {
+        (0..len as u32)
+            .map(|i| ((i ^ seed).wrapping_mul(2654435761) >> 23) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_serial_and_parallel() {
+        let data = sample(250_000, 0);
+        let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        let c = encode_conventional(&data, &p, 32, 16);
+        let serial: Vec<u8> = decode_conventional(&c, &p, None).unwrap();
+        assert_eq!(serial, data);
+        let pool = ThreadPool::new(7);
+        let parallel: Vec<u8> = decode_conventional(&c, &p, Some(&pool)).unwrap();
+        assert_eq!(parallel, data);
+    }
+
+    #[test]
+    fn round_trip_gpu_scale_partitions() {
+        let data = sample(400_000, 1);
+        let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        let c = encode_conventional(&data, &p, 32, 2176);
+        assert_eq!(c.partitions(), 2176);
+        let pool = ThreadPool::new(7);
+        let got: Vec<u8> = decode_conventional(&c, &p, Some(&pool)).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn adaptive_models_respect_global_positions() {
+        use recoil_models::{GaussianScaleBank, LatentModelProvider, LatentSpec};
+        use std::sync::Arc;
+        let bank = Arc::new(GaussianScaleBank::build(12, 256, 8, 0.5, 32.0));
+        let count = 50_000usize;
+        let specs: Vec<LatentSpec> = (0..count)
+            .map(|i| LatentSpec { mean: 3000 + (i % 512) as u16, scale_idx: (i % 8) as u8 })
+            .collect();
+        let p = LatentModelProvider::new(bank, specs.clone());
+        let data: Vec<u16> = (0..count)
+            .map(|i| {
+                let d = ((i as i64).wrapping_mul(40503) % 21) - 10;
+                p.clamp_to_window(specs[i], specs[i].mean as i64 + d)
+            })
+            .collect();
+        let c = encode_conventional(&data, &p, 32, 13);
+        let got: Vec<u16> = decode_conventional(&c, &p, None).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn wrong_buffer_rejected() {
+        let data = sample(1000, 2);
+        let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 8));
+        let c = encode_conventional(&data, &p, 4, 4);
+        let mut bad = vec![0u8; 999];
+        assert!(decode_conventional_into(&c, &p, None, &mut bad).is_err());
+    }
+}

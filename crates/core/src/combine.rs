@@ -1,0 +1,145 @@
+//! Decoder-adaptive split combining (paper §3.3, §4.2).
+//!
+//! "Combining splits is trivial, since it only requires removing the
+//! metadata in a way that combines the splits into bigger ones with close
+//! symbol counts." The bitstream is untouched; the server runs this in real
+//! time per client request. With `K + 1` original segments and `M` requested,
+//! we keep the split point nearest each fraction `i/M` of the original
+//! segmentation — the paper's "every other ceil(N/M)" selection, robust to
+//! non-divisible counts.
+
+use crate::metadata::RecoilMetadata;
+
+/// Returns metadata scaled down to at most `segments` parallel segments.
+///
+/// Dropping entries only merges neighbouring segments, so all decoder
+/// invariants are preserved; requesting more segments than available returns
+/// the metadata unchanged.
+pub fn combine_splits(meta: &RecoilMetadata, segments: u64) -> RecoilMetadata {
+    assert!(segments >= 1, "need at least one segment");
+    let available = meta.num_segments();
+    if segments >= available {
+        return meta.clone();
+    }
+    let k = meta.splits.len() as u64;
+    let mut keep = Vec::with_capacity((segments - 1) as usize);
+    let mut last: Option<u64> = None;
+    for i in 1..segments {
+        // Original cut index nearest the i/segments fraction: cut j sits
+        // after original segment j, so cut indices run 0..K.
+        let j = (i * (k + 1)) / segments;
+        let j = j.clamp(1, k) - 1;
+        if last != Some(j) {
+            keep.push(j as usize);
+            last = Some(j);
+        }
+    }
+    let splits = keep.iter().map(|&j| meta.splits[j].clone()).collect();
+    let combined = RecoilMetadata { splits, ..meta.clone() };
+    debug_assert!(combined.validate().is_ok());
+    combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::{LaneInit, SplitPoint};
+
+    fn synthetic_meta(interior: u64, ways: u32) -> RecoilMetadata {
+        // Evenly spaced valid splits: split i at position (i+1)*G*W - 1 .. etc.
+        let group_span = 100u64;
+        let splits = (0..interior)
+            .map(|i| {
+                let base_group = (i + 1) * group_span;
+                SplitPoint {
+                    offset: (i + 1) * 500,
+                    lanes: (0..ways as u64)
+                        .map(|l| LaneInit {
+                            state: (i * 31 + l) as u16,
+                            pos: (base_group - (l % 2)) * ways as u64 + l,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let meta = RecoilMetadata {
+            ways,
+            quant_bits: 11,
+            num_symbols: (interior + 2) * group_span * ways as u64,
+            num_words: (interior + 2) * 500,
+            splits,
+        };
+        meta.validate().unwrap();
+        meta
+    }
+
+    #[test]
+    fn combine_to_fewer_segments_picks_even_subset() {
+        let meta = synthetic_meta(135, 32); // 136 segments, like 2176/16
+        let small = combine_splits(&meta, 16);
+        assert_eq!(small.num_segments(), 16);
+        small.validate().unwrap();
+        // Kept points must be original points, order preserved.
+        let mut iter = meta.splits.iter();
+        for s in &small.splits {
+            assert!(iter.any(|orig| orig == s), "combined split not a subset");
+        }
+    }
+
+    #[test]
+    fn combine_is_subset_selection_only() {
+        let meta = synthetic_meta(63, 8);
+        let small = combine_splits(&meta, 4);
+        for s in &small.splits {
+            assert!(meta.splits.contains(s));
+        }
+        assert_eq!(small.num_symbols, meta.num_symbols);
+        assert_eq!(small.num_words, meta.num_words);
+        assert_eq!(small.ways, meta.ways);
+    }
+
+    #[test]
+    fn requesting_more_segments_is_identity() {
+        let meta = synthetic_meta(7, 4);
+        let same = combine_splits(&meta, 100);
+        assert_eq!(same, meta);
+    }
+
+    #[test]
+    fn combine_to_one_drops_everything() {
+        let meta = synthetic_meta(31, 4);
+        let one = combine_splits(&meta, 1);
+        assert!(one.splits.is_empty());
+        assert_eq!(one.num_segments(), 1);
+    }
+
+    #[test]
+    fn combine_is_idempotent_per_target() {
+        let meta = synthetic_meta(99, 8);
+        let a = combine_splits(&meta, 10);
+        let b = combine_splits(&a, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_combine_matches_direct_when_divisible() {
+        // 64 segments → 16 → 4 must equal 64 → 4 when counts divide evenly.
+        let meta = synthetic_meta(63, 8);
+        let via16 = combine_splits(&combine_splits(&meta, 16), 4);
+        let direct = combine_splits(&meta, 4);
+        assert_eq!(via16, direct);
+    }
+
+    #[test]
+    fn non_divisible_targets_stay_close_to_even() {
+        let meta = synthetic_meta(99, 8); // 100 segments → 7
+        let c = combine_splits(&meta, 7);
+        assert_eq!(c.num_segments(), 7);
+        let bounds = c.segment_bounds();
+        let spans: Vec<u64> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+        let avg = meta.num_symbols / 7;
+        for s in spans {
+            assert!(s as f64 > avg as f64 * 0.5 && (s as f64) < avg as f64 * 1.6);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! One-call encode API and the stream+metadata container.
+
+use crate::metadata::RecoilMetadata;
+use crate::planner::{PlannerConfig, SplitPlanner};
+use crate::wire::metadata_to_bytes;
+use recoil_models::{ModelProvider, Symbol};
+use recoil_rans::{EncodedStream, InterleavedEncoder};
+
+/// An encoded bitstream together with its (independent) Recoil metadata.
+///
+/// The server keeps the Large-variation container and derives per-client
+/// metadata with [`crate::combine_splits`]; the bitstream bytes never change.
+#[derive(Debug, Clone)]
+pub struct RecoilContainer {
+    /// The interleaved rANS bitstream (+ final states).
+    pub stream: EncodedStream,
+    /// Split metadata enabling parallel decoding.
+    pub metadata: RecoilMetadata,
+}
+
+impl RecoilContainer {
+    /// Bytes of the bitstream payload alone — the paper's variation (a)
+    /// baseline size.
+    pub fn stream_bytes(&self) -> u64 {
+        self.stream.payload_bytes()
+    }
+
+    /// Serialized metadata size in bytes — the Recoil overhead the size
+    /// tables report relative to variation (a).
+    pub fn metadata_bytes(&self) -> u64 {
+        metadata_to_bytes(&self.metadata).len() as u64
+    }
+
+    /// Total transfer size: payload + metadata.
+    pub fn total_bytes(&self) -> u64 {
+        self.stream_bytes() + self.metadata_bytes()
+    }
+}
+
+/// Encodes `data` with `ways` interleaved lanes while planning split
+/// metadata for `segments` parallel decoders — the Recoil encode path.
+pub fn encode_with_splits<S: Symbol, P: ModelProvider>(
+    data: &[S],
+    provider: &P,
+    ways: u32,
+    segments: u64,
+) -> RecoilContainer {
+    let mut planner = SplitPlanner::new(ways, data.len() as u64, PlannerConfig::with_segments(segments));
+    let mut enc = InterleavedEncoder::new(provider, ways);
+    enc.encode_all(data, &mut planner);
+    let stream = enc.finish();
+    let metadata = planner.finish(stream.words.len() as u64, provider.quant_bits());
+    RecoilContainer { stream, metadata }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::decode_recoil;
+    use recoil_models::{CdfTable, StaticModelProvider};
+
+    #[test]
+    fn one_call_encode_decodes_back() {
+        let data: Vec<u8> =
+            (0..150_000u32).map(|i| (i.wrapping_mul(2654435761) >> 22) as u8).collect();
+        let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        let c = encode_with_splits(&data, &p, 32, 16);
+        assert_eq!(c.metadata.num_segments(), 16);
+        let got: Vec<u8> = decode_recoil(&c.stream, &c.metadata, &p, None).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn metadata_bytes_scale_with_segments() {
+        let data: Vec<u8> =
+            (0..400_000u32).map(|i| (i.wrapping_mul(747796405) >> 21) as u8).collect();
+        let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        let small = encode_with_splits(&data, &p, 32, 8);
+        let large = encode_with_splits(&data, &p, 32, 128);
+        assert_eq!(small.stream_bytes(), large.stream_bytes(), "bitstream is unchanged");
+        assert!(large.metadata_bytes() > small.metadata_bytes() * 8);
+        // ~76 bytes per split at W=32 (paper §5.2 ballpark).
+        let per_split = large.metadata_bytes() as f64 / 127.0;
+        assert!(per_split > 60.0 && per_split < 100.0, "per-split {per_split}");
+    }
+}

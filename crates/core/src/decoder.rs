@@ -1,0 +1,363 @@
+//! The Recoil three-phase parallel decoder (paper §4.1, Figure 6).
+//!
+//! Each decoder thread `m` handles one split and runs:
+//!
+//! 1. **Synchronization Phase** — start at the split position `P_m` with
+//!    only the split-defining lane known; walking positions downward, each
+//!    lane is initialized from its 16-bit metadata state exactly at its
+//!    recorded position — immediately before its first bitstream read, so
+//!    the shared backward read pointer stays aligned even while some lanes
+//!    are absent. Symbols produced here are a side effect and are discarded.
+//! 2. **Decoding Phase** — from the sync completion point `Q_m - 1` down,
+//!    plain interleaved decoding, writing real output.
+//! 3. **Cross-Boundary Decoding Phase** — past the *previous* split's
+//!    position the thread keeps going through that split's Synchronization
+//!    Section (it inherently carries the correct states) and stops at its
+//!    sync completion point `Q_{m-1}`.
+//!
+//! Phases 2 and 3 need no code boundary: together they decode positions
+//! `Q_{m-1} .. Q_m` — exactly thread `m`'s disjoint output range, which is
+//! why the output buffer can be handed out as non-overlapping sub-slices.
+
+use crate::metadata::{RecoilMetadata, SplitPoint};
+use parking_lot::Mutex;
+use recoil_bitio::BackwardWordReader;
+use recoil_models::{ModelProvider, Symbol};
+use recoil_parallel::ThreadPool;
+use recoil_rans::params::LOWER_BOUND;
+use recoil_rans::{decode_transform, renorm_read, EncodedStream, RansError};
+
+/// Number of parallel decode tasks this metadata yields.
+pub fn decode_split_count(meta: &RecoilMetadata) -> usize {
+    meta.splits.len() + 1
+}
+
+/// Decodes a Recoil stream, optionally on a thread pool.
+///
+/// With `pool = None` the tasks run serially on the caller — same results,
+/// useful for tests and for decoders without parallel capacity (the whole
+/// point of decoder-adaptive scalability is that such decoders receive
+/// metadata with fewer splits, not a different bitstream).
+pub fn decode_recoil<S: Symbol, P: ModelProvider>(
+    stream: &EncodedStream,
+    meta: &RecoilMetadata,
+    provider: &P,
+    pool: Option<&ThreadPool>,
+) -> Result<Vec<S>, RansError> {
+    let mut out = vec![S::from_u16(0); stream.num_symbols as usize];
+    decode_recoil_into(stream, meta, provider, pool, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_recoil`] into a caller-provided buffer.
+pub fn decode_recoil_into<S: Symbol, P: ModelProvider>(
+    stream: &EncodedStream,
+    meta: &RecoilMetadata,
+    provider: &P,
+    pool: Option<&ThreadPool>,
+    out: &mut [S],
+) -> Result<(), RansError> {
+    stream.validate()?;
+    meta.validate_against(stream)?;
+    if out.len() as u64 != stream.num_symbols {
+        return Err(RansError::MalformedStream(format!(
+            "output buffer holds {} symbols, stream has {}",
+            out.len(),
+            stream.num_symbols
+        )));
+    }
+    let bounds = meta.segment_bounds();
+    let tasks = bounds.len() - 1;
+
+    // Hand each task its disjoint output segment.
+    let mut segments: Vec<Mutex<&mut [S]>> = Vec::with_capacity(tasks);
+    let mut rest = out;
+    for m in 0..tasks {
+        let len = (bounds[m + 1] - bounds[m]) as usize;
+        let (seg, tail) = rest.split_at_mut(len);
+        segments.push(Mutex::new(seg));
+        rest = tail;
+    }
+
+    let first_error: Mutex<Option<RansError>> = Mutex::new(None);
+    let run_task = |m: usize| {
+        let mut seg = segments[m].lock();
+        if let Err(e) = decode_task(m, stream, meta, provider, bounds[m], &mut seg) {
+            let mut slot = first_error.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    };
+
+    match pool {
+        Some(pool) if tasks > 1 => pool.run(tasks, run_task),
+        _ => (0..tasks).for_each(run_task),
+    }
+
+    match first_error.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Runs the three phases of one decode task.
+///
+/// `seg` receives positions `lo .. lo + seg.len()` where `lo = bounds[m]`.
+fn decode_task<S: Symbol, P: ModelProvider>(
+    m: usize,
+    stream: &EncodedStream,
+    meta: &RecoilMetadata,
+    provider: &P,
+    lo: u64,
+    seg: &mut [S],
+) -> Result<(), RansError> {
+    let ways = meta.ways as u64;
+    let n = provider.quant_bits();
+    let mask = (1u32 << n) - 1;
+    let words = &stream.words;
+
+    let (mut states, mut reader) = if m < meta.splits.len() {
+        sync_phase(&meta.splits[m], words, provider, n, mask, ways)?
+    } else {
+        // The last task starts from the exact, explicitly transmitted final
+        // states; no synchronization is needed.
+        (stream.final_states.clone(), BackwardWordReader::from_end(words))
+    };
+
+    // Decoding Phase + Cross-Boundary Phase: positions lo .. lo+len, writing
+    // real output, stopping at the previous split's sync completion point.
+    for rel in (0..seg.len()).rev() {
+        let pos = lo + rel as u64;
+        let lane = (pos % ways) as usize;
+        let x = renorm_read(states[lane], &mut reader, pos)?;
+        let (nx, sym) = decode_transform(x, pos, provider, n, mask);
+        states[lane] = nx;
+        seg[rel] = S::from_u16(sym);
+    }
+    Ok(())
+}
+
+/// Public entry to the Synchronization Phase for external decode drivers
+/// (the SIMD crate runs sync scalar, then hands the recovered states and
+/// read offset to its vector kernels).
+///
+/// Returns the fully synchronized lane states and the next backward read
+/// offset (`None` when the stream head was reached).
+pub fn sync_split_states<P: ModelProvider>(
+    split: &SplitPoint,
+    words: &[u16],
+    provider: &P,
+    ways: u32,
+) -> Result<(Vec<u32>, Option<u64>), RansError> {
+    let n = provider.quant_bits();
+    let mask = (1u32 << n) - 1;
+    let (states, reader) = sync_phase(split, words, provider, n, mask, ways as u64)?;
+    Ok((states, reader.offset()))
+}
+
+/// Synchronization Phase (§4.1.1): recover full decoder states from the
+/// split's 16-bit metadata states, discarding the side-effect symbols.
+fn sync_phase<'w, P: ModelProvider>(
+    split: &crate::metadata::SplitPoint,
+    words: &'w [u16],
+    provider: &P,
+    n: u32,
+    mask: u32,
+    ways: u64,
+) -> Result<(Vec<u32>, BackwardWordReader<'w>), RansError> {
+    let p = split.split_pos();
+    let q = split.sync_start();
+    let mut reader = BackwardWordReader::new(words, split.offset);
+    let mut states = vec![0u32; ways as usize];
+    let mut ready = vec![false; ways as usize];
+
+    let mut pos = p;
+    loop {
+        let lane = (pos % ways) as usize;
+        if ready[lane] {
+            let x = renorm_read(states[lane], &mut reader, pos)?;
+            let (nx, _discard) = decode_transform(x, pos, provider, n, mask);
+            states[lane] = nx;
+        } else if split.lanes[lane].pos == pos {
+            // Initialize this lane immediately before its first read: the
+            // metadata state is < L, so renorm_read pulls exactly the word
+            // its encoder-side renormalization emitted here.
+            let x0 = split.lanes[lane].state as u32;
+            debug_assert!(x0 < LOWER_BOUND);
+            let x = renorm_read(x0, &mut reader, pos)?;
+            let (nx, _discard) = decode_transform(x, pos, provider, n, mask);
+            states[lane] = nx;
+            ready[lane] = true;
+        }
+        // Slots of not-yet-initialized lanes are skipped entirely: absent
+        // decoders neither transform nor read, keeping the read offset
+        // correct (§4.1.1).
+        if pos == q {
+            break;
+        }
+        pos -= 1;
+    }
+    debug_assert!(ready.iter().all(|&r| r), "sync ended with uninitialized lanes");
+    Ok((states, reader))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan_from_events, PlannerConfig};
+    use recoil_models::{CdfTable, StaticModelProvider};
+    use recoil_rans::{decode_interleaved, InterleavedEncoder, VecSink};
+
+    fn sample(len: usize, seed: u32) -> Vec<u8> {
+        (0..len as u32)
+            .map(|i| ((i.wrapping_add(seed).wrapping_mul(2654435761)) >> 22) as u8)
+            .collect()
+    }
+
+    fn setup(
+        data: &[u8],
+        n: u32,
+        ways: u32,
+        segments: u64,
+    ) -> (EncodedStream, RecoilMetadata, StaticModelProvider) {
+        let p = StaticModelProvider::new(CdfTable::of_bytes(data, n));
+        let mut enc = InterleavedEncoder::new(&p, ways);
+        let mut sink = VecSink::new();
+        enc.encode_all(data, &mut sink);
+        let stream = enc.finish();
+        let meta = plan_from_events(
+            &sink.events,
+            ways,
+            stream.num_symbols,
+            stream.words.len() as u64,
+            n,
+            PlannerConfig::with_segments(segments),
+        );
+        (stream, meta, p)
+    }
+
+    #[test]
+    fn recoil_decode_matches_serial_decode() {
+        let data = sample(200_000, 1);
+        let (stream, meta, p) = setup(&data, 11, 32, 16);
+        assert_eq!(meta.num_segments(), 16);
+        let serial: Vec<u8> = decode_interleaved(&stream, &p).unwrap();
+        let recoil: Vec<u8> = decode_recoil(&stream, &meta, &p, None).unwrap();
+        assert_eq!(serial, data);
+        assert_eq!(recoil, data);
+    }
+
+    #[test]
+    fn parallel_pool_decode_matches() {
+        let data = sample(300_000, 2);
+        let (stream, meta, p) = setup(&data, 11, 32, 64);
+        let pool = ThreadPool::new(7);
+        let got: Vec<u8> = decode_recoil(&stream, &meta, &p, Some(&pool)).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn no_split_metadata_decodes_whole_stream() {
+        let data = sample(50_000, 3);
+        let (stream, meta, p) = setup(&data, 11, 32, 1);
+        assert!(meta.splits.is_empty());
+        let got: Vec<u8> = decode_recoil(&stream, &meta, &p, None).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn many_way_and_segment_combinations() {
+        for ways in [1u32, 2, 4, 8, 32] {
+            for segments in [2u64, 3, 8] {
+                let data = sample(60_000, ways + segments as u32);
+                let (stream, meta, p) = setup(&data, 10, ways, segments);
+                let got: Vec<u8> = decode_recoil(&stream, &meta, &p, None).unwrap();
+                assert_eq!(got, data, "ways={ways} segments={segments}");
+            }
+        }
+    }
+
+    #[test]
+    fn massive_split_count_gpu_style() {
+        let data = sample(400_000, 9);
+        let (stream, meta, p) = setup(&data, 11, 32, 512);
+        assert!(meta.num_segments() > 400, "got {}", meta.num_segments());
+        let pool = ThreadPool::new(7);
+        let got: Vec<u8> = decode_recoil(&stream, &meta, &p, Some(&pool)).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn sixteen_bit_symbols_and_n16() {
+        let raw = sample(120_000, 4);
+        let data: Vec<u16> = raw.iter().map(|&b| (b as u16) << 3).collect();
+        let p = StaticModelProvider::new(CdfTable::of_u16(&data, 1 << 12, 16));
+        let mut enc = InterleavedEncoder::new(&p, 32);
+        let mut sink = VecSink::new();
+        enc.encode_all(&data, &mut sink);
+        let stream = enc.finish();
+        let meta = plan_from_events(
+            &sink.events,
+            32,
+            stream.num_symbols,
+            stream.words.len() as u64,
+            16,
+            PlannerConfig::with_segments(16),
+        );
+        let got: Vec<u16> = decode_recoil(&stream, &meta, &p, None).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn adaptive_models_across_split_boundaries() {
+        use recoil_models::{GaussianScaleBank, LatentModelProvider, LatentSpec};
+        use std::sync::Arc;
+        let bank = Arc::new(GaussianScaleBank::build(12, 256, 8, 0.5, 32.0));
+        let count = 80_000usize;
+        let specs: Vec<LatentSpec> = (0..count)
+            .map(|i| LatentSpec {
+                mean: 2000 + (i % 700) as u16,
+                scale_idx: (i % 8) as u8,
+            })
+            .collect();
+        let p = LatentModelProvider::new(bank, specs.clone());
+        let data: Vec<u16> = (0..count)
+            .map(|i| {
+                let d = ((i as i64).wrapping_mul(2654435761) % 31) - 15;
+                p.clamp_to_window(specs[i], specs[i].mean as i64 + d)
+            })
+            .collect();
+        let mut enc = InterleavedEncoder::new(&p, 32);
+        let mut sink = VecSink::new();
+        enc.encode_all(&data, &mut sink);
+        let stream = enc.finish();
+        let meta = plan_from_events(
+            &sink.events,
+            32,
+            stream.num_symbols,
+            stream.words.len() as u64,
+            12,
+            PlannerConfig::with_segments(8),
+        );
+        assert!(meta.num_segments() >= 2);
+        let got: Vec<u16> = decode_recoil(&stream, &meta, &p, None).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn corrupted_metadata_is_rejected_not_misdecoded() {
+        let data = sample(100_000, 5);
+        let (stream, mut meta, p) = setup(&data, 11, 32, 8);
+        meta.num_symbols += 1;
+        assert!(decode_recoil::<u8, _>(&stream, &meta, &p, None).is_err());
+    }
+
+    #[test]
+    fn wrong_output_len_is_rejected() {
+        let data = sample(10_000, 6);
+        let (stream, meta, p) = setup(&data, 11, 32, 4);
+        let mut out = vec![0u8; 9_999];
+        assert!(decode_recoil_into(&stream, &meta, &p, None, &mut out).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! A complete self-describing file format: bitstream + final states +
+//! quantized model + Recoil metadata in one byte buffer.
+//!
+//! The paper transmits the model out of band (it is identical across all
+//! variations, so the size tables exclude it); real deployments need it on
+//! disk. Layout (little-endian):
+//!
+//! ```text
+//! magic "RCLF" | u8 version | u8 n | u16 ways | u32 alphabet
+//! u64 num_symbols | u64 num_words
+//! alphabet × u16   quantized frequencies (sum 2^n; n = 16 stores f - 1
+//!                  never occurs because f <= 2^n - 1 always fits)
+//! ways × u32       final states
+//! num_words × u16  bitstream words
+//! u32 metadata_len | metadata bytes (§4.3 format)
+//! ```
+
+use crate::metadata::RecoilMetadata;
+use crate::wire::{metadata_from_bytes, metadata_to_bytes};
+use crate::RecoilContainer;
+use recoil_models::{CdfTable, StaticModelProvider};
+use recoil_rans::{EncodedStream, RansError};
+
+const MAGIC: &[u8; 4] = b"RCLF";
+const VERSION: u8 = 1;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RansError> {
+        if self.at + n > self.bytes.len() {
+            return Err(RansError::MalformedStream("truncated file".into()));
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, RansError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, RansError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, RansError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, RansError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Serializes a container plus its static model into one byte buffer.
+pub fn container_to_bytes(container: &RecoilContainer, model: &CdfTable) -> Vec<u8> {
+    let stream = &container.stream;
+    let mut out = Vec::with_capacity(stream.words.len() * 2 + 1024);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(model.quant_bits() as u8);
+    put_u16(&mut out, stream.ways as u16);
+    put_u32(&mut out, model.alphabet_size() as u32);
+    put_u64(&mut out, stream.num_symbols);
+    put_u64(&mut out, stream.words.len() as u64);
+    for s in 0..model.alphabet_size() {
+        // f <= 2^n - 1 <= 65535 always fits a u16 (quantizer invariant).
+        put_u16(&mut out, model.freq(s) as u16);
+    }
+    for &st in &stream.final_states {
+        put_u32(&mut out, st);
+    }
+    for &w in &stream.words {
+        put_u16(&mut out, w);
+    }
+    let meta = metadata_to_bytes(&container.metadata);
+    put_u32(&mut out, meta.len() as u32);
+    out.extend_from_slice(&meta);
+    out
+}
+
+/// Parses a file produced by [`container_to_bytes`], rebuilding the decode
+/// tables.
+pub fn container_from_bytes(
+    bytes: &[u8],
+) -> Result<(RecoilContainer, StaticModelProvider), RansError> {
+    let mut c = Cursor { bytes, at: 0 };
+    if c.take(4)? != MAGIC {
+        return Err(RansError::MalformedStream("bad magic".into()));
+    }
+    if c.u8()? != VERSION {
+        return Err(RansError::MalformedStream("unsupported version".into()));
+    }
+    let n = c.u8()? as u32;
+    if !(1..=16).contains(&n) {
+        return Err(RansError::MalformedStream(format!("bad quantization level {n}")));
+    }
+    let ways = c.u16()? as u32;
+    let alphabet = c.u32()? as usize;
+    if alphabet == 0 || alphabet > 1 << 16 {
+        return Err(RansError::MalformedStream(format!("bad alphabet size {alphabet}")));
+    }
+    let num_symbols = c.u64()?;
+    let num_words = c.u64()? as usize;
+
+    let mut freqs = Vec::with_capacity(alphabet);
+    for _ in 0..alphabet {
+        freqs.push(c.u16()? as u32);
+    }
+    let sum: u64 = freqs.iter().map(|&f| f as u64).sum();
+    if sum != 1 << n {
+        return Err(RansError::MalformedStream(format!(
+            "model frequencies sum to {sum}, expected 2^{n}"
+        )));
+    }
+    let table = CdfTable::from_freqs(freqs, n);
+
+    let mut final_states = Vec::with_capacity(ways as usize);
+    for _ in 0..ways {
+        final_states.push(c.u32()?);
+    }
+    let word_bytes = c.take(num_words * 2)?;
+    let words: Vec<u16> = word_bytes
+        .chunks_exact(2)
+        .map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+        .collect();
+
+    let meta_len = c.u32()? as usize;
+    let metadata: RecoilMetadata = metadata_from_bytes(c.take(meta_len)?)?;
+
+    let stream = EncodedStream { words, final_states, num_symbols, ways };
+    stream.validate()?;
+    metadata.validate_against(&stream)?;
+    Ok((RecoilContainer { stream, metadata }, StaticModelProvider::new(table)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::encode_with_splits;
+    use crate::decoder::decode_recoil;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len as u32).map(|i| (i.wrapping_mul(2654435761) >> 23) as u8).collect()
+    }
+
+    #[test]
+    fn file_round_trip_and_decode() {
+        let data = sample(120_000);
+        let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        let container = encode_with_splits(&data, &model, 32, 24);
+        let bytes = container_to_bytes(&container, model.table());
+        let (back, model2) = container_from_bytes(&bytes).unwrap();
+        assert_eq!(back.stream, container.stream);
+        assert_eq!(back.metadata, container.metadata);
+        let decoded: Vec<u8> = decode_recoil(&back.stream, &back.metadata, &model2, None).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn n16_frequencies_fit_u16() {
+        let data = sample(50_000);
+        let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 16));
+        let container = encode_with_splits(&data, &model, 32, 8);
+        let bytes = container_to_bytes(&container, model.table());
+        let (_, model2) = container_from_bytes(&bytes).unwrap();
+        assert_eq!(model2.table(), model.table());
+    }
+
+    #[test]
+    fn truncations_error_cleanly() {
+        let data = sample(5_000);
+        let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 10));
+        let container = encode_with_splits(&data, &model, 32, 4);
+        let bytes = container_to_bytes(&container, model.table());
+        for cut in [0, 3, 7, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(container_from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_and_model_rejected() {
+        let data = sample(5_000);
+        let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 10));
+        let container = encode_with_splits(&data, &model, 32, 4);
+        let mut bytes = container_to_bytes(&container, model.table());
+        bytes[0] ^= 1;
+        assert!(container_from_bytes(&bytes).is_err());
+        bytes[0] ^= 1;
+        // Break a model frequency: the sum check must fire.
+        bytes[28] ^= 0xFF;
+        assert!(container_from_bytes(&bytes).is_err());
+    }
+}

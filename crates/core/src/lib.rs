@@ -1,0 +1,46 @@
+//! **Recoil** — parallel rANS decoding with decoder-adaptive scalability
+//! (Lin et al., ICPP 2023). This crate is the paper's contribution.
+//!
+//! Instead of partitioning the symbol sequence before encoding (which fixes
+//! the parallelism/compression trade-off forever, §2.3), Recoil encodes the
+//! whole sequence with **one** group of interleaved rANS encoders and then
+//! records *metadata* at chosen renormalization points: the 16-bit
+//! intermediate lane states, the symbol indices they belong to, and the
+//! bitstream offset (§3, §4). Decoders can start at any recorded split
+//! through a three-phase procedure (Synchronization → Decoding →
+//! Cross-Boundary, §4.1), and a content server can scale the parallelism
+//! *down* for a weaker client by simply dropping metadata entries (§3.3) —
+//! no re-encode, no wasted bytes.
+//!
+//! Pipeline:
+//!
+//! ```text
+//! symbols ──InterleavedEncoder──▶ bitstream + renorm events
+//!                   │                         │
+//!                   ▼                         ▼
+//!            final states            SplitPlanner (Def. 4.1 heuristic,
+//!                                      backward scan at renorm points)
+//!                                             │
+//!                                             ▼
+//!                                     RecoilMetadata ──wire──▶ bytes
+//!                                             │
+//!                              combine(M) ────┤  (server, real-time)
+//!                                             ▼
+//!                       three-phase parallel decoder (thread pool)
+//! ```
+
+mod combine;
+mod container;
+mod decoder;
+mod file;
+mod metadata;
+mod planner;
+mod wire;
+
+pub use combine::combine_splits;
+pub use container::{encode_with_splits, RecoilContainer};
+pub use file::{container_from_bytes, container_to_bytes};
+pub use decoder::{decode_recoil, decode_recoil_into, decode_split_count, sync_split_states};
+pub use metadata::{LaneInit, RecoilMetadata, SplitPoint};
+pub use planner::{plan_from_events, Heuristic, PlannerConfig, SplitPlanner};
+pub use wire::{metadata_from_bytes, metadata_to_bytes};

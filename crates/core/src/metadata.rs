@@ -1,0 +1,280 @@
+//! The split metadata model (paper §4.1, Figure 6).
+//!
+//! One [`SplitPoint`] records everything a decoder thread needs to start at
+//! an intermediate position: per interleaved lane, the 16-bit intermediate
+//! state taken at that lane's **last renormalization point** before the
+//! split, and the symbol position it belongs to; plus the bitstream offset
+//! of the split-defining renorm word. Positions are 0-based here (the
+//! paper's `s_i` is our position `i - 1`).
+
+use recoil_rans::{EncodedStream, RansError};
+
+/// One lane's recorded intermediate state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneInit {
+    /// Post-renormalization state, `< 2^16` by Lemma 3.1.
+    pub state: u16,
+    /// 0-based position of the last symbol this lane had encoded when the
+    /// state was recorded ("Symbol Indices" row of Table 2).
+    pub pos: u64,
+}
+
+/// A recorded split point: the metadata block of one decoder thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitPoint {
+    /// Word offset of the split-defining renorm word ("Bitstream Offset").
+    pub offset: u64,
+    /// Per-lane intermediate states, indexed by lane `0..ways`.
+    pub lanes: Vec<LaneInit>,
+}
+
+impl SplitPoint {
+    /// The split position `P`: the largest recorded symbol position. The
+    /// thread starting here owns symbols up to `P`; the next split's thread
+    /// begins at `P + 1`.
+    pub fn split_pos(&self) -> u64 {
+        self.lanes.iter().map(|l| l.pos).max().expect("at least one lane")
+    }
+
+    /// The synchronization completion point `Q`: the smallest recorded
+    /// position. Symbols `Q ..= P` form the Synchronization Section.
+    pub fn sync_start(&self) -> u64 {
+        self.lanes.iter().map(|l| l.pos).min().expect("at least one lane")
+    }
+
+    /// Number of symbols in the Synchronization Section (`t_s` of Def. 4.1).
+    pub fn sync_len(&self) -> u64 {
+        self.split_pos() - self.sync_start() + 1
+    }
+}
+
+/// The complete Recoil metadata for one encoded stream.
+///
+/// Kept separate from the bitstream on purpose: "Recoil does not actually
+/// modify the rANS bitstream, but instead works on independent metadata"
+/// (§1), which is what makes real-time split combining possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoilMetadata {
+    /// Interleave width `W` of the stream this metadata belongs to.
+    pub ways: u32,
+    /// Quantization level `n` (recorded for container self-description).
+    pub quant_bits: u32,
+    /// Total symbol count `N` of the stream.
+    pub num_symbols: u64,
+    /// Total word count `B` of the stream.
+    pub num_words: u64,
+    /// Interior split points, ascending by [`SplitPoint::split_pos`].
+    /// `splits.len() + 1` decoder threads can run in parallel.
+    pub splits: Vec<SplitPoint>,
+}
+
+impl RecoilMetadata {
+    /// Number of independently decodable segments (paper's split count `M`).
+    pub fn num_segments(&self) -> u64 {
+        self.splits.len() as u64 + 1
+    }
+
+    /// Output-range boundaries per decoder thread:
+    /// `[0, Q_0, Q_1, .., Q_{K-1}, N]`. Thread `m` produces the symbols in
+    /// `bounds[m] .. bounds[m+1]` — its Sync Phase output is discarded and
+    /// re-produced by thread `m+1`'s Cross-Boundary Phase (§4.1.3).
+    pub fn segment_bounds(&self) -> Vec<u64> {
+        let mut b = Vec::with_capacity(self.splits.len() + 2);
+        b.push(0);
+        for s in &self.splits {
+            b.push(s.sync_start());
+        }
+        b.push(self.num_symbols);
+        b
+    }
+
+    /// Checks every structural invariant the decoder relies on.
+    pub fn validate(&self) -> Result<(), RansError> {
+        let fail = |msg: String| Err(RansError::MalformedMetadata(msg));
+        if self.ways == 0 {
+            return fail("ways must be >= 1".into());
+        }
+        if self.num_symbols == 0 && !self.splits.is_empty() {
+            return fail("splits recorded for an empty stream".into());
+        }
+        let mut prev_p: Option<u64> = None;
+        let mut prev_off: Option<u64> = None;
+        for (k, s) in self.splits.iter().enumerate() {
+            if s.lanes.len() != self.ways as usize {
+                return fail(format!(
+                    "split {k}: {} lane entries for {} ways",
+                    s.lanes.len(),
+                    self.ways
+                ));
+            }
+            for (lane, li) in s.lanes.iter().enumerate() {
+                if li.pos % self.ways as u64 != lane as u64 {
+                    return fail(format!(
+                        "split {k}: lane {lane} records position {} owned by lane {}",
+                        li.pos,
+                        li.pos % self.ways as u64
+                    ));
+                }
+            }
+            let p = s.split_pos();
+            let q = s.sync_start();
+            if p + 1 >= self.num_symbols {
+                return fail(format!(
+                    "split {k}: split position {p} leaves no symbols for the final thread"
+                ));
+            }
+            if s.offset >= self.num_words {
+                return fail(format!(
+                    "split {k}: offset {} beyond stream of {} words",
+                    s.offset, self.num_words
+                ));
+            }
+            if let Some(pp) = prev_p {
+                // The sync section must not cross the previous split point,
+                // or two threads' output ranges would overlap.
+                if q <= pp {
+                    return fail(format!(
+                        "split {k}: sync start {q} crosses previous split position {pp}"
+                    ));
+                }
+            }
+            if let Some(po) = prev_off {
+                if s.offset <= po {
+                    return fail(format!("split {k}: offsets not strictly ascending"));
+                }
+            }
+            prev_p = Some(p);
+            prev_off = Some(s.offset);
+        }
+        Ok(())
+    }
+
+    /// Validates against the stream this metadata claims to describe.
+    pub fn validate_against(&self, stream: &EncodedStream) -> Result<(), RansError> {
+        self.validate()?;
+        if stream.ways != self.ways
+            || stream.num_symbols != self.num_symbols
+            || stream.words.len() as u64 != self.num_words
+        {
+            return Err(RansError::MalformedMetadata(format!(
+                "metadata (W={}, N={}, B={}) does not describe stream (W={}, N={}, B={})",
+                self.ways,
+                self.num_symbols,
+                self.num_words,
+                stream.ways,
+                stream.num_symbols,
+                stream.words.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 6 split in 0-based coordinates: W = 4,
+    /// states x_{9,1}, x_{14,2}, x_{11,3}, x_{16,4} → positions 8, 13, 10, 15.
+    pub(crate) fn figure6_split() -> SplitPoint {
+        SplitPoint {
+            offset: 6,
+            lanes: vec![
+                LaneInit { state: 0x1111, pos: 8 },
+                LaneInit { state: 0x2222, pos: 13 },
+                LaneInit { state: 0x3333, pos: 10 },
+                LaneInit { state: 0x4444, pos: 15 },
+            ],
+        }
+    }
+
+    fn figure6_meta() -> RecoilMetadata {
+        RecoilMetadata {
+            ways: 4,
+            quant_bits: 11,
+            num_symbols: 20,
+            num_words: 9,
+            splits: vec![figure6_split()],
+        }
+    }
+
+    #[test]
+    fn figure6_split_geometry() {
+        let s = figure6_split();
+        assert_eq!(s.split_pos(), 15); // s_16 in the paper's 1-based indexing
+        assert_eq!(s.sync_start(), 8); // s_9
+        assert_eq!(s.sync_len(), 8); // sync section s_9 ..= s_16
+    }
+
+    #[test]
+    fn segment_bounds_cover_stream() {
+        let m = figure6_meta();
+        assert_eq!(m.segment_bounds(), vec![0, 8, 20]);
+        assert_eq!(m.num_segments(), 2);
+    }
+
+    #[test]
+    fn valid_metadata_passes() {
+        figure6_meta().validate().unwrap();
+    }
+
+    #[test]
+    fn lane_position_parity_checked() {
+        let mut m = figure6_meta();
+        m.splits[0].lanes[1].pos = 14; // lane 1 cannot own position 14
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn split_too_close_to_end_rejected() {
+        let mut m = figure6_meta();
+        m.num_symbols = 16; // split_pos 15 == N-1: final thread empty
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn sync_crossing_previous_split_rejected() {
+        let mut m = figure6_meta();
+        let mut second = figure6_split();
+        // Second split at P=19, but with a lane reaching back to pos 9 <= 15.
+        second.offset = 8;
+        second.lanes = vec![
+            LaneInit { state: 1, pos: 16 },
+            LaneInit { state: 2, pos: 17 },
+            LaneInit { state: 3, pos: 18 },
+            LaneInit { state: 4, pos: 19 },
+        ];
+        m.num_symbols = 25;
+        m.splits.push(second.clone());
+        m.validate().unwrap(); // fine: q = 16 > 15
+
+        m.splits[1].lanes[0].pos = 12; // q = 12 <= 15: crossing
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn offsets_must_ascend() {
+        let mut m = figure6_meta();
+        let mut second = figure6_split();
+        second.offset = 6; // duplicate offset
+        second.lanes.iter_mut().for_each(|l| l.pos += 8);
+        m.num_symbols = 30;
+        m.splits.push(second);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_against_checks_stream_shape() {
+        let m = figure6_meta();
+        let stream = EncodedStream {
+            words: vec![0; 9],
+            final_states: vec![recoil_rans::params::INITIAL_STATE; 4],
+            num_symbols: 20,
+            ways: 4,
+        };
+        m.validate_against(&stream).unwrap();
+        let mut wrong = stream.clone();
+        wrong.num_symbols = 21;
+        assert!(m.validate_against(&wrong).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! The named datasets of Table 4, with the paper's reference sizes attached
+//! so the benchmark harness can print paper-vs-measured side by side.
+//!
+//! Sizes follow the paper's convention: **1 KB = 1000 bytes**.
+
+use crate::{exponential_bytes, latent_dataset, text_like_bytes, LatentDataset};
+use recoil_models::GaussianScaleBank;
+use std::sync::Arc;
+
+/// How a dataset is synthesized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DatasetKind {
+    /// `rand_λ`: exponentially distributed bytes (§5.1), generated exactly
+    /// as the paper describes.
+    Exponential {
+        /// The paper's λ parameter.
+        lambda: f64,
+    },
+    /// Text corpus substitute with the paper's measured order-0 entropy
+    /// (bits/byte at the n=11 baseline).
+    TextLike {
+        /// Target order-0 entropy in bits per byte.
+        entropy_bits: f64,
+    },
+    /// div2k substitute: 16-bit hyperprior latents around a typical scale.
+    Latent {
+        /// Typical Gaussian scale (larger → less compressible).
+        sigma_typ: f64,
+    },
+}
+
+/// Values reported in the paper, for side-by-side comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperRef {
+    /// Uncompressed size in KB (Table 4).
+    pub uncompressed_kb: u64,
+    /// Baseline (a) compressed size at n = 11, if evaluated.
+    pub baseline_n11_kb: Option<u64>,
+    /// Baseline (a) compressed size at n = 16.
+    pub baseline_n16_kb: u64,
+}
+
+/// One evaluated dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dataset {
+    /// Paper name (Table 4).
+    pub name: &'static str,
+    /// Generator parameters.
+    pub kind: DatasetKind,
+    /// The paper's reference numbers.
+    pub paper: PaperRef,
+    /// Deterministic generation seed.
+    pub seed: u64,
+}
+
+impl Dataset {
+    /// Full uncompressed size in bytes, as in Table 4.
+    pub fn full_bytes(&self) -> usize {
+        self.paper.uncompressed_kb as usize * 1000
+    }
+
+    /// True for the 16-bit-latent (adaptive-model) datasets.
+    pub fn is_latent(&self) -> bool {
+        matches!(self.kind, DatasetKind::Latent { .. })
+    }
+
+    /// Generates `len` bytes of this dataset (byte datasets only).
+    pub fn generate_bytes(&self, len: usize) -> Vec<u8> {
+        match self.kind {
+            DatasetKind::Exponential { lambda } => exponential_bytes(len, lambda, self.seed),
+            DatasetKind::TextLike { entropy_bits } => {
+                text_like_bytes(len, entropy_bits, self.seed)
+            }
+            DatasetKind::Latent { .. } => {
+                panic!("{} is a latent dataset; use generate_latents", self.name)
+            }
+        }
+    }
+
+    /// Generates the latent dataset scaled to `bytes` of uncompressed data
+    /// (2 bytes per 16-bit symbol).
+    pub fn generate_latents(&self, bank: Arc<GaussianScaleBank>, bytes: usize) -> LatentDataset {
+        match self.kind {
+            DatasetKind::Latent { sigma_typ } => {
+                latent_dataset(bank, bytes / 2, sigma_typ, self.seed)
+            }
+            _ => panic!("{} is not a latent dataset", self.name),
+        }
+    }
+
+    /// Looks a dataset up by its paper name.
+    pub fn by_name(name: &str) -> Option<&'static Dataset> {
+        ALL_DATASETS.iter().find(|d| d.name == name)
+    }
+}
+
+/// All 12 datasets of Table 4. Text entropies and latent scales are derived
+/// from the paper's n=16 baseline ratios (n=16 quantization loss is
+/// negligible, so they estimate the true source entropy)
+/// (`sigma = 2^(bits_per_symbol - 2.047)` for a discrete Gaussian).
+pub const ALL_DATASETS: &[Dataset] = &[
+    Dataset {
+        name: "rand_10",
+        kind: DatasetKind::Exponential { lambda: 10.0 },
+        paper: PaperRef { uncompressed_kb: 10_000, baseline_n11_kb: Some(7_828), baseline_n16_kb: 7_657 },
+        seed: 0x5EED_0001,
+    },
+    Dataset {
+        name: "rand_50",
+        kind: DatasetKind::Exponential { lambda: 50.0 },
+        paper: PaperRef { uncompressed_kb: 10_000, baseline_n11_kb: Some(5_357), baseline_n16_kb: 4_774 },
+        seed: 0x5EED_0002,
+    },
+    Dataset {
+        name: "rand_100",
+        kind: DatasetKind::Exponential { lambda: 100.0 },
+        paper: PaperRef { uncompressed_kb: 10_000, baseline_n11_kb: Some(4_157), baseline_n16_kb: 3_534 },
+        seed: 0x5EED_0003,
+    },
+    Dataset {
+        name: "rand_200",
+        kind: DatasetKind::Exponential { lambda: 200.0 },
+        paper: PaperRef { uncompressed_kb: 10_000, baseline_n11_kb: Some(3_045), baseline_n16_kb: 2_317 },
+        seed: 0x5EED_0004,
+    },
+    Dataset {
+        name: "rand_500",
+        kind: DatasetKind::Exponential { lambda: 500.0 },
+        paper: PaperRef { uncompressed_kb: 10_000, baseline_n11_kb: Some(1_395), baseline_n16_kb: 886 },
+        seed: 0x5EED_0005,
+    },
+    Dataset {
+        name: "dickens",
+        kind: DatasetKind::TextLike { entropy_bits: 4.548 },
+        paper: PaperRef { uncompressed_kb: 10_192, baseline_n11_kb: Some(6_268), baseline_n16_kb: 5_794 },
+        seed: 0x5EED_0006,
+    },
+    Dataset {
+        name: "webster",
+        kind: DatasetKind::TextLike { entropy_bits: 4.985 },
+        paper: PaperRef { uncompressed_kb: 41_459, baseline_n11_kb: Some(27_375), baseline_n16_kb: 25_832 },
+        seed: 0x5EED_0007,
+    },
+    Dataset {
+        name: "enwik8",
+        kind: DatasetKind::TextLike { entropy_bits: 5.087 },
+        paper: PaperRef { uncompressed_kb: 100_000, baseline_n11_kb: Some(66_128), baseline_n16_kb: 63_588 },
+        seed: 0x5EED_0008,
+    },
+    Dataset {
+        name: "enwik9",
+        kind: DatasetKind::TextLike { entropy_bits: 5.164 },
+        paper: PaperRef { uncompressed_kb: 1_000_000, baseline_n11_kb: Some(672_816), baseline_n16_kb: 645_443 },
+        seed: 0x5EED_0009,
+    },
+    Dataset {
+        name: "div2k801",
+        kind: DatasetKind::Latent { sigma_typ: 6.06 },
+        paper: PaperRef { uncompressed_kb: 7_209, baseline_n11_kb: None, baseline_n16_kb: 2_093 },
+        seed: 0x5EED_000A,
+    },
+    Dataset {
+        name: "div2k803",
+        kind: DatasetKind::Latent { sigma_typ: 22.3 },
+        paper: PaperRef { uncompressed_kb: 7_864, baseline_n11_kb: None, baseline_n16_kb: 3_208 },
+        seed: 0x5EED_000B,
+    },
+    Dataset {
+        name: "div2k805",
+        kind: DatasetKind::Latent { sigma_typ: 2.0 },
+        paper: PaperRef { uncompressed_kb: 7_864, baseline_n11_kb: None, baseline_n16_kb: 1_496 },
+        seed: 0x5EED_000C,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recoil_models::Histogram;
+
+    #[test]
+    fn registry_has_all_twelve() {
+        assert_eq!(ALL_DATASETS.len(), 12);
+        assert!(Dataset::by_name("enwik9").is_some());
+        assert!(Dataset::by_name("div2k805").is_some());
+        assert!(Dataset::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn byte_datasets_hit_paper_baseline_ratio() {
+        // Generated entropy must land near the paper's n=16 baseline ratio
+        // (n=16 quantization loss is negligible, so that ratio estimates the
+        // true source entropy).
+        for d in ALL_DATASETS.iter().filter(|d| !d.is_latent()) {
+            let data = d.generate_bytes(300_000);
+            let measured = Histogram::of_bytes(&data).entropy_bits() / 8.0;
+            let paper = d.paper.baseline_n16_kb as f64 / d.paper.uncompressed_kb as f64;
+            let err = (measured - paper).abs() / paper;
+            assert!(err < 0.09, "{}: measured {measured:.3} vs paper {paper:.3}", d.name);
+        }
+    }
+
+    #[test]
+    fn latent_datasets_generate() {
+        let bank = Arc::new(GaussianScaleBank::build(12, 512, 16, 0.5, 64.0));
+        let d = Dataset::by_name("div2k805").unwrap();
+        let ds = d.generate_latents(bank, 10_000);
+        assert_eq!(ds.symbols.len(), 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "latent dataset")]
+    fn latent_bytes_panics() {
+        Dataset::by_name("div2k801").unwrap().generate_bytes(10);
+    }
+}

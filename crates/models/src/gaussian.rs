@@ -1,0 +1,333 @@
+//! Adaptive "hyperprior" models for 16-bit latents (paper §5.1).
+//!
+//! The paper's div2k experiments push DIV2K images through the mbt2018-mean
+//! learned codec and entropy-code the resulting 16-bit latents, "adaptively
+//! model[ing] each symbol with different Gaussian distributions using
+//! hyperpriors". We reproduce the coding-side structure without the neural
+//! network: every symbol position carries a [`LatentSpec`] — a mean and a
+//! quantized scale index — and a shared [`GaussianScaleBank`] holds one
+//! quantized CDF (plus decode LUT) per scale, exactly like the
+//! scale-quantized Gaussian conditionals of hyperprior codecs.
+//!
+//! Distributions live on a window of `window` values centred on the mean;
+//! the data generator clamps samples into the window, mirroring the bounded
+//! latent ranges of real learned codecs.
+
+use crate::provider::ModelProvider;
+use crate::quantize_counts;
+
+/// Per-position model selector: mean value and index into the scale bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatentSpec {
+    /// Centre of the Gaussian in the 16-bit symbol space.
+    pub mean: u16,
+    /// Index into [`GaussianScaleBank::scales`].
+    pub scale_idx: u8,
+}
+
+/// One quantized Gaussian: frequencies over the window plus decode LUT.
+#[derive(Debug, Clone)]
+struct ScaleTable {
+    /// `freq << 16 | cdf` per window offset.
+    ff: Vec<u32>,
+    /// Slot (`0..2^n`) → window offset.
+    inv: Vec<u16>,
+}
+
+/// Bank of quantized zero-centred Gaussians at geometrically spaced scales.
+#[derive(Debug, Clone)]
+pub struct GaussianScaleBank {
+    n: u32,
+    window: usize,
+    half: u16,
+    scales: Vec<f64>,
+    tables: Vec<ScaleTable>,
+}
+
+impl GaussianScaleBank {
+    /// Builds a bank with `num_scales` scales geometrically spaced over
+    /// `[min_scale, max_scale]`, quantized to level `n` on a window of
+    /// `window` values (power of two, `window <= 2^n`).
+    pub fn build(n: u32, window: usize, num_scales: usize, min_scale: f64, max_scale: f64) -> Self {
+        assert!((1..=16).contains(&n));
+        assert!(window.is_power_of_two() && window <= 1 << n);
+        assert!((1..=256).contains(&num_scales));
+        assert!(min_scale > 0.0 && max_scale >= min_scale);
+        let scales: Vec<f64> = (0..num_scales)
+            .map(|i| {
+                if num_scales == 1 {
+                    min_scale
+                } else {
+                    let t = i as f64 / (num_scales - 1) as f64;
+                    min_scale * (max_scale / min_scale).powf(t)
+                }
+            })
+            .collect();
+        let half = (window / 2) as u16;
+        let tables = scales
+            .iter()
+            .map(|&sigma| Self::build_scale_table(n, window, half, sigma))
+            .collect();
+        Self { n, window, half, scales, tables }
+    }
+
+    /// Default bank matching the div2k experiments: n=16, 4096-wide window,
+    /// 64 scales from 0.4 to 256.
+    pub fn default_latent_bank() -> Self {
+        Self::build(16, 4096, 64, 0.4, 256.0)
+    }
+
+    fn build_scale_table(n: u32, window: usize, half: u16, sigma: f64) -> ScaleTable {
+        // Integrate the Gaussian over each integer bin, relative to centre.
+        let mut counts = vec![0u64; window];
+        let c = half as f64;
+        const MASS_SCALE: f64 = (1u64 << 40) as f64;
+        for (i, count) in counts.iter_mut().enumerate() {
+            let lo = (i as f64 - 0.5 - c) / sigma;
+            let hi = (i as f64 + 0.5 - c) / sigma;
+            let mass = (phi(hi) - phi(lo)).max(0.0);
+            *count = (mass * MASS_SCALE) as u64;
+        }
+        // Guarantee a nonzero count everywhere so every window value stays
+        // encodable even in distribution tails.
+        for count in counts.iter_mut() {
+            *count = (*count).max(1);
+        }
+        let freqs = quantize_counts(&counts, n);
+        let mut ff = vec![0u32; window];
+        let mut inv = vec![0u16; 1 << n];
+        let mut acc = 0u32;
+        for (i, &f) in freqs.iter().enumerate() {
+            ff[i] = (f << 16) | acc;
+            for slot in acc..acc + f {
+                inv[slot as usize] = i as u16;
+            }
+            acc += f;
+        }
+        ScaleTable { ff, inv }
+    }
+
+    /// Quantization level.
+    #[inline]
+    pub fn quant_bits(&self) -> u32 {
+        self.n
+    }
+
+    /// Window width.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Half window (offset of the mean inside the window).
+    #[inline]
+    pub fn half(&self) -> u16 {
+        self.half
+    }
+
+    /// The scale values.
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Index of the scale closest to `sigma` in log space.
+    pub fn nearest_scale(&self, sigma: f64) -> u8 {
+        let s = sigma.max(1e-9).ln();
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &sc) in self.scales.iter().enumerate() {
+            let d = (sc.ln() - s).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best as u8
+    }
+
+    /// Encode-side `(freq, cdf)` of window offset `v` under scale `k`.
+    #[inline]
+    pub fn stats_at(&self, k: u8, v: u16) -> (u32, u32) {
+        let e = self.tables[k as usize].ff[v as usize];
+        (e >> 16, e & 0xFFFF)
+    }
+
+    /// Decode-side lookup under scale `k`: `(window offset, freq, cdf)`.
+    #[inline]
+    pub fn lookup_at(&self, k: u8, slot: u32) -> (u16, u32, u32) {
+        let t = &self.tables[k as usize];
+        let v = t.inv[slot as usize];
+        let e = t.ff[v as usize];
+        (v, e >> 16, e & 0xFFFF)
+    }
+
+    /// Smallest mean a spec may use so the window stays inside u16.
+    pub fn min_mean(&self) -> u16 {
+        self.half
+    }
+
+    /// Largest mean a spec may use.
+    pub fn max_mean(&self) -> u16 {
+        (u16::MAX as usize + 1 - self.window + self.half as usize) as u16
+    }
+}
+
+/// Per-position adaptive provider: a shared bank plus one spec per position.
+pub struct LatentModelProvider {
+    bank: std::sync::Arc<GaussianScaleBank>,
+    specs: Vec<LatentSpec>,
+}
+
+impl LatentModelProvider {
+    /// Creates a provider; `specs[pos]` models the symbol at position `pos`.
+    pub fn new(bank: std::sync::Arc<GaussianScaleBank>, specs: Vec<LatentSpec>) -> Self {
+        let (lo, hi) = (bank.min_mean(), bank.max_mean());
+        debug_assert!(specs.iter().all(|s| s.mean >= lo && s.mean <= hi));
+        Self { bank, specs }
+    }
+
+    /// The shared scale bank.
+    pub fn bank(&self) -> &GaussianScaleBank {
+        &self.bank
+    }
+
+    /// The per-position specs.
+    pub fn specs(&self) -> &[LatentSpec] {
+        &self.specs
+    }
+
+    /// Clamps a raw sample into the coding window of `spec`.
+    pub fn clamp_to_window(&self, spec: LatentSpec, raw: i64) -> u16 {
+        let lo = spec.mean as i64 - self.bank.half as i64;
+        let hi = lo + self.bank.window as i64 - 1;
+        raw.clamp(lo, hi) as u16
+    }
+}
+
+impl ModelProvider for LatentModelProvider {
+    #[inline]
+    fn quant_bits(&self) -> u32 {
+        self.bank.n
+    }
+
+    #[inline]
+    fn stats(&self, pos: u64, sym: u16) -> (u32, u32) {
+        let spec = self.specs[pos as usize];
+        let v = (sym as i32 - spec.mean as i32 + self.bank.half as i32) as u16;
+        debug_assert!((v as usize) < self.bank.window, "symbol outside model window");
+        self.bank.stats_at(spec.scale_idx, v)
+    }
+
+    #[inline]
+    fn lookup(&self, pos: u64, slot: u32) -> (u16, u32, u32) {
+        let spec = self.specs[pos as usize];
+        let (v, f, c) = self.bank.lookup_at(spec.scale_idx, slot);
+        let sym = (spec.mean as i32 + v as i32 - self.bank.half as i32) as u16;
+        (sym, f, c)
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max error ~1.5e-7 — far below one quantization step).
+fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn small_bank() -> GaussianScaleBank {
+        GaussianScaleBank::build(12, 256, 8, 0.5, 32.0)
+    }
+
+    #[test]
+    fn bank_tables_are_consistent() {
+        let b = small_bank();
+        for k in 0..8u8 {
+            for slot in 0..(1u32 << 12) {
+                let (v, f, c) = b.lookup_at(k, slot);
+                assert!(c <= slot && slot < c + f, "scale {k} slot {slot}");
+                assert_eq!(b.stats_at(k, v), (f, c));
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_scale_concentrates_mass() {
+        let b = small_bank();
+        let (f_narrow, _) = b.stats_at(0, b.half());
+        let (f_wide, _) = b.stats_at(7, b.half());
+        assert!(
+            f_narrow > 4 * f_wide,
+            "narrow centre freq {f_narrow} should dwarf wide {f_wide}"
+        );
+    }
+
+    #[test]
+    fn nearest_scale_is_monotone() {
+        let b = small_bank();
+        assert_eq!(b.nearest_scale(0.01), 0);
+        assert_eq!(b.nearest_scale(1000.0), 7);
+        let mid = b.nearest_scale(4.0);
+        assert!(mid > 0 && mid < 7);
+    }
+
+    #[test]
+    fn provider_round_trips_symbols() {
+        let bank = Arc::new(small_bank());
+        let specs = vec![
+            LatentSpec { mean: 1000, scale_idx: 2 },
+            LatentSpec { mean: 5000, scale_idx: 7 },
+        ];
+        let p = LatentModelProvider::new(bank, specs);
+        for (pos, mean) in [(0u64, 1000u16), (1, 5000)] {
+            for d in [-10i32, -1, 0, 1, 10] {
+                let sym = (mean as i32 + d) as u16;
+                let (f, c) = p.stats(pos, sym);
+                assert!(f > 0);
+                let (s2, f2, c2) = p.lookup(pos, c);
+                assert_eq!((s2, f2, c2), (sym, f, c));
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_keeps_samples_in_window() {
+        let bank = Arc::new(small_bank());
+        let spec = LatentSpec { mean: 200, scale_idx: 0 };
+        let p = LatentModelProvider::new(bank, vec![spec]);
+        let lo = p.clamp_to_window(spec, -100_000);
+        let hi = p.clamp_to_window(spec, 100_000);
+        assert_eq!(lo, 200 - 128);
+        assert_eq!(hi, 200 + 127);
+        // Both extremes must be encodable.
+        assert!(p.stats(0, lo).0 > 0);
+        assert!(p.stats(0, hi).0 > 0);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-12);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+}

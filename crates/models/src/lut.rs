@@ -1,0 +1,247 @@
+//! Decode-side lookup tables (paper §4.4).
+//!
+//! "We build LUTs for the symbol lookup process shown in equation 2. Here we
+//! apply a common optimization: if `sizeof(s) = 8` and `n <= 12`, we pack the
+//! symbol, its quantized probability and quantized CDF into a single 32-bit
+//! integer." — [`PackedLut`] is that optimization (one gather per symbol in
+//! the SIMD kernels); [`WideLut`] is the general fallback (two gathers).
+
+use crate::CdfTable;
+
+/// Bit position of the freq field in a [`PackedLut`] entry
+/// (`cdf | freq << 12 | sym << 24`).
+pub const PACKED_FREQ_SHIFT: u32 = 12;
+pub const PACKED_SYM_SHIFT: u32 = 24;
+pub const PACKED_FIELD_MASK: u32 = (1 << 12) - 1;
+
+/// One-gather decode LUT: `2^n` packed entries, valid for 8-bit symbols and
+/// `n <= 12`.
+#[derive(Debug, Clone)]
+pub struct PackedLut {
+    n: u32,
+    entries: Vec<u32>,
+}
+
+impl PackedLut {
+    /// Builds the packed LUT; `None` if the table does not qualify
+    /// (alphabet > 256 or `n > 12`).
+    pub fn build(table: &CdfTable) -> Option<Self> {
+        let n = table.quant_bits();
+        if n > 12 || table.alphabet_size() > 256 {
+            return None;
+        }
+        let mut entries = vec![0u32; 1 << n];
+        for s in 0..table.alphabet_size() {
+            let f = table.freq(s);
+            if f == 0 {
+                continue;
+            }
+            let base = table.cdf(s);
+            debug_assert!(f <= PACKED_FIELD_MASK && base <= PACKED_FIELD_MASK);
+            let packed = base | (f << PACKED_FREQ_SHIFT) | ((s as u32) << PACKED_SYM_SHIFT);
+            for slot in base..base + f {
+                entries[slot as usize] = packed;
+            }
+        }
+        Some(Self { n, entries })
+    }
+
+    /// Quantization level.
+    #[inline]
+    pub fn quant_bits(&self) -> u32 {
+        self.n
+    }
+
+    /// Raw entries (for SIMD gathers).
+    #[inline]
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// Decodes one slot into `(symbol, freq, cdf)`.
+    #[inline]
+    pub fn lookup(&self, slot: u32) -> (u16, u32, u32) {
+        let e = self.entries[slot as usize];
+        (
+            (e >> PACKED_SYM_SHIFT) as u16,
+            (e >> PACKED_FREQ_SHIFT) & PACKED_FIELD_MASK,
+            e & PACKED_FIELD_MASK,
+        )
+    }
+}
+
+/// Two-gather decode LUT for the general case (16-bit symbols or `n > 12`):
+/// `inv[slot]` maps a slot to its symbol; `ff[sym]` packs
+/// `freq << 16 | cdf` (both `< 2^16` because `n <= 16` and `f <= 2^n - 1`).
+///
+/// `inv` carries one trailing padding entry so SIMD kernels can gather
+/// 32 bits at 2-byte offsets without reading past the allocation.
+#[derive(Debug, Clone)]
+pub struct WideLut {
+    n: u32,
+    inv: Vec<u16>,
+    ff: Vec<u32>,
+}
+
+impl WideLut {
+    /// Builds the wide LUT for any supported table.
+    pub fn build(table: &CdfTable) -> Self {
+        let n = table.quant_bits();
+        let mut inv = vec![0u16; (1 << n) + 1];
+        let mut ff = vec![0u32; table.alphabet_size()];
+        for (s, entry) in ff.iter_mut().enumerate() {
+            let f = table.freq(s);
+            let base = table.cdf(s);
+            *entry = (f << 16) | base;
+            for slot in base..base + f {
+                inv[slot as usize] = s as u16;
+            }
+        }
+        Self { n, inv, ff }
+    }
+
+    /// Quantization level.
+    #[inline]
+    pub fn quant_bits(&self) -> u32 {
+        self.n
+    }
+
+    /// Slot→symbol table including the trailing padding entry
+    /// (for SIMD gathers).
+    #[inline]
+    pub fn inv(&self) -> &[u16] {
+        &self.inv
+    }
+
+    /// Per-symbol `freq << 16 | cdf` table (for SIMD gathers).
+    #[inline]
+    pub fn ff(&self) -> &[u32] {
+        &self.ff
+    }
+
+    /// Decodes one slot into `(symbol, freq, cdf)`.
+    #[inline]
+    pub fn lookup(&self, slot: u32) -> (u16, u32, u32) {
+        let s = self.inv[slot as usize];
+        let e = self.ff[s as usize];
+        (s, e >> 16, e & 0xFFFF)
+    }
+
+    /// Encode-side stats `(freq, cdf)` for `sym`.
+    #[inline]
+    pub fn stats(&self, sym: u16) -> (u32, u32) {
+        let e = self.ff[sym as usize];
+        (e >> 16, e & 0xFFFF)
+    }
+}
+
+/// The preferred decode structure for a static table.
+#[derive(Debug, Clone)]
+pub enum DecodeTables {
+    /// One-gather packed LUT (8-bit symbols, `n <= 12`).
+    Packed(PackedLut),
+    /// Two-gather wide LUT (everything else).
+    Wide(WideLut),
+}
+
+impl DecodeTables {
+    /// Builds the best structure for `table`.
+    pub fn build(table: &CdfTable) -> Self {
+        match PackedLut::build(table) {
+            Some(p) => Self::Packed(p),
+            None => Self::Wide(WideLut::build(table)),
+        }
+    }
+
+    /// Quantization level.
+    #[inline]
+    pub fn quant_bits(&self) -> u32 {
+        match self {
+            Self::Packed(p) => p.quant_bits(),
+            Self::Wide(w) => w.quant_bits(),
+        }
+    }
+
+    /// Decodes one slot into `(symbol, freq, cdf)`.
+    #[inline]
+    pub fn lookup(&self, slot: u32) -> (u16, u32, u32) {
+        match self {
+            Self::Packed(p) => p.lookup(slot),
+            Self::Wide(w) => w.lookup(slot),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table(n: u32) -> CdfTable {
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i * i % 251) as u8).collect();
+        CdfTable::of_bytes(&data, n)
+    }
+
+    #[test]
+    fn packed_matches_reference_lookup() {
+        let t = sample_table(11);
+        let p = PackedLut::build(&t).expect("qualifies");
+        for slot in 0..(1u32 << 11) {
+            let (s, f, c) = p.lookup(slot);
+            assert_eq!(s, t.symbol_of_slot(slot));
+            assert_eq!(f, t.freq(s as usize));
+            assert_eq!(c, t.cdf(s as usize));
+        }
+    }
+
+    #[test]
+    fn wide_matches_reference_lookup() {
+        let t = sample_table(12);
+        let w = WideLut::build(&t);
+        for slot in 0..(1u32 << 12) {
+            let (s, f, c) = w.lookup(slot);
+            assert_eq!(s, t.symbol_of_slot(slot));
+            assert_eq!(f, t.freq(s as usize));
+            assert_eq!(c, t.cdf(s as usize));
+        }
+    }
+
+    #[test]
+    fn packed_rejected_above_n12() {
+        let t = sample_table(13);
+        assert!(PackedLut::build(&t).is_none());
+        matches!(DecodeTables::build(&t), DecodeTables::Wide(_))
+            .then_some(())
+            .expect("wide fallback");
+    }
+
+    #[test]
+    fn packed_rejected_for_16bit_alphabet() {
+        let data: Vec<u16> = (0..4096u16).collect();
+        let t = CdfTable::of_u16(&data, 4096, 12);
+        assert!(PackedLut::build(&t).is_none());
+    }
+
+    #[test]
+    fn wide_handles_16bit_symbols_at_n16() {
+        let data: Vec<u16> = (0..60_000u32).map(|i| (i % 3000) as u16).collect();
+        let t = CdfTable::of_u16(&data, 1 << 16, 16);
+        let w = WideLut::build(&t);
+        for probe in [0u32, 1, 1234, 65_535] {
+            let (s, f, c) = w.lookup(probe);
+            assert_eq!(s, t.symbol_of_slot(probe));
+            assert_eq!(f, t.freq(s as usize));
+            assert_eq!(c, t.cdf(s as usize));
+        }
+    }
+
+    #[test]
+    fn wide_stats_match_table() {
+        let t = sample_table(11);
+        let w = WideLut::build(&t);
+        for s in 0..251u16 {
+            let (f, c) = w.stats(s);
+            assert_eq!(f, t.freq(s as usize));
+            assert_eq!(c, t.cdf(s as usize));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Count → frequency quantization.
+//!
+//! Frequencies must sum to exactly `2^n`, every symbol that occurs must keep
+//! a nonzero frequency (or it would be unencodable), and no single frequency
+//! may reach `2^n`: the codecs rely on `f <= 2^n - 1` so that the
+//! renormalization threshold `f * 2^(32-n)` stays below `2^32` and exactly
+//! one u16 word moves per renorm event (paper §4.4 "renormalization always
+//! completes in one step").
+
+/// Quantizes `counts` to frequencies summing to `2^n`.
+///
+/// Returns a frequency table of the same length. Symbols with zero count get
+/// zero frequency. If only one symbol occurs, one unit of probability mass is
+/// donated to a neighbouring symbol so the `f <= 2^n - 1` invariant holds.
+///
+/// # Panics
+/// If all counts are zero, `n` is out of `1..=16`, or the support is larger
+/// than `2^n` (too many distinct symbols to give each a nonzero frequency).
+pub fn quantize_counts(counts: &[u64], n: u32) -> Vec<u32> {
+    assert!((1..=16).contains(&n), "quantization level n={n} out of range 1..=16");
+    let target: u64 = 1 << n;
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "cannot quantize an empty distribution");
+    let support = counts.iter().filter(|&&c| c > 0).count() as u64;
+    assert!(
+        support <= target,
+        "support {support} exceeds 2^{n}; raise n or shrink the alphabet"
+    );
+
+    let mut freqs: Vec<u32> = counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                0
+            } else {
+                // Round-to-nearest proportional share, floored at 1.
+                let f = (c as u128 * target as u128 + total as u128 / 2) / total as u128;
+                (f as u32).max(1)
+            }
+        })
+        .collect();
+
+    balance_to_target(&mut freqs, counts, target);
+    cap_max_frequency(&mut freqs, target);
+
+    debug_assert_eq!(freqs.iter().map(|&f| f as u64).sum::<u64>(), target);
+    freqs
+}
+
+/// Adjusts `freqs` so they sum to `target`, spending the correction where it
+/// costs the least coding efficiency (largest counts absorb deficits; the
+/// cheapest over-assigned symbols give mass back).
+fn balance_to_target(freqs: &mut [u32], counts: &[u64], target: u64) {
+    let sum: u64 = freqs.iter().map(|&f| f as u64).sum();
+    if sum < target {
+        // Give the missing mass to the most frequent symbols: the relative
+        // error added there is smallest.
+        let mut order: Vec<usize> = (0..freqs.len()).filter(|&i| counts[i] > 0).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+        let mut missing = target - sum;
+        let mut k = 0;
+        while missing > 0 {
+            let i = order[k % order.len()];
+            freqs[i] += 1;
+            missing -= 1;
+            k += 1;
+        }
+    } else if sum > target {
+        // Take mass back, preferring symbols whose quantized share most
+        // exceeds their proportional share, never dropping below 1.
+        let mut excess = sum - target;
+        let total: u64 = counts.iter().sum();
+        let mut order: Vec<usize> =
+            (0..freqs.len()).filter(|&i| freqs[i] > 1).collect();
+        // Sort by over-assignment: f/target - c/total, descending.
+        order.sort_by(|&a, &b| {
+            let oa = freqs[a] as i128 * total as i128 - counts[a] as i128 * target as i128;
+            let ob = freqs[b] as i128 * total as i128 - counts[b] as i128 * target as i128;
+            ob.cmp(&oa)
+        });
+        let mut k = 0;
+        while excess > 0 {
+            let i = order[k % order.len()];
+            if freqs[i] > 1 {
+                freqs[i] -= 1;
+                excess -= 1;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Enforces `f <= 2^n - 1` by donating one unit to (or from) a neighbour.
+fn cap_max_frequency(freqs: &mut [u32], target: u64) {
+    if let Some(i) = freqs.iter().position(|&f| f as u64 >= target) {
+        // Only possible when a single symbol holds all the mass.
+        freqs[i] = (target - 1) as u32;
+        let donee = if i + 1 < freqs.len() { i + 1 } else { i - 1 };
+        freqs[donee] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum(f: &[u32]) -> u64 {
+        f.iter().map(|&x| x as u64).sum()
+    }
+
+    #[test]
+    fn sums_to_power_of_two() {
+        let counts = [5u64, 10, 1, 0, 100];
+        for n in [4, 8, 11, 12, 16] {
+            let f = quantize_counts(&counts, n);
+            assert_eq!(sum(&f), 1 << n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn present_symbols_keep_nonzero_frequency() {
+        let mut counts = vec![0u64; 256];
+        counts[3] = 1;
+        counts[200] = 1_000_000;
+        let f = quantize_counts(&counts, 11);
+        assert!(f[3] >= 1);
+        assert!(f[200] >= 1);
+        assert_eq!(f[0], 0);
+    }
+
+    #[test]
+    fn single_symbol_is_capped() {
+        let counts = [0u64, 42, 0];
+        let f = quantize_counts(&counts, 8);
+        assert_eq!(f[1], 255);
+        assert_eq!(f[2], 1);
+        assert_eq!(sum(&f), 256);
+    }
+
+    #[test]
+    fn single_symbol_at_alphabet_end_donates_left() {
+        let counts = [0u64, 0, 7];
+        let f = quantize_counts(&counts, 4);
+        assert_eq!(f[2], 15);
+        assert_eq!(f[1], 1);
+    }
+
+    #[test]
+    fn proportionality_roughly_holds() {
+        let counts = [100u64, 300, 600];
+        let f = quantize_counts(&counts, 10);
+        let t = 1024.0;
+        assert!((f[0] as f64 - 0.1 * t).abs() <= 2.0);
+        assert!((f[1] as f64 - 0.3 * t).abs() <= 2.0);
+        assert!((f[2] as f64 - 0.6 * t).abs() <= 2.0);
+    }
+
+    #[test]
+    fn dense_support_at_minimum_n() {
+        // 256 present symbols at n = 8: everyone gets exactly 1.
+        let counts = vec![1u64; 256];
+        let f = quantize_counts(&counts, 8);
+        assert!(f.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn oversized_support_panics() {
+        let counts = vec![1u64; 300];
+        let _ = quantize_counts(&counts, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_distribution_panics() {
+        let _ = quantize_counts(&[0u64, 0], 8);
+    }
+
+    #[test]
+    fn heavily_skewed_distribution_balances() {
+        let mut counts = vec![1u64; 200];
+        counts[0] = u32::MAX as u64 * 16;
+        let f = quantize_counts(&counts, 11);
+        assert_eq!(sum(&f), 2048);
+        assert!(f.iter().take(200).all(|&x| x >= 1));
+        assert!(f[0] <= 2047);
+    }
+}

@@ -1,0 +1,155 @@
+//! The static model: quantized PDF `f(s)` and CDF `F(s)` (paper Def. 2.1).
+
+use crate::quantize_counts;
+use crate::Histogram;
+
+/// Quantized frequency/cumulative tables for one static distribution.
+///
+/// `cdf` has one extra entry so that `cdf[s+1] - cdf[s] == freq[s]` and
+/// `cdf[alphabet] == 2^n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdfTable {
+    n: u32,
+    freq: Vec<u32>,
+    cdf: Vec<u32>,
+}
+
+impl CdfTable {
+    /// Builds a table from already-quantized frequencies summing to `2^n`.
+    pub fn from_freqs(freqs: Vec<u32>, n: u32) -> Self {
+        assert!((1..=16).contains(&n));
+        let sum: u64 = freqs.iter().map(|&f| f as u64).sum();
+        assert_eq!(sum, 1 << n, "frequencies must sum to 2^n");
+        assert!(
+            freqs.iter().all(|&f| (f as u64) < (1u64 << n)),
+            "no frequency may reach 2^n"
+        );
+        let mut cdf = Vec::with_capacity(freqs.len() + 1);
+        let mut acc = 0u32;
+        for &f in &freqs {
+            cdf.push(acc);
+            acc += f;
+        }
+        cdf.push(acc);
+        Self { n, freq: freqs, cdf }
+    }
+
+    /// Counts `data` and quantizes to level `n` over a 256-symbol alphabet.
+    pub fn of_bytes(data: &[u8], n: u32) -> Self {
+        let h = Histogram::of_bytes(data);
+        Self::from_freqs(quantize_counts(h.counts(), n), n)
+    }
+
+    /// Counts 16-bit `data` and quantizes to level `n`.
+    pub fn of_u16(data: &[u16], alphabet_size: usize, n: u32) -> Self {
+        let h = Histogram::of_u16(data, alphabet_size);
+        Self::from_freqs(quantize_counts(h.counts(), n), n)
+    }
+
+    /// Quantization level `n`.
+    #[inline]
+    pub fn quant_bits(&self) -> u32 {
+        self.n
+    }
+
+    /// Alphabet size.
+    #[inline]
+    pub fn alphabet_size(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// Quantized frequency `f(s)`; zero for symbols that never occur.
+    #[inline]
+    pub fn freq(&self, s: usize) -> u32 {
+        self.freq[s]
+    }
+
+    /// Quantized cumulative frequency `F(s)`.
+    #[inline]
+    pub fn cdf(&self, s: usize) -> u32 {
+        self.cdf[s]
+    }
+
+    /// All frequencies.
+    pub fn freqs(&self) -> &[u32] {
+        &self.freq
+    }
+
+    /// Finds the symbol whose CDF interval contains `slot`
+    /// (`F(s) <= slot < F(s+1)`, Eq. 2) by binary search.
+    ///
+    /// The decode hot paths use [`crate::DecodeTables`] instead; this is the
+    /// reference lookup they are tested against.
+    pub fn symbol_of_slot(&self, slot: u32) -> u16 {
+        debug_assert!(slot < (1 << self.n));
+        // partition_point returns the first s with cdf[s] > slot; the
+        // containing interval starts one position earlier.
+        let s = self.cdf.partition_point(|&c| c <= slot) - 1;
+        debug_assert!(self.freq[s] > 0);
+        s as u16
+    }
+
+    /// Ideal compressed size in bits if coded exactly at the quantized
+    /// probabilities (used to sanity-check codec output sizes in tests).
+    pub fn cross_entropy_bits(&self, counts: &Histogram) -> f64 {
+        let total = 1u64 << self.n;
+        counts
+            .counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, &c)| {
+                let p = self.freq[s] as f64 / total as f64;
+                -(c as f64) * p.log2()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_prefix_sum() {
+        let t = CdfTable::from_freqs(vec![1, 3, 4, 8], 4);
+        assert_eq!(t.cdf(0), 0);
+        assert_eq!(t.cdf(1), 1);
+        assert_eq!(t.cdf(2), 4);
+        assert_eq!(t.cdf(3), 8);
+        assert_eq!(t.freq(3), 8);
+    }
+
+    #[test]
+    fn slot_lookup_matches_intervals() {
+        let t = CdfTable::from_freqs(vec![2, 0, 6, 8], 4);
+        assert_eq!(t.symbol_of_slot(0), 0);
+        assert_eq!(t.symbol_of_slot(1), 0);
+        assert_eq!(t.symbol_of_slot(2), 2);
+        assert_eq!(t.symbol_of_slot(7), 2);
+        assert_eq!(t.symbol_of_slot(8), 3);
+        assert_eq!(t.symbol_of_slot(15), 3);
+    }
+
+    #[test]
+    fn of_bytes_round_trips_all_slots() {
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 7) as u8 * 13).collect();
+        let t = CdfTable::of_bytes(&data, 11);
+        for slot in 0..(1u32 << 11) {
+            let s = t.symbol_of_slot(slot) as usize;
+            assert!(t.cdf(s) <= slot && slot < t.cdf(s) + t.freq(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 2^n")]
+    fn wrong_sum_panics() {
+        let _ = CdfTable::from_freqs(vec![1, 2], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "reach 2^n")]
+    fn full_mass_frequency_panics() {
+        let _ = CdfTable::from_freqs(vec![16, 0], 4);
+    }
+}

@@ -1,0 +1,274 @@
+//! The persistent worker pool.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Type-erased job: closure pointer plus the shared index counter.
+///
+/// The raw pointer is only dereferenced between job publication and the
+/// epoch's completion handshake, during which [`ThreadPool::run`] keeps the
+/// underlying closure alive on the caller's stack.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    tasks: usize,
+}
+
+unsafe impl Send for Job {}
+
+struct State {
+    /// Job of the current epoch, if one is in flight.
+    job: Option<Job>,
+    /// Incremented per published job; workers watch it to wake up.
+    epoch: u64,
+    /// Workers still executing the current epoch's job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that a new epoch (or shutdown) is available.
+    work_cv: Condvar,
+    /// Signals the caller that all workers finished the epoch.
+    done_cv: Condvar,
+    /// Next task index of the current epoch.
+    next: AtomicUsize,
+}
+
+/// Persistent pool executing indexed jobs `f(0..tasks)`.
+///
+/// One job runs at a time (`run` takes `&self` but serializes internally via
+/// a mutex-held epoch; concurrent `run` calls queue up). The caller thread
+/// participates in the job, so a pool of `k` workers applies `k + 1` threads.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes `run` calls.
+    run_lock: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Pool with `workers` background threads (0 = run everything inline).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { job: None, epoch: 0, active: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Self { shared, handles, run_lock: Mutex::new(()) }
+    }
+
+    /// Pool sized to the machine: one worker per logical CPU minus the
+    /// participating caller.
+    pub fn with_default_parallelism() -> Self {
+        let n = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Self::new(n.saturating_sub(1))
+    }
+
+    /// Number of threads a job effectively runs on (workers + caller).
+    pub fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Executes `f` for every index in `0..tasks`, returning when all calls
+    /// completed. Indices are claimed dynamically, so uneven tasks balance.
+    pub fn run<F: Fn(usize) + Sync>(&self, tasks: usize, f: F) {
+        if tasks == 0 {
+            return;
+        }
+        if self.handles.is_empty() || tasks == 1 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        let _serialize = self.run_lock.lock();
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the job pointer is only used by workers between this
+        // publication and the `active == 0` handshake below, which `run`
+        // waits for before returning — `f` outlives every dereference.
+        let job = Job {
+            f: unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(f_ref as *const _)
+            },
+            tasks,
+        };
+        {
+            let mut st = self.shared.state.lock();
+            debug_assert!(st.job.is_none() && st.active == 0);
+            self.shared.next.store(0, Ordering::Relaxed);
+            st.job = Some(job);
+            st.epoch += 1;
+            st.active = self.handles.len();
+            self.shared.work_cv.notify_all();
+        }
+        // The caller claims indices like any worker.
+        loop {
+            let i = self.shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            f(i);
+        }
+        // Wait for every worker to leave the epoch before dropping `f`.
+        let mut st = self.shared.state.lock();
+        while st.active > 0 {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("epoch advanced without a job");
+                }
+                shared.work_cv.wait(&mut st);
+            }
+        };
+        // SAFETY: see `ThreadPool::run` — the closure outlives this epoch.
+        let f = unsafe { &*job.f };
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.tasks {
+                break;
+            }
+            f(i);
+        }
+        let mut st = shared.state.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn visits_every_index_exactly_once() {
+        let pool = ThreadPool::new(7);
+        for tasks in [1usize, 2, 7, 8, 100, 5000] {
+            let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(tasks, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "tasks={tasks}"
+            );
+        }
+    }
+
+    #[test]
+    fn borrows_stack_data() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = AtomicU64::new(0);
+        pool.run(data.len(), |i| {
+            sum.fetch_add(data[i], Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = ThreadPool::new(0);
+        let mut touched = vec![false; 10];
+        let cell = std::sync::Mutex::new(&mut touched);
+        pool.run(10, |i| {
+            cell.lock().unwrap()[i] = true;
+        });
+        assert!(touched.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn sequential_runs_reuse_workers() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(17, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 50 * 17);
+    }
+
+    #[test]
+    fn concurrent_run_calls_serialize() {
+        let pool = std::sync::Arc::new(ThreadPool::new(4));
+        let total = std::sync::Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = std::sync::Arc::clone(&pool);
+                let total = std::sync::Arc::clone(&total);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        pool.run(100, |_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 10 * 100);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // A few heavy tasks among many light ones must not deadlock or drop.
+        let pool = ThreadPool::new(8);
+        let done = AtomicUsize::new(0);
+        pool.run(256, |i| {
+            if i % 64 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(4);
+        pool.run(8, |_| {});
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,33 @@
+//! Error type shared by the rANS decode paths.
+
+use std::fmt;
+
+/// Decode-side failures. Encoding cannot fail (given a valid model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RansError {
+    /// A lane needed a renormalization word but the bitstream was exhausted.
+    /// Indicates a truncated/corrupt stream or mismatched metadata.
+    BitstreamUnderflow {
+        /// 0-based position of the symbol being decoded when it happened.
+        pos: u64,
+    },
+    /// Stream header fields are inconsistent (e.g. lane count of zero, or
+    /// final-state count not matching the lane count).
+    MalformedStream(String),
+    /// Split metadata references positions or offsets outside the stream.
+    MalformedMetadata(String),
+}
+
+impl fmt::Display for RansError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BitstreamUnderflow { pos } => {
+                write!(f, "bitstream underflow while decoding symbol position {pos}")
+            }
+            Self::MalformedStream(msg) => write!(f, "malformed stream: {msg}"),
+            Self::MalformedMetadata(msg) => write!(f, "malformed metadata: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RansError {}

@@ -1,0 +1,39 @@
+//! The rANS substrate: single-state and W-way interleaved codecs.
+//!
+//! Implements the Range variant of Asymmetric Numeral Systems exactly as in
+//! the paper's preliminaries (Definitions 2.1 and 2.2) with the recommended
+//! parameters of Table 3: 32-bit states, `b = 16`-bit renormalization words,
+//! lower bound `L = 2^16`, quantization level `n <= 16`, and (by default)
+//! 32 interleaved lanes in the style of Giesen's interleaved entropy coders
+//! (paper §2.2).
+//!
+//! Streams are encoded forward (`s_1 .. s_N`) and decoded backward
+//! (`s_N .. s_1`); the decoder writes each symbol to its known position, so
+//! round-trips are identity. Because `b >= n`, **every renormalization moves
+//! exactly one u16 word** — Lemma 3.1's precondition — and every renorm
+//! event leaves the encoder state below `L`, representable in 16 bits.
+//! Encoders report these events through [`RenormSink`]; Recoil's split
+//! planner listens to them to place split points.
+//!
+//! Decode discipline (load-bearing for Recoil): per symbol slot, descending
+//! position, the owning lane *renormalizes first (if its state is below `L`)
+//! and then applies the decode transform*. Reads are therefore issued lazily,
+//! immediately before the owning lane's next transform, which keeps the
+//! global read order the exact reverse of the encoder's write order — and is
+//! what lets Recoil initialize a lane "immediately before the first time
+//! it reads the bitstream" (paper §4.1.1).
+
+mod error;
+mod interleaved;
+pub mod params;
+mod single;
+mod sink;
+mod step;
+mod stream;
+
+pub use error::RansError;
+pub use interleaved::{decode_interleaved, decode_interleaved_into, InterleavedEncoder};
+pub use single::{decode_single, SingleEncoder};
+pub use sink::{NullSink, RenormEvent, RenormSink, VecSink, NO_SYMBOL};
+pub use step::{decode_transform, renorm_read, LaneDecoder};
+pub use stream::EncodedStream;

@@ -1,0 +1,66 @@
+//! Recommended rANS parameters (paper Table 3).
+//!
+//! | Symbol          | Description                     | Value          |
+//! |-----------------|---------------------------------|----------------|
+//! | `sizeof(x_i)`   | size of rANS states             | 32 bits        |
+//! | `sizeof(s_i)`   | size of symbols                 | 8 or 16 bits   |
+//! | `L`             | renormalization lower bound     | `2^16`         |
+//! | `b`             | renormalization output size     | 16 bits        |
+//! | `n`             | PDF/CDF quantization level      | varying, <= 16 |
+//! | `|E| = |D|`     | number of interleaved codecs    | 32             |
+//!
+//! `b >= n` guarantees renormalization completes in one step (§4.4), and
+//! `L = 2^16` makes every post-renorm state fit a u16 (Lemma 3.1).
+
+/// Renormalization output size `b` in bits: one u16 word per renorm event.
+pub const RENORM_BITS: u32 = 16;
+
+/// Renormalization lower bound `L = 2^16`.
+pub const LOWER_BOUND: u32 = 1 << RENORM_BITS;
+
+/// State every encoder lane starts from (and every clean decode ends at).
+pub const INITIAL_STATE: u32 = LOWER_BOUND;
+
+/// Default number of interleaved lanes `|E| = |D|`: best for AVX2/AVX-512
+/// and "naturally fits into a GPU warp" (§4.4).
+pub const DEFAULT_WAYS: u32 = 32;
+
+/// Highest supported quantization level (`n <= b`).
+pub const MAX_QUANT_BITS: u32 = RENORM_BITS;
+
+/// Encode-side renormalization threshold for frequency `f` at level `n`:
+/// `(2^b / 2^n) * L * f = f * 2^(32 - n)` (Def. 2.2). Computed in u64
+/// because `f = 2^n - 1` pushes it just below `2^32`.
+#[inline(always)]
+pub const fn renorm_threshold(freq: u32, n: u32) -> u64 {
+    (freq as u64) << (32 - n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_matches_definition() {
+        // f * (2^b / 2^n) * L with b = 16, L = 2^16.
+        for n in [8u32, 11, 12, 16] {
+            for f in [1u32, 5, (1 << n) - 1] {
+                let expect = f as u64 * (1u64 << (16 - n + 16));
+                assert_eq!(renorm_threshold(f, n), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_never_overflows_u32_range_meaningfully() {
+        // Max f at max n stays below 2^32, so a u32 state can always be
+        // renormalized below the threshold in one step.
+        assert!(renorm_threshold((1 << 16) - 1, 16) < 1 << 32);
+    }
+
+    #[test]
+    fn one_step_renorm_bound() {
+        // After emitting 16 bits, any u32 state lands under L (Lemma 3.1).
+        const { assert!(u32::MAX >> RENORM_BITS < LOWER_BOUND) }
+    }
+}

@@ -1,0 +1,73 @@
+//! Renormalization-event reporting.
+//!
+//! Recoil's key observation (paper §3.2) is that split points should sit at
+//! renormalization points, because the state right after a renorm write is
+//! below `L = 2^16` and fits a u16. The encoders therefore emit one
+//! [`RenormEvent`] per renorm; listeners range from the no-op [`NullSink`]
+//! (plain compression) to Recoil's streaming split planner.
+
+/// Sentinel for [`RenormEvent::pos`] when a lane renormalizes before having
+/// encoded any symbol (only reachable at `n = 16` with a frequency-1 first
+/// symbol). Such events cannot anchor a split.
+pub const NO_SYMBOL: u64 = u64::MAX;
+
+/// One renormalization event: lane `lane` emitted the u16 word at
+/// `offset`, leaving its state at `state` (< `2^16`), with `pos` being the
+/// 0-based position of the last symbol that lane had encoded.
+///
+/// In the paper's 1-based notation this is the tuple
+/// (`x_{i,j}` with `i = pos + 1`, `j = lane + 1`, bitstream offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenormEvent {
+    /// 0-based encoder lane.
+    pub lane: u32,
+    /// 0-based position of the lane's most recent symbol, or [`NO_SYMBOL`].
+    pub pos: u64,
+    /// Post-renorm state, always below `2^16` (Lemma 3.1).
+    pub state: u16,
+    /// Word offset the renorm word was written at.
+    pub offset: u64,
+}
+
+/// Receives renormalization events during encoding.
+pub trait RenormSink {
+    /// Called once per emitted renorm word, in write order.
+    fn on_renorm(&mut self, event: RenormEvent);
+}
+
+/// Ignores all events (plain, non-splittable encoding).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl RenormSink for NullSink {
+    #[inline(always)]
+    fn on_renorm(&mut self, _event: RenormEvent) {}
+}
+
+/// Records every event; used by tests and small-input split planning.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// Events in write order.
+    pub events: Vec<RenormEvent>,
+}
+
+impl VecSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RenormSink for VecSink {
+    #[inline]
+    fn on_renorm(&mut self, event: RenormEvent) {
+        self.events.push(event);
+    }
+}
+
+impl<S: RenormSink + ?Sized> RenormSink for &mut S {
+    #[inline(always)]
+    fn on_renorm(&mut self, event: RenormEvent) {
+        (**self).on_renorm(event);
+    }
+}

@@ -1,0 +1,92 @@
+//! # Recoil: Parallel rANS Decoding with Decoder-Adaptive Scalability
+//!
+//! A from-scratch Rust implementation of *Recoil* (Lin, Arunruangsirilert,
+//! Sun, Katto — ICPP 2023) and everything it is evaluated against: the
+//! interleaved rANS substrate, the conventional "partitioning symbols"
+//! baseline, a multians-style tANS baseline, AVX2/AVX-512 decode kernels,
+//! and a content-delivery server that scales parallelism metadata to each
+//! client in real time.
+//!
+//! ## The idea in one paragraph
+//!
+//! Classic parallel rANS cuts the *symbols* into chunks before encoding, so
+//! the parallelism level is burned into the file: a phone that can decode
+//! 4 chunks still downloads the overhead of 2176. Recoil instead encodes
+//! **one** interleaved rANS bitstream and records, at chosen
+//! renormalization points, tiny per-lane resume states (16 bits each,
+//! because a freshly renormalized state is provably below `2^16`) plus
+//! their symbol indices. Decoders can start mid-stream from this metadata
+//! via a three-phase synchronization procedure — and the server can drop
+//! metadata entries per client, shrinking the transfer without touching
+//! the bitstream.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use recoil::prelude::*;
+//!
+//! // Some data and a static order-0 model quantized to 2^11.
+//! let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+//! let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+//!
+//! // Encode once with split metadata for up to 64 parallel decoders.
+//! let container = encode_with_splits(&data, &model, 32, 64);
+//! // The planner is best-effort: up to 64 segments, usually all of them.
+//! assert!(container.metadata.num_segments() > 56);
+//!
+//! // A 4-thread client needs only 4 segments: combine in real time.
+//! let small = combine_splits(&container.metadata, 4);
+//!
+//! // Decode in parallel (pool optional; SIMD drivers also available).
+//! let pool = ThreadPool::new(3);
+//! let decoded: Vec<u8> =
+//!     decode_recoil(&container.stream, &small, &model, Some(&pool)).unwrap();
+//! assert_eq!(decoded, data);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`rans`] | single & W-way interleaved rANS codec (Table 3 parameters) |
+//! | [`core`] | split planner, metadata wire format, combining, 3-phase decoder |
+//! | [`models`] | histograms, quantization, decode LUTs, hyperprior models |
+//! | [`simd`] | AVX2 / AVX-512 kernels + drivers, runtime dispatch |
+//! | [`conventional`] | baseline (B): partitioning-symbols codec |
+//! | [`tans`] | baseline (C): tANS + multians self-sync parallel decoder |
+//! | [`parallel`] | persistent thread pool (also the "GPU-sim" substrate) |
+//! | [`data`] | Table 4 dataset generators |
+//! | [`server`] | encode-once / combine-per-request content delivery |
+
+pub use recoil_bitio as bitio;
+pub use recoil_conventional as conventional;
+pub use recoil_core as core;
+pub use recoil_data as data;
+pub use recoil_models as models;
+pub use recoil_parallel as parallel;
+pub use recoil_rans as rans;
+pub use recoil_server as server;
+pub use recoil_simd as simd;
+pub use recoil_tans as tans;
+
+/// The commonly used names in one import.
+pub mod prelude {
+    pub use recoil_conventional::{decode_conventional, encode_conventional};
+    pub use recoil_core::{
+        combine_splits, decode_recoil, decode_recoil_into, encode_with_splits,
+        metadata_from_bytes, metadata_to_bytes, PlannerConfig, RecoilContainer, RecoilMetadata,
+        SplitPlanner,
+    };
+    pub use recoil_models::{
+        CdfTable, GaussianScaleBank, Histogram, LatentModelProvider, LatentSpec, ModelProvider,
+        StaticModelProvider, Symbol,
+    };
+    pub use recoil_parallel::ThreadPool;
+    pub use recoil_rans::{
+        decode_interleaved, EncodedStream, InterleavedEncoder, NullSink, RansError, VecSink,
+    };
+    pub use recoil_simd::{
+        decode_conventional_simd, decode_interleaved_simd, decode_recoil_simd, Kernel, SimdModel,
+    };
+    pub use recoil_tans::{decode_multians, decode_tans_serial, encode_tans, TansTable};
+}

@@ -1,0 +1,77 @@
+//! The decoding client: a machine with a given parallel capacity.
+
+use crate::server::Transmission;
+use recoil_core::metadata_from_bytes;
+use recoil_models::StaticModelProvider;
+use recoil_parallel::ThreadPool;
+use recoil_rans::{EncodedStream, RansError};
+use recoil_simd::{decode_recoil_simd, Kernel};
+
+/// A client decodes with however many threads it has and the best SIMD
+/// kernel its CPU offers — the server never needs to know more than the
+/// segment count the client asked for.
+pub struct Client {
+    pool: Option<ThreadPool>,
+    kernel: Kernel,
+    /// Parallel segments this client requests from servers.
+    pub parallel_segments: u64,
+}
+
+impl Client {
+    /// Client with `threads` decode threads.
+    pub fn new(threads: usize) -> Self {
+        let pool = (threads > 1).then(|| ThreadPool::new(threads - 1));
+        Self { pool, kernel: Kernel::best(), parallel_segments: threads as u64 }
+    }
+
+    /// Forces a specific kernel (tests / measurements).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        assert!(kernel.is_available());
+        self.kernel = kernel;
+        self
+    }
+
+    /// Decodes a served transmission against the shared bitstream.
+    ///
+    /// Wire-parses the metadata bytes (what a remote client would do) and
+    /// runs the parallel three-phase decoder.
+    pub fn decode(
+        &self,
+        stream: &EncodedStream,
+        transmission: &Transmission,
+        model: &StaticModelProvider,
+    ) -> Result<Vec<u8>, RansError> {
+        let metadata = metadata_from_bytes(&transmission.metadata_bytes)?;
+        let mut out = vec![0u8; stream.num_symbols as usize];
+        decode_recoil_simd(self.kernel, stream, &metadata, model, self.pool.as_ref(), &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ContentServer;
+
+    #[test]
+    fn end_to_end_content_delivery() {
+        let data: Vec<u8> =
+            (0..500_000u32).map(|i| (i.wrapping_mul(2654435761) >> 23) as u8).collect();
+        let mut server = ContentServer::new();
+        server.publish("video", &data, 11, 32, 256);
+
+        // A beefy client and a budget client request the same content.
+        for threads in [1usize, 2, 8] {
+            let client = Client::new(threads);
+            let t = server.request("video", client.parallel_segments).unwrap();
+            let item = server.get("video").unwrap();
+            let decoded = client.decode(&item.stream, &t, &item.model).unwrap();
+            assert_eq!(decoded, data, "threads={threads}");
+        }
+
+        // The budget client transferred fewer bytes than the beefy one.
+        let small = server.request("video", 1).unwrap();
+        let large = server.request("video", 256).unwrap();
+        assert!(small.total_bytes() < large.total_bytes());
+    }
+}

@@ -1,0 +1,146 @@
+//! The encode-once, combine-per-request server.
+
+use recoil_core::{
+    combine_splits, encode_with_splits, metadata_to_bytes, RecoilContainer, RecoilMetadata,
+};
+use recoil_models::{CdfTable, StaticModelProvider};
+use recoil_rans::EncodedStream;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One published content item: the Large-variation artifact.
+pub struct StoredContent {
+    /// The single encoded bitstream (shared by every response).
+    pub stream: Arc<EncodedStream>,
+    /// Full metadata at maximum supported parallelism.
+    pub metadata: RecoilMetadata,
+    /// The static model clients decode with (transmitted out of band; its
+    /// size is identical across variations so the paper's size tables
+    /// exclude it).
+    pub model: Arc<StaticModelProvider>,
+}
+
+/// What the server puts on the wire for one request.
+pub struct Transmission {
+    /// Shared bitstream payload bytes.
+    pub stream_bytes: u64,
+    /// Serialized metadata for the client's capability.
+    pub metadata_bytes: Vec<u8>,
+    /// Parsed form (for in-process clients).
+    pub metadata: RecoilMetadata,
+    /// Wall-clock nanoseconds the real-time combine + serialize took.
+    pub combine_nanos: u128,
+}
+
+impl Transmission {
+    /// Total bytes transferred for this response.
+    pub fn total_bytes(&self) -> u64 {
+        self.stream_bytes + self.metadata_bytes.len() as u64
+    }
+}
+
+/// In-memory content server with decoder-adaptive responses.
+#[derive(Default)]
+pub struct ContentServer {
+    items: HashMap<String, StoredContent>,
+}
+
+impl ContentServer {
+    /// Empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes `data` once at `max_segments` parallelism and publishes it.
+    pub fn publish(
+        &mut self,
+        name: &str,
+        data: &[u8],
+        quant_bits: u32,
+        ways: u32,
+        max_segments: u64,
+    ) -> &StoredContent {
+        let model = Arc::new(StaticModelProvider::new(CdfTable::of_bytes(data, quant_bits)));
+        let RecoilContainer { stream, metadata } =
+            encode_with_splits(data, model.as_ref(), ways, max_segments);
+        self.items.insert(
+            name.to_string(),
+            StoredContent { stream: Arc::new(stream), metadata, model },
+        );
+        &self.items[name]
+    }
+
+    /// Published item lookup.
+    pub fn get(&self, name: &str) -> Option<&StoredContent> {
+        self.items.get(name)
+    }
+
+    /// Serves `name` for a client that can decode `parallel_segments`
+    /// segments in parallel: combines splits in real time, never touching
+    /// the bitstream.
+    pub fn request(&self, name: &str, parallel_segments: u64) -> Option<Transmission> {
+        let item = self.items.get(name)?;
+        let t0 = Instant::now();
+        let metadata = combine_splits(&item.metadata, parallel_segments.max(1));
+        let metadata_bytes = metadata_to_bytes(&metadata);
+        let combine_nanos = t0.elapsed().as_nanos();
+        Some(Transmission {
+            stream_bytes: item.stream.payload_bytes(),
+            metadata_bytes,
+            metadata,
+            combine_nanos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len as u32).map(|i| (i.wrapping_mul(2654435761) >> 23) as u8).collect()
+    }
+
+    #[test]
+    fn publish_then_request_scales_metadata() {
+        let data = sample(400_000);
+        let mut server = ContentServer::new();
+        server.publish("movie", &data, 11, 32, 128);
+        let big = server.request("movie", 128).unwrap();
+        let small = server.request("movie", 4).unwrap();
+        assert_eq!(big.stream_bytes, small.stream_bytes, "bitstream is shared");
+        assert!(big.metadata_bytes.len() > 10 * small.metadata_bytes.len());
+        assert_eq!(small.metadata.num_segments(), 4);
+    }
+
+    #[test]
+    fn request_beyond_capacity_serves_max() {
+        let data = sample(100_000);
+        let mut server = ContentServer::new();
+        server.publish("x", &data, 11, 32, 16);
+        let t = server.request("x", 10_000).unwrap();
+        assert_eq!(t.metadata.num_segments(), 16);
+    }
+
+    #[test]
+    fn combine_is_real_time() {
+        // §3.3: "this process is very lightweight ... can be done in real
+        // time by the content delivery server before data transmission".
+        let data = sample(2_000_000);
+        let mut server = ContentServer::new();
+        server.publish("big", &data, 11, 32, 2176);
+        let t = server.request("big", 16).unwrap();
+        assert!(
+            t.combine_nanos < 50_000_000,
+            "combine took {} ns — not real-time",
+            t.combine_nanos
+        );
+    }
+
+    #[test]
+    fn unknown_content_is_none() {
+        let server = ContentServer::new();
+        assert!(server.request("nope", 4).is_none());
+    }
+}

@@ -1,0 +1,64 @@
+//! Kernel selection with runtime CPU-feature detection.
+
+/// Which decode kernel to run. The paper's implementations (2)–(4) map to
+/// `Avx2`, `Avx512`, and (via the thread pool at 2176 splits) the GPU-sim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Portable scalar reference (paper implementation (1)).
+    Scalar,
+    /// 8 lanes × 4 unroll (paper implementation (2)).
+    Avx2,
+    /// 16 lanes × 2 unroll (paper implementation (3)).
+    Avx512,
+}
+
+impl Kernel {
+    /// True if this kernel can run on the current CPU.
+    pub fn is_available(self) -> bool {
+        match self {
+            Kernel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// The fastest kernel available on this machine ("(2) and (3) can be
+    /// selected based on the target platform's AVX support").
+    pub fn best() -> Kernel {
+        if Kernel::Avx512.is_available() {
+            Kernel::Avx512
+        } else if Kernel::Avx2.is_available() {
+            Kernel::Avx2
+        } else {
+            Kernel::Scalar
+        }
+    }
+
+    /// All kernels runnable here, for exhaustive equivalence tests.
+    pub fn all_available() -> Vec<Kernel> {
+        [Kernel::Scalar, Kernel::Avx2, Kernel::Avx512]
+            .into_iter()
+            .filter(|k| k.is_available())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_available() {
+        assert!(Kernel::Scalar.is_available());
+        assert!(!Kernel::all_available().is_empty());
+    }
+
+    #[test]
+    fn best_is_available() {
+        assert!(Kernel::best().is_available());
+    }
+}

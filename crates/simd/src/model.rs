@@ -1,0 +1,94 @@
+//! The static-model view the kernels gather from.
+
+use recoil_models::{DecodeTables, PackedLut, StaticModelProvider, WideLut};
+
+/// Borrowed decode tables in kernel-friendly form.
+#[derive(Debug, Clone, Copy)]
+pub enum SimdModel<'a> {
+    /// One-gather packed LUT (8-bit symbols, `n <= 12`):
+    /// `cdf | freq << 12 | sym << 24` per slot.
+    Packed {
+        /// `2^n` packed entries.
+        lut: &'a [u32],
+        /// Quantization level.
+        n: u32,
+    },
+    /// Two-gather wide LUT: `inv[slot] -> sym`, `ff[sym] = freq << 16 | cdf`.
+    Wide {
+        /// Slot→symbol (with one trailing padding entry for 32-bit gathers).
+        inv: &'a [u16],
+        /// Per-symbol packed frequency/cdf.
+        ff: &'a [u32],
+        /// Quantization level.
+        n: u32,
+    },
+}
+
+impl<'a> SimdModel<'a> {
+    /// Kernel view of a provider's decode tables.
+    pub fn from_provider(provider: &'a StaticModelProvider) -> Self {
+        Self::from_tables(provider.decode_tables())
+    }
+
+    /// Kernel view of raw decode tables.
+    pub fn from_tables(tables: &'a DecodeTables) -> Self {
+        match tables {
+            DecodeTables::Packed(p) => Self::from_packed(p),
+            DecodeTables::Wide(w) => Self::from_wide(w),
+        }
+    }
+
+    /// View of a packed LUT.
+    pub fn from_packed(p: &'a PackedLut) -> Self {
+        SimdModel::Packed { lut: p.entries(), n: p.quant_bits() }
+    }
+
+    /// View of a wide LUT.
+    pub fn from_wide(w: &'a WideLut) -> Self {
+        SimdModel::Wide { inv: w.inv(), ff: w.ff(), n: w.quant_bits() }
+    }
+
+    /// Quantization level `n`.
+    #[inline(always)]
+    pub fn quant_bits(&self) -> u32 {
+        match self {
+            SimdModel::Packed { n, .. } | SimdModel::Wide { n, .. } => *n,
+        }
+    }
+
+    /// Scalar lookup `(sym, freq, cdf)` — the reference the kernels mirror.
+    #[inline(always)]
+    pub fn lookup(&self, slot: u32) -> (u16, u32, u32) {
+        match *self {
+            SimdModel::Packed { lut, .. } => {
+                let e = lut[slot as usize];
+                ((e >> 24) as u16, (e >> 12) & 0xFFF, e & 0xFFF)
+            }
+            SimdModel::Wide { inv, ff, .. } => {
+                let s = inv[slot as usize];
+                let e = ff[s as usize];
+                (s, e >> 16, e & 0xFFFF)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recoil_models::CdfTable;
+
+    #[test]
+    fn views_match_underlying_tables() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 97) as u8).collect();
+        for n in [11u32, 14] {
+            let t = CdfTable::of_bytes(&data, n);
+            let tables = DecodeTables::build(&t);
+            let m = SimdModel::from_tables(&tables);
+            assert_eq!(m.quant_bits(), n);
+            for slot in (0..(1u32 << n)).step_by(13) {
+                assert_eq!(m.lookup(slot), tables.lookup(slot));
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Scalar group decode — the reference semantics every vector kernel must
+//! reproduce bit-exactly, and the fallback for guard regions (stream head,
+//! segment edges) and non-x86 builds.
+
+use crate::model::SimdModel;
+use recoil_rans::params::{LOWER_BOUND, RENORM_BITS};
+use recoil_rans::RansError;
+
+/// Decodes the single position `pos` (renorm-then-transform on its lane).
+/// `p` is the backward word cursor (index of the next unread word, -1 when
+/// exhausted). Returns the symbol.
+#[inline(always)]
+pub fn scalar_step(
+    model: &SimdModel<'_>,
+    words: &[u16],
+    p: &mut isize,
+    states: &mut [u32; 32],
+    pos: u64,
+    n: u32,
+    mask: u32,
+) -> Result<u16, RansError> {
+    let lane = (pos % 32) as usize;
+    let mut x = states[lane];
+    if x < LOWER_BOUND {
+        if *p < 0 {
+            return Err(RansError::BitstreamUnderflow { pos });
+        }
+        x = (x << RENORM_BITS) | words[*p as usize] as u32;
+        *p -= 1;
+    }
+    let slot = x & mask;
+    let (sym, f, c) = model.lookup(slot);
+    states[lane] = f * (x >> n) + slot - c;
+    Ok(sym)
+}
+
+/// Decodes one aligned 32-symbol group (positions `base .. base+32`) into
+/// `out`, scalar.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the vector kernel signature
+pub fn scalar_group(
+    model: &SimdModel<'_>,
+    words: &[u16],
+    p: &mut isize,
+    states: &mut [u32; 32],
+    base: u64,
+    n: u32,
+    mask: u32,
+    out: &mut [u16; 32],
+) -> Result<(), RansError> {
+    for lane in (0..32usize).rev() {
+        out[lane] = scalar_step(model, words, p, states, base + lane as u64, n, mask)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! Serial tANS encode/decode over a forward-readable bitstream.
+//!
+//! Symbols are encoded back-to-front so decoding emits them front-to-back
+//! while scanning the bitstream forward — the layout multians threads need
+//! to start at arbitrary chunk offsets.
+
+use crate::table::TansTable;
+use recoil_bitio::{BitReader, BitWriter};
+use recoil_models::Symbol;
+use recoil_rans::RansError;
+
+/// An encoded tANS stream (variation (f) payload).
+#[derive(Debug, Clone)]
+pub struct TansStream {
+    /// Bit-packed payload, decoded by forward scanning.
+    pub bytes: Vec<u8>,
+    /// Exact payload length in bits (the last byte may be padding).
+    pub bit_len: u64,
+    /// Decode-side start state (the encoder's final state).
+    pub initial_state: u32,
+    /// Symbol count `N`.
+    pub num_symbols: u64,
+    /// Whether symbols are 16-bit (affects table transmission cost).
+    pub wide_symbols: bool,
+}
+
+impl TansStream {
+    /// Payload bytes as reported in the size tables: bitstream + header
+    /// (state, counts) + the transmitted decode table.
+    pub fn payload_bytes(&self, table: &TansTable) -> u64 {
+        let header = 8 + 4 + 4 + 1 + 1 + 2; // N, bit length, state, n, flags, pad
+        self.bytes.len() as u64 + header + table.transmitted_bytes(self.wide_symbols)
+    }
+}
+
+/// Encodes `data` with `table`, producing a forward-decodable stream.
+pub fn encode_tans<S: Symbol>(data: &[S], table: &TansTable) -> TansStream {
+    // Encode back-to-front, collecting per-symbol bit chunks, then emit the
+    // chunks reversed so the decoder reads them front-to-back.
+    let mut chunks: Vec<(u32, u32)> = Vec::with_capacity(data.len());
+    let mut t = 0u32; // arbitrary initial encoder state offset
+    for &s in data.iter().rev() {
+        let (next, bits, nb) = table.encode_step(t, s.to_u16());
+        chunks.push((bits, nb));
+        t = next;
+    }
+    let mut w = BitWriter::new();
+    for &(bits, nb) in chunks.iter().rev() {
+        w.write(bits as u64, nb);
+    }
+    let bit_len = w.bit_len();
+    TansStream {
+        bytes: w.into_bytes(),
+        bit_len,
+        initial_state: t,
+        num_symbols: data.len() as u64,
+        wide_symbols: S::BITS == 16,
+    }
+}
+
+/// Serial reference decode (equivalent to multians with one chunk).
+pub fn decode_tans_serial<S: Symbol>(
+    stream: &TansStream,
+    table: &TansTable,
+) -> Result<Vec<S>, RansError> {
+    let mut r = BitReader::new(&stream.bytes);
+    let mut t = stream.initial_state;
+    let mut out = Vec::with_capacity(stream.num_symbols as usize);
+    for i in 0..stream.num_symbols {
+        let (sym, nb, base) = table.decode_entry(t);
+        out.push(S::from_u16(sym));
+        let bits = r
+            .read(nb)
+            .ok_or(RansError::BitstreamUnderflow { pos: i })? as u32;
+        t = base + bits;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recoil_models::CdfTable;
+
+    fn sample(len: usize, seed: u32) -> Vec<u8> {
+        (0..len as u32)
+            .map(|i| ((i ^ seed).wrapping_mul(2654435761) >> 24) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_various_n() {
+        let data = sample(80_000, 0);
+        for n in [9u32, 10, 11, 12, 16] {
+            let table = TansTable::from_cdf(&CdfTable::of_bytes(&data, n));
+            let stream = encode_tans(&data, &table);
+            let back: Vec<u8> = decode_tans_serial(&stream, &table).unwrap();
+            assert_eq!(back, data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn decode_state_returns_to_encoder_origin() {
+        // After decoding all symbols the state equals the encoder's start
+        // state (0) — a structural checksum of the mirror property.
+        let data = sample(10_000, 1);
+        let table = TansTable::from_cdf(&CdfTable::of_bytes(&data, 11));
+        let stream = encode_tans(&data, &table);
+        let mut r = BitReader::new(&stream.bytes);
+        let mut t = stream.initial_state;
+        for _ in 0..stream.num_symbols {
+            let (_, nb, base) = table.decode_entry(t);
+            t = base + r.read(nb).unwrap() as u32;
+        }
+        assert_eq!(t, 0);
+        assert_eq!(r.bit_pos(), stream.bit_len);
+    }
+
+    #[test]
+    fn compression_is_near_entropy() {
+        let data = sample(200_000, 2);
+        let h = recoil_models::Histogram::of_bytes(&data);
+        let table = TansTable::from_cdf(&CdfTable::of_bytes(&data, 12));
+        let stream = encode_tans(&data, &table);
+        let ideal = h.entropy_bits() * data.len() as f64;
+        let actual = stream.bit_len as f64;
+        assert!(actual < ideal * 1.05 + 64.0, "tANS {actual} vs entropy {ideal}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let table = TansTable::from_cdf(&CdfTable::of_bytes(b"ab", 8));
+        let stream = encode_tans::<u8>(&[], &table);
+        assert_eq!(stream.num_symbols, 0);
+        let back: Vec<u8> = decode_tans_serial(&stream, &table).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn sixteen_bit_symbols_round_trip() {
+        let data: Vec<u16> = (0..40_000u32).map(|i| (i % 1500) as u16).collect();
+        let table = TansTable::from_cdf(&CdfTable::of_u16(&data, 1500, 12));
+        let stream = encode_tans(&data, &table);
+        assert!(stream.wide_symbols);
+        let back: Vec<u16> = decode_tans_serial(&stream, &table).unwrap();
+        assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline (C): a table-variant ANS (tANS) codec plus a multians-style
+//! massively parallel self-synchronizing decoder (paper §2.4, §5).
+//!
+//! multians (Weißenberger & Schmidt, ICPP'19) exploits the fact that tANS
+//! decoding started from a *wrong* state tends to re-synchronize with the
+//! true symbol/state trajectory after a bounded number of symbols, because
+//! the state space is small. Decoder threads therefore start at arbitrary
+//! bitstream chunk boundaries with a guessed state — **zero metadata, zero
+//! file-size overhead** — and a fix-up pass splices the speculative outputs
+//! once each thread's true entry state is known.
+//!
+//! The catch, which §5.3 demonstrates: the approach needs a small state
+//! count (limiting the quantization level `n`), the decode table must
+//! travel with the stream (costly at `n = 16`), the speculative+fix-up
+//! pattern touches memory in a cache-unfriendly way, and the re-decoded
+//! synchronization prefixes are pure overhead. All of that is reproduced
+//! here on the CPU.
+
+mod codec;
+mod multians;
+mod table;
+
+pub use codec::{decode_tans_serial, encode_tans, TansStream};
+pub use multians::{decode_multians, MultiansStats};
+pub use table::TansTable;

@@ -1,0 +1,286 @@
+//! multians-style massively parallel self-synchronizing tANS decode.
+//!
+//! Two passes, as in the GPU original:
+//!
+//! 1. **Speculative pass (parallel)** — the bitstream is cut into
+//!    byte-aligned chunks; every chunk is decoded from its start offset with
+//!    a *guessed* state (0), recording `(bit position, state)` checkpoints
+//!    at every `CHECKPOINT_STRIDE`-th symbol boundary (packed to 8 bytes;
+//!    denser logs are pure memory-bandwidth tax).
+//! 2. **Fix-up pass (sequential)** — chunk `c`'s true entry point is chunk
+//!    `c-1`'s corrected exit. Re-decoding from the true entry usually
+//!    collides with a recorded speculative checkpoint after a short prefix
+//!    (tANS self-synchronization: once the state trajectories meet they are
+//!    identical forever, so the corrected run crosses every later
+//!    checkpoint); outputs are spliced at the collision. Chunks whose
+//!    speculation was already correct are accepted wholesale.
+//!
+//! No metadata is needed — but the synchronization prefixes are re-decoded
+//! work, the checkpoint log is a memory-traffic tax on every chunk, and the
+//! bigger the state space (n = 16), the rarer self-synchronization becomes:
+//! the exact weaknesses §5.3 measures.
+
+use crate::codec::TansStream;
+use crate::table::TansTable;
+use parking_lot::Mutex;
+use recoil_bitio::BitReader;
+use recoil_models::Symbol;
+use recoil_parallel::ThreadPool;
+use recoil_rans::RansError;
+
+/// Symbols between recorded checkpoints. Synchronization is detected at the
+/// first shared checkpoint, at most `CHECKPOINT_STRIDE - 1` symbols late.
+const CHECKPOINT_STRIDE: usize = 8;
+
+/// Diagnostics from a multians decode.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MultiansStats {
+    /// Chunks whose speculative decode was already on the true trajectory.
+    pub chunks_accepted: usize,
+    /// Chunks that synchronized after a re-decoded prefix.
+    pub chunks_synced: usize,
+    /// Chunks fully re-decoded (no self-sync within the chunk).
+    pub chunks_rerun: usize,
+    /// Symbols re-decoded during fix-up (pure overhead).
+    pub resync_symbols: u64,
+}
+
+/// One chunk's speculative decode record.
+struct Speculative {
+    /// Output symbols.
+    syms: Vec<u16>,
+    /// `bitpos << 16 | state` at every `CHECKPOINT_STRIDE`-th symbol start;
+    /// checkpoint `j` corresponds to symbol index `j * CHECKPOINT_STRIDE`.
+    checkpoints: Vec<u64>,
+    /// Bit position and state after the chunk's last symbol.
+    exit: (u64, u32),
+}
+
+#[inline(always)]
+fn pack(bitpos: u64, state: u32) -> u64 {
+    debug_assert!(state < 1 << 16, "tANS states fit 16 bits (n <= 16)");
+    (bitpos << 16) | state as u64
+}
+
+/// Decodes with `num_chunks`-way speculation, optionally on a pool.
+pub fn decode_multians<S: Symbol>(
+    stream: &TansStream,
+    table: &TansTable,
+    num_chunks: usize,
+    pool: Option<&ThreadPool>,
+) -> Result<(Vec<S>, MultiansStats), RansError> {
+    assert!(num_chunks >= 1);
+    if stream.num_symbols == 0 {
+        return Ok((Vec::new(), MultiansStats::default()));
+    }
+    // Byte-aligned chunk starts, mirroring the GPU subsequence layout.
+    let total_bits = stream.bit_len;
+    let chunk_bits = (total_bits.div_ceil(num_chunks as u64)).div_ceil(8) * 8;
+    let num_chunks = total_bits.div_ceil(chunk_bits.max(1)).max(1) as usize;
+
+    // Pass 1: speculative decode of every chunk (parallel).
+    let specs: Vec<Mutex<Option<Speculative>>> =
+        (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    let run_chunk = |c: usize| {
+        let start = c as u64 * chunk_bits;
+        let end = (start + chunk_bits).min(total_bits);
+        // Chunk 0 needs no speculation: its entry is the true header state.
+        let entry_state = if c == 0 { stream.initial_state } else { 0 };
+        let spec = decode_range(stream, table, start, end, entry_state);
+        *specs[c].lock() = Some(spec);
+    };
+    match pool {
+        Some(pool) if num_chunks > 1 => pool.run(num_chunks, run_chunk),
+        _ => (0..num_chunks).for_each(run_chunk),
+    }
+    let specs: Vec<Speculative> =
+        specs.into_iter().map(|m| m.into_inner().expect("chunk decoded")).collect();
+
+    // Pass 2: sequential fix-up and splice.
+    let mut stats = MultiansStats::default();
+    let mut out: Vec<u16> = Vec::with_capacity(stream.num_symbols as usize + CHECKPOINT_STRIDE);
+    let mut entry: (u64, u32) = (0, stream.initial_state);
+    for (c, spec) in specs.iter().enumerate() {
+        let chunk_end = ((c as u64 + 1) * chunk_bits).min(total_bits);
+        if spec.checkpoints.first() == Some(&pack(entry.0, entry.1)) {
+            // Speculation started exactly on the true trajectory.
+            stats.chunks_accepted += 1;
+            out.extend_from_slice(&spec.syms);
+            entry = spec.exit;
+            continue;
+        }
+        // Re-decode from the true entry until we collide with a recorded
+        // speculative checkpoint (self-synchronization) or exhaust the chunk.
+        let mut r = BitReader::new(&stream.bytes);
+        r.set_pos(entry.0);
+        let mut t = entry.1;
+        let mut synced = false;
+        while r.bit_pos() < chunk_end {
+            let here = pack(r.bit_pos(), t);
+            // Checkpoints are bitpos-sorted; the packed compare works because
+            // the state occupies the low 16 bits.
+            if let Ok(j) = spec.checkpoints.binary_search(&here) {
+                // Synchronized: splice the speculative tail.
+                out.extend_from_slice(&spec.syms[j * CHECKPOINT_STRIDE..]);
+                entry = spec.exit;
+                synced = true;
+                stats.chunks_synced += 1;
+                break;
+            }
+            let (sym, nb, base) = table.decode_entry(t);
+            out.push(sym);
+            stats.resync_symbols += 1;
+            let bits = r
+                .read(nb)
+                .ok_or(RansError::BitstreamUnderflow { pos: out.len() as u64 })?
+                as u32;
+            t = base + bits;
+        }
+        if !synced {
+            stats.chunks_rerun += 1;
+            entry = (r.bit_pos(), t);
+        }
+    }
+
+    // Trailing symbols that consume zero bits sit exactly at the end-of-
+    // stream bit position; the position-driven chunk loops exclude them, so
+    // finish by symbol count.
+    if (out.len() as u64) < stream.num_symbols {
+        let mut r = BitReader::new(&stream.bytes);
+        r.set_pos(entry.0);
+        let mut t = entry.1;
+        while (out.len() as u64) < stream.num_symbols {
+            let (sym, nb, base) = table.decode_entry(t);
+            out.push(sym);
+            let bits = r
+                .read(nb)
+                .ok_or(RansError::BitstreamUnderflow { pos: out.len() as u64 })?
+                as u32;
+            t = base + bits;
+        }
+    }
+    // Padding bits may have produced spurious trailing symbols.
+    out.truncate(stream.num_symbols as usize);
+    Ok((out.into_iter().map(S::from_u16).collect(), stats))
+}
+
+/// Decodes `[start, end)` bits from `entry_state`, recording checkpoints.
+fn decode_range(
+    stream: &TansStream,
+    table: &TansTable,
+    start: u64,
+    end: u64,
+    entry_state: u32,
+) -> Speculative {
+    let mut r = BitReader::new(&stream.bytes);
+    r.set_pos(start);
+    let mut t = entry_state;
+    // ~4 bits/symbol is a generous lower bound; avoids regrowth.
+    let cap = ((end - start) / 4 + 8) as usize;
+    let mut syms: Vec<u16> = Vec::with_capacity(cap);
+    let mut checkpoints = Vec::with_capacity(cap / CHECKPOINT_STRIDE + 1);
+    while r.bit_pos() < end {
+        if syms.len() % CHECKPOINT_STRIDE == 0 {
+            checkpoints.push(pack(r.bit_pos(), t));
+        }
+        let (sym, nb, base) = table.decode_entry(t);
+        syms.push(sym);
+        let bits = match r.read(nb) {
+            Some(b) => b as u32,
+            // Off-trajectory speculation may run past the stream tail.
+            None => break,
+        };
+        t = base + bits;
+    }
+    Speculative { syms, checkpoints, exit: (r.bit_pos(), t) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_tans;
+    use recoil_models::CdfTable;
+
+    fn sample(len: usize, seed: u32) -> Vec<u8> {
+        (0..len as u32)
+            .map(|i| ((i ^ seed).wrapping_mul(2654435761) >> 24) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_for_many_chunk_counts() {
+        let data = sample(120_000, 0);
+        let table = TansTable::from_cdf(&CdfTable::of_bytes(&data, 11));
+        let stream = encode_tans(&data, &table);
+        for chunks in [1usize, 2, 3, 16, 100, 997] {
+            let (got, _stats): (Vec<u8>, _) =
+                decode_multians(&stream, &table, chunks, None).unwrap();
+            assert_eq!(got, data, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn parallel_pool_matches() {
+        let data = sample(300_000, 1);
+        let table = TansTable::from_cdf(&CdfTable::of_bytes(&data, 11));
+        let stream = encode_tans(&data, &table);
+        let pool = ThreadPool::new(7);
+        let (got, stats): (Vec<u8>, _) =
+            decode_multians(&stream, &table, 256, Some(&pool)).unwrap();
+        assert_eq!(got, data);
+        assert!(stats.chunks_accepted + stats.chunks_synced + stats.chunks_rerun > 0);
+    }
+
+    #[test]
+    fn self_sync_happens_at_n11() {
+        // With 2^11 states, most chunks should self-synchronize rather than
+        // require a full re-decode (the premise of multians).
+        let data = sample(400_000, 2);
+        let table = TansTable::from_cdf(&CdfTable::of_bytes(&data, 11));
+        let stream = encode_tans(&data, &table);
+        let (_, stats) = decode_multians::<u8>(&stream, &table, 64, None).unwrap();
+        assert!(
+            stats.chunks_synced + stats.chunks_accepted > stats.chunks_rerun,
+            "self-sync failed: {stats:?}"
+        );
+        // Resynced prefix symbols are overhead but far below the total.
+        assert!(stats.resync_symbols < data.len() as u64 / 2, "{stats:?}");
+    }
+
+    #[test]
+    fn n16_sync_overhead_grows() {
+        // Larger state space → longer (or failed) synchronization prefixes.
+        let data = sample(200_000, 3);
+        let t11 = TansTable::from_cdf(&CdfTable::of_bytes(&data, 11));
+        let s11 = encode_tans(&data, &t11);
+        let (_, st11) = decode_multians::<u8>(&s11, &t11, 32, None).unwrap();
+        let t16 = TansTable::from_cdf(&CdfTable::of_bytes(&data, 16));
+        let s16 = encode_tans(&data, &t16);
+        let (got, st16) = decode_multians::<u8>(&s16, &t16, 32, None).unwrap();
+        assert_eq!(got, data);
+        assert!(
+            st16.resync_symbols >= st11.resync_symbols,
+            "n16 {st16:?} should not sync faster than n11 {st11:?}"
+        );
+    }
+
+    #[test]
+    fn single_chunk_equals_serial() {
+        let data = sample(50_000, 4);
+        let table = TansTable::from_cdf(&CdfTable::of_bytes(&data, 11));
+        let stream = encode_tans(&data, &table);
+        let serial: Vec<u8> = crate::codec::decode_tans_serial(&stream, &table).unwrap();
+        let (par, stats): (Vec<u8>, _) = decode_multians(&stream, &table, 1, None).unwrap();
+        assert_eq!(serial, par);
+        assert_eq!(stats.resync_symbols, 0);
+    }
+
+    #[test]
+    fn sixteen_bit_symbols_parallel() {
+        let data: Vec<u16> = (0..120_000u32).map(|i| (i % 900) as u16).collect();
+        let table = TansTable::from_cdf(&CdfTable::of_u16(&data, 900, 12));
+        let stream = encode_tans(&data, &table);
+        let (got, _): (Vec<u16>, _) = decode_multians(&stream, &table, 64, None).unwrap();
+        assert_eq!(got, data);
+    }
+}

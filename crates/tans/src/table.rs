@@ -1,0 +1,176 @@
+//! tANS table construction (FSE-style symbol spread).
+//!
+//! States are kept as offsets `t` in `[0, size)` for the conceptual state
+//! `X = t + size` in `[size, 2·size)`, `size = 2^n`.
+
+use recoil_models::CdfTable;
+
+/// Decode and encode tables for one static distribution.
+#[derive(Debug, Clone)]
+pub struct TansTable {
+    n: u32,
+    size: u32,
+    /// Per state: decoded symbol.
+    decode_sym: Vec<u16>,
+    /// Per state: bits to read after decoding.
+    decode_nbits: Vec<u8>,
+    /// Per state: next-state base (add the bits read).
+    decode_base: Vec<u32>,
+    /// Encode transition table, per symbol-occurrence slot.
+    enc_state: Vec<u32>,
+    /// Per symbol: start of its slots in `enc_state`.
+    enc_start: Vec<u32>,
+    /// Quantized frequencies.
+    freq: Vec<u32>,
+}
+
+impl TansTable {
+    /// Builds tables from quantized frequencies (sum = `2^n`).
+    pub fn from_cdf(table: &CdfTable) -> Self {
+        let n = table.quant_bits();
+        let size = 1u32 << n;
+        let alphabet = table.alphabet_size();
+
+        // FSE spread: odd step co-prime with the power-of-two size scatters
+        // each symbol's occurrences roughly uniformly.
+        let step = (size >> 1) + (size >> 3) + 3;
+        let mask = size - 1;
+        let mut spread = vec![0u16; size as usize];
+        let mut pos = 0u32;
+        for s in 0..alphabet {
+            for _ in 0..table.freq(s) {
+                spread[pos as usize] = s as u16;
+                pos = (pos + step) & mask;
+            }
+        }
+        debug_assert_eq!(pos, 0, "spread must return to origin (full cycle)");
+
+        let mut enc_start = vec![0u32; alphabet];
+        let mut acc = 0u32;
+        for (s, slot) in enc_start.iter_mut().enumerate() {
+            *slot = acc;
+            acc += table.freq(s);
+        }
+
+        let mut decode_sym = vec![0u16; size as usize];
+        let mut decode_nbits = vec![0u8; size as usize];
+        let mut decode_base = vec![0u32; size as usize];
+        let mut enc_state = vec![0u32; size as usize];
+        let mut next: Vec<u32> = (0..alphabet).map(|s| table.freq(s)).collect();
+        for t in 0..size {
+            let s = spread[t as usize] as usize;
+            let x = next[s];
+            next[s] += 1;
+            // x in [freq, 2*freq): the "small" renormalized state.
+            let nb = n - (31 - x.leading_zeros());
+            decode_sym[t as usize] = s as u16;
+            decode_nbits[t as usize] = nb as u8;
+            decode_base[t as usize] = (x << nb) - size;
+            enc_state[(enc_start[s] + (x - table.freq(s))) as usize] = t;
+        }
+
+        let freq = (0..alphabet).map(|s| table.freq(s)).collect();
+        Self { n, size, decode_sym, decode_nbits, decode_base, enc_state, enc_start, freq }
+    }
+
+    /// Quantization level / log2 of the state count.
+    #[inline]
+    pub fn quant_bits(&self) -> u32 {
+        self.n
+    }
+
+    /// State count `2^n`.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Decode step: `(symbol, nbits, base)` for state offset `t`.
+    #[inline(always)]
+    pub fn decode_entry(&self, t: u32) -> (u16, u32, u32) {
+        let i = t as usize;
+        (self.decode_sym[i], self.decode_nbits[i] as u32, self.decode_base[i])
+    }
+
+    /// Encode step: shed enough low bits of `X = t + size` to land in
+    /// `[freq, 2·freq)`, then transition. Returns `(next_t, bits, nbits)`.
+    #[inline(always)]
+    pub fn encode_step(&self, t: u32, sym: u16) -> (u32, u32, u32) {
+        let s = sym as usize;
+        let f = self.freq[s];
+        debug_assert!(f > 0, "encoding zero-frequency symbol {sym}");
+        let x_full = t + self.size;
+        let mut nb = 0u32;
+        while (x_full >> nb) >= 2 * f {
+            nb += 1;
+        }
+        let bits = x_full & ((1 << nb) - 1);
+        let x_small = x_full >> nb;
+        let next = self.enc_state[(self.enc_start[s] + (x_small - f)) as usize];
+        (next, bits, nb)
+    }
+
+    /// Bytes needed to ship the decode table with the stream (symbol,
+    /// nbits, base per state) — the fixed cost that §5.3 shows exploding at
+    /// `n = 16`.
+    pub fn transmitted_bytes(&self, wide_symbols: bool) -> u64 {
+        let sym_bytes = if wide_symbols { 2 } else { 1 };
+        self.size as u64 * (sym_bytes + 1 + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: u32) -> TansTable {
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        TansTable::from_cdf(&CdfTable::of_bytes(&data, n))
+    }
+
+    #[test]
+    fn decode_entries_stay_in_range() {
+        let t = table(11);
+        for st in 0..t.size() {
+            let (_, nb, base) = t.decode_entry(st);
+            assert!(nb <= 11);
+            assert!(base + ((1u32 << nb) - 1) < t.size(), "state {st} escapes range");
+        }
+    }
+
+    #[test]
+    fn encode_then_decode_entry_invert() {
+        let t = table(10);
+        for st in (0..t.size()).step_by(7) {
+            let (sym, _, _) = t.decode_entry(st);
+            // Find a predecessor state encoding `sym` into `st`: encode from
+            // every state and check the ones that land on st decode back.
+            let (next, bits, nb) = t.encode_step(st, sym);
+            let (dsym, dnb, dbase) = t.decode_entry(next);
+            assert_eq!(dsym, sym);
+            assert_eq!(dnb, nb);
+            assert_eq!(dbase + bits, st);
+        }
+    }
+
+    #[test]
+    fn transmitted_bytes_match_state_count() {
+        assert_eq!(table(11).transmitted_bytes(false), 2048 * 4);
+        assert_eq!(table(16).transmitted_bytes(false), 65536 * 4);
+        assert_eq!(table(16).transmitted_bytes(true), 65536 * 5);
+    }
+
+    #[test]
+    fn spread_covers_all_frequencies() {
+        let t = table(11);
+        // Every state decodes to some symbol with nonzero frequency, and the
+        // per-symbol state counts equal the frequencies.
+        let mut counts = vec![0u32; 256];
+        for st in 0..t.size() {
+            counts[t.decode_entry(st).0 as usize] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert_eq!(c, t.freq[s], "symbol {s}");
+        }
+    }
+}

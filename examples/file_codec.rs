@@ -1,0 +1,77 @@
+//! A small self-contained file compressor/decompressor built on the public
+//! API — what a downstream adopter's CLI would look like.
+//!
+//! ```sh
+//! cargo run --release --example file_codec -- compress   INPUT OUTPUT.rcl
+//! cargo run --release --example file_codec -- decompress INPUT.rcl OUTPUT
+//! ```
+//!
+//! With no arguments, runs a self-demo on generated data in a temp dir.
+
+use recoil::core::{container_from_bytes, container_to_bytes};
+use recoil::prelude::*;
+
+fn compress(input: &[u8]) -> Vec<u8> {
+    let model = StaticModelProvider::new(CdfTable::of_bytes(input, 12));
+    // Plan enough splits for any realistic client; they cost ~80 B each and
+    // a weaker decoder simply ignores (or is served fewer of) them.
+    let container = encode_with_splits(input, &model, 32, 256);
+    container_to_bytes(&container, model.table())
+}
+
+fn decompress(bytes: &[u8]) -> Vec<u8> {
+    let (container, model) = container_from_bytes(bytes).expect("valid .rcl file");
+    let pool = ThreadPool::with_default_parallelism();
+    decode_recoil(&container.stream, &container.metadata, &model, Some(&pool))
+        .expect("decodable stream")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("compress") => {
+            let input = std::fs::read(&args[2]).expect("readable input");
+            let out = compress(&input);
+            println!(
+                "{} -> {}: {} -> {} bytes ({:.1}%)",
+                args[2],
+                args[3],
+                input.len(),
+                out.len(),
+                100.0 * out.len() as f64 / input.len() as f64
+            );
+            std::fs::write(&args[3], out).expect("writable output");
+        }
+        Some("decompress") => {
+            let bytes = std::fs::read(&args[2]).expect("readable input");
+            let out = decompress(&bytes);
+            println!("{} -> {}: {} bytes restored", args[2], args[3], out.len());
+            std::fs::write(&args[3], out).expect("writable output");
+        }
+        _ => {
+            // Self-demo round trip through real files.
+            let dir = std::env::temp_dir();
+            let src = dir.join("recoil_demo_input.bin");
+            let rcl = dir.join("recoil_demo.rcl");
+            let data = recoil::data::text_like_bytes(3_000_000, 4.8, 5);
+            std::fs::write(&src, &data).expect("temp write");
+
+            let input = std::fs::read(&src).unwrap();
+            let packed = compress(&input);
+            std::fs::write(&rcl, &packed).unwrap();
+            println!(
+                "compressed {} -> {} bytes ({:.1}%), file: {}",
+                input.len(),
+                packed.len(),
+                100.0 * packed.len() as f64 / input.len() as f64,
+                rcl.display()
+            );
+
+            let restored = decompress(&std::fs::read(&rcl).unwrap());
+            assert_eq!(restored, data);
+            println!("decompressed and verified {} bytes — OK", restored.len());
+            let _ = std::fs::remove_file(src);
+            let _ = std::fs::remove_file(rcl);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: encode once, scale the metadata to the decoder, decode in
+//! parallel.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use recoil::prelude::*;
+
+fn main() {
+    // 4 MB of moderately compressible synthetic text.
+    let data = recoil::data::text_like_bytes(4_000_000, 5.0, 42);
+    println!("input: {} bytes ({:.2} bits/byte order-0 entropy)", data.len(), {
+        Histogram::of_bytes(&data).entropy_bits()
+    });
+
+    // A static order-0 model quantized to 2^11 (Table 3 recommends n <= 16).
+    let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+
+    // Encode ONE interleaved rANS bitstream, planning split metadata for up
+    // to 2176 parallel decoders (the paper's "Large" variation).
+    let container = encode_with_splits(&data, &model, 32, 2176);
+    println!(
+        "encoded: {} payload bytes + {} metadata bytes ({} segments)",
+        container.stream_bytes(),
+        container.metadata_bytes(),
+        container.metadata.num_segments()
+    );
+
+    // A 16-thread client doesn't need 2176 segments: combine in real time.
+    // The bitstream is untouched; only metadata entries are dropped.
+    let small = combine_splits(&container.metadata, 16);
+    println!(
+        "combined for 16 threads: {} metadata bytes (was {})",
+        metadata_to_bytes(&small).len(),
+        container.metadata_bytes()
+    );
+
+    // Parallel three-phase decode on a thread pool.
+    let pool = ThreadPool::with_default_parallelism();
+    let t0 = std::time::Instant::now();
+    let decoded: Vec<u8> = decode_recoil(&container.stream, &small, &model, Some(&pool)).unwrap();
+    let dt = t0.elapsed();
+    assert_eq!(decoded, data);
+    println!(
+        "decoded {} bytes in {:.2?} ({:.2} GB/s) — bit-exact",
+        decoded.len(),
+        dt,
+        decoded.len() as f64 / dt.as_secs_f64() / 1e9
+    );
+
+    // The same stream through the SIMD driver (AVX-512 → AVX2 → scalar).
+    let kernel = Kernel::best();
+    let mut out = vec![0u8; data.len()];
+    let t0 = std::time::Instant::now();
+    decode_recoil_simd(kernel, &container.stream, &small, &model, Some(&pool), &mut out).unwrap();
+    let dt = t0.elapsed();
+    assert_eq!(out, data);
+    println!(
+        "decoded with {kernel:?} in {:.2?} ({:.2} GB/s)",
+        dt,
+        out.len() as f64 / dt.as_secs_f64() / 1e9
+    );
+}

@@ -1,0 +1,91 @@
+//! Exhaustive cross-decoder equivalence over every dataset family in
+//! Table 4 (scaled), all kernels, scalar/pool execution, and both the
+//! Recoil and Conventional containers.
+
+use recoil::data::{Dataset, ALL_DATASETS};
+use recoil::prelude::*;
+use std::sync::Arc;
+
+const SCALE_BYTES: usize = 300_000;
+
+fn check_byte_dataset(d: &Dataset, n: u32) {
+    let data = d.generate_bytes(SCALE_BYTES);
+    let model = StaticModelProvider::new(CdfTable::of_bytes(&data, n));
+    let pool = ThreadPool::new(7);
+
+    let container = encode_with_splits(&data, &model, 32, 64);
+    let reference: Vec<u8> = decode_interleaved(&container.stream, &model).unwrap();
+    assert_eq!(reference, data, "{} serial", d.name);
+
+    // Recoil: scalar / pool / SIMD kernels.
+    let scalar: Vec<u8> =
+        decode_recoil(&container.stream, &container.metadata, &model, None).unwrap();
+    assert_eq!(scalar, data, "{} recoil scalar", d.name);
+    let pooled: Vec<u8> =
+        decode_recoil(&container.stream, &container.metadata, &model, Some(&pool)).unwrap();
+    assert_eq!(pooled, data, "{} recoil pooled", d.name);
+    for kernel in Kernel::all_available() {
+        let mut out = vec![0u8; data.len()];
+        decode_recoil_simd(
+            kernel,
+            &container.stream,
+            &container.metadata,
+            &model,
+            Some(&pool),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, data, "{} recoil {:?}", d.name, kernel);
+    }
+
+    // Conventional: scalar and SIMD.
+    let conv = encode_conventional(&data, &model, 32, 64);
+    let got: Vec<u8> = decode_conventional(&conv, &model, Some(&pool)).unwrap();
+    assert_eq!(got, data, "{} conventional", d.name);
+    for kernel in Kernel::all_available() {
+        let mut out = vec![0u8; data.len()];
+        decode_conventional_simd(kernel, &conv, &model, Some(&pool), &mut out).unwrap();
+        assert_eq!(out, data, "{} conventional {:?}", d.name, kernel);
+    }
+
+    // tANS / multians.
+    let table = TansTable::from_cdf(&CdfTable::of_bytes(&data, n));
+    let tstream = encode_tans(&data, &table);
+    let (tpar, _) = decode_multians::<u8>(&tstream, &table, 64, Some(&pool)).unwrap();
+    assert_eq!(tpar, data, "{} multians", d.name);
+}
+
+#[test]
+fn all_byte_datasets_n11() {
+    for d in ALL_DATASETS.iter().filter(|d| !d.is_latent()) {
+        check_byte_dataset(d, 11);
+    }
+}
+
+#[test]
+fn all_byte_datasets_n16() {
+    for d in ALL_DATASETS.iter().filter(|d| !d.is_latent()) {
+        check_byte_dataset(d, 16);
+    }
+}
+
+#[test]
+fn latent_datasets_adaptive_paths() {
+    // Smaller bank than production (build time) but the same structure.
+    let bank = Arc::new(GaussianScaleBank::build(14, 2048, 32, 0.4, 64.0));
+    let pool = ThreadPool::new(7);
+    for d in ALL_DATASETS.iter().filter(|d| d.is_latent()) {
+        let ds = d.generate_latents(Arc::clone(&bank), SCALE_BYTES);
+        let container = encode_with_splits(&ds.symbols, &ds.provider, 32, 48);
+        let serial: Vec<u16> = decode_interleaved(&container.stream, &ds.provider).unwrap();
+        assert_eq!(serial, ds.symbols, "{} serial", d.name);
+        let par: Vec<u16> =
+            decode_recoil(&container.stream, &container.metadata, &ds.provider, Some(&pool))
+                .unwrap();
+        assert_eq!(par, ds.symbols, "{} recoil", d.name);
+
+        let conv = encode_conventional(&ds.symbols, &ds.provider, 32, 16);
+        let got: Vec<u16> = decode_conventional(&conv, &ds.provider, Some(&pool)).unwrap();
+        assert_eq!(got, ds.symbols, "{} conventional", d.name);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration tests: realistic datasets through the full
+//! encode → plan → serialize → combine → parallel-decode pipeline.
+
+use recoil::data::{exponential_bytes, text_like_bytes};
+use recoil::prelude::*;
+use recoil::server::{Client, ContentServer};
+
+fn byte_model(data: &[u8], n: u32) -> StaticModelProvider {
+    StaticModelProvider::new(CdfTable::of_bytes(data, n))
+}
+
+#[test]
+fn text_dataset_full_pipeline() {
+    let data = text_like_bytes(1_000_000, 5.1, 1);
+    let model = byte_model(&data, 11);
+    let container = encode_with_splits(&data, &model, 32, 128);
+
+    // Wire round-trip of the metadata.
+    let bytes = metadata_to_bytes(&container.metadata);
+    let meta = metadata_from_bytes(&bytes).unwrap();
+    assert_eq!(meta, container.metadata);
+
+    // Decode at several parallelism levels; all must be identical.
+    let pool = ThreadPool::new(7);
+    for segments in [1u64, 2, 16, 128] {
+        let m = combine_splits(&meta, segments);
+        let got: Vec<u8> = decode_recoil(&container.stream, &m, &model, Some(&pool)).unwrap();
+        assert_eq!(got, data, "segments={segments}");
+    }
+}
+
+#[test]
+fn compressed_size_is_near_entropy_plus_metadata() {
+    let data = exponential_bytes(2_000_000, 100.0, 2);
+    let model = byte_model(&data, 11);
+    let container = encode_with_splits(&data, &model, 32, 64);
+    let entropy_bytes =
+        Histogram::of_bytes(&data).entropy_bits() * data.len() as f64 / 8.0;
+    let payload = container.stream_bytes() as f64;
+    assert!(payload < entropy_bytes * 1.08, "payload {payload} vs entropy {entropy_bytes}");
+    assert!(payload > entropy_bytes * 0.95);
+    // Metadata is a rounding error next to the payload at 64 segments.
+    assert!((container.metadata_bytes() as f64) < payload * 0.01);
+}
+
+#[test]
+fn recoil_never_loses_to_conventional_at_equal_parallelism() {
+    // §5.2: Recoil's overhead undercuts Conventional at every split count.
+    let data = exponential_bytes(1_000_000, 200.0, 3);
+    let model = byte_model(&data, 11);
+    for parallelism in [16usize, 256] {
+        let recoil = encode_with_splits(&data, &model, 32, parallelism as u64);
+        let conv = encode_conventional(&data, &model, 32, parallelism);
+        let recoil_total = recoil.total_bytes();
+        let conv_total = conv.payload_bytes();
+        assert!(
+            recoil_total < conv_total,
+            "parallelism {parallelism}: recoil {recoil_total} vs conventional {conv_total}"
+        );
+    }
+}
+
+#[test]
+fn conventional_and_recoil_decode_identically() {
+    let data = text_like_bytes(500_000, 4.6, 4);
+    let model = byte_model(&data, 12);
+    let pool = ThreadPool::new(7);
+
+    let conv = encode_conventional(&data, &model, 32, 64);
+    let a: Vec<u8> = decode_conventional(&conv, &model, Some(&pool)).unwrap();
+
+    let rec = encode_with_splits(&data, &model, 32, 64);
+    let b: Vec<u8> = decode_recoil(&rec.stream, &rec.metadata, &model, Some(&pool)).unwrap();
+    assert_eq!(a, data);
+    assert_eq!(b, data);
+}
+
+#[test]
+fn tans_multians_agrees_with_rans_content() {
+    let data = text_like_bytes(400_000, 5.0, 5);
+    let table = TansTable::from_cdf(&CdfTable::of_bytes(&data, 11));
+    let stream = encode_tans(&data, &table);
+    let pool = ThreadPool::new(7);
+    let (got, stats) = decode_multians::<u8>(&stream, &table, 128, Some(&pool)).unwrap();
+    assert_eq!(got, data);
+    // Self-sync must mostly work at n=11 (multians' premise).
+    assert!(stats.chunks_rerun < 16, "{stats:?}");
+}
+
+#[test]
+fn server_scales_per_client_and_all_clients_agree() {
+    let data = exponential_bytes(1_500_000, 50.0, 6);
+    let mut server = ContentServer::new();
+    server.publish("item", &data, 11, 32, 512);
+    let item = server.get("item").unwrap();
+
+    let mut sizes = Vec::new();
+    for threads in [1usize, 2, 8, 24] {
+        let client = Client::new(threads);
+        let t = server.request("item", client.parallel_segments).unwrap();
+        let decoded = client.decode(&item.stream, &t, &item.model).unwrap();
+        assert_eq!(decoded, data, "threads={threads}");
+        sizes.push(t.total_bytes());
+    }
+    // Transfer size is monotone in requested parallelism.
+    assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "{sizes:?}");
+}
+
+#[test]
+fn simd_and_scalar_recoil_decoders_agree_on_all_variations() {
+    let data = text_like_bytes(600_000, 5.2, 7);
+    for n in [11u32, 16] {
+        let model = byte_model(&data, n);
+        let container = encode_with_splits(&data, &model, 32, 64);
+        let scalar: Vec<u8> =
+            decode_recoil(&container.stream, &container.metadata, &model, None).unwrap();
+        for kernel in Kernel::all_available() {
+            let mut out = vec![0u8; data.len()];
+            decode_recoil_simd(kernel, &container.stream, &container.metadata, &model, None, &mut out)
+                .unwrap();
+            assert_eq!(out, scalar, "kernel {kernel:?} n={n}");
+        }
+    }
+}
+
+#[test]
+fn mutual_compatibility_one_bitstream_every_decoder() {
+    // §4.4: "All four implementations are mutually compatible; generated
+    // bitstreams by the encoder can be decoded by any of them."
+    let data = exponential_bytes(800_000, 100.0, 8);
+    let model = byte_model(&data, 11);
+    let container = encode_with_splits(&data, &model, 32, 96);
+    let pool = ThreadPool::new(7);
+
+    let serial: Vec<u8> = decode_interleaved(&container.stream, &model).unwrap();
+    let recoil_scalar: Vec<u8> =
+        decode_recoil(&container.stream, &container.metadata, &model, Some(&pool)).unwrap();
+    assert_eq!(serial, recoil_scalar);
+    let m = SimdModel::from_provider(&model);
+    for kernel in Kernel::all_available() {
+        let mut out = vec![0u8; data.len()];
+        decode_interleaved_simd(kernel, &container.stream, &m, &mut out).unwrap();
+        assert_eq!(out, serial, "single-thread {kernel:?}");
+        let mut out2 = vec![0u8; data.len()];
+        decode_recoil_simd(kernel, &container.stream, &container.metadata, &model, Some(&pool), &mut out2)
+            .unwrap();
+        assert_eq!(out2, serial, "recoil {kernel:?}");
+    }
+}

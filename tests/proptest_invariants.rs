@@ -1,0 +1,154 @@
+//! Property-based tests of the paper's core invariants over arbitrary
+//! inputs, distributions, lane counts and split requests.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use recoil::core::{plan_from_events, PlannerConfig};
+use recoil::prelude::*;
+
+fn encode_with_events(
+    data: &[u8],
+    n: u32,
+    ways: u32,
+) -> (EncodedStream, Vec<recoil::rans::RenormEvent>, StaticModelProvider) {
+    let p = StaticModelProvider::new(CdfTable::of_bytes(data, n));
+    let mut enc = InterleavedEncoder::new(&p, ways);
+    let mut sink = VecSink::new();
+    enc.encode_all(data, &mut sink);
+    (enc.finish(), sink.events, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round-trip over arbitrary data, n, and lane counts.
+    #[test]
+    fn interleaved_round_trip(
+        data in vec(any::<u8>(), 1..4000),
+        n in 8u32..=16,
+        ways in prop::sample::select(vec![1u32, 2, 3, 8, 32]),
+    ) {
+        let (stream, _, p) = encode_with_events(&data, n, ways);
+        let back: Vec<u8> = decode_interleaved(&stream, &p).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Lemma 3.1: every recorded renorm state is below L = 2^16, and every
+    /// event maps offsets/positions consistently.
+    #[test]
+    fn renorm_events_are_bounded_and_ordered(
+        data in vec(any::<u8>(), 64..4000),
+        n in 8u32..=12,
+    ) {
+        let (stream, events, _) = encode_with_events(&data, n, 32);
+        prop_assert_eq!(events.len(), stream.words.len());
+        let mut prev_pos = 0i128;
+        for (k, e) in events.iter().enumerate() {
+            prop_assert_eq!(e.offset, k as u64);
+            if e.pos != recoil::rans::NO_SYMBOL {
+                prop_assert!((e.pos % 32) as u32 == e.lane);
+                prop_assert!(e.pos as i128 >= prev_pos);
+                prev_pos = e.pos as i128;
+            }
+        }
+    }
+
+    /// Recoil parallel decode equals serial decode for arbitrary inputs and
+    /// requested segment counts — the paper's central correctness claim.
+    #[test]
+    fn recoil_decode_equals_serial(
+        seed_data in vec(any::<u8>(), 2000..20_000),
+        segments in 2u64..24,
+        n in prop::sample::select(vec![10u32, 11, 14, 16]),
+    ) {
+        let (stream, events, p) = encode_with_events(&seed_data, n, 32);
+        let meta = plan_from_events(
+            &events, 32, stream.num_symbols, stream.words.len() as u64, n,
+            PlannerConfig::with_segments(segments),
+        );
+        let serial: Vec<u8> = decode_interleaved(&stream, &p).unwrap();
+        let recoil: Vec<u8> = decode_recoil(&stream, &meta, &p, None).unwrap();
+        prop_assert_eq!(&serial, &seed_data);
+        prop_assert_eq!(recoil, serial);
+    }
+
+    /// Combining to any smaller segment count yields valid metadata that
+    /// still decodes identically (decoder-adaptive scalability).
+    #[test]
+    fn any_combine_target_decodes_identically(
+        seed_data in vec(any::<u8>(), 4000..16_000),
+        target in 1u64..12,
+    ) {
+        let (stream, events, p) = encode_with_events(&seed_data, 11, 32);
+        let meta = plan_from_events(
+            &events, 32, stream.num_symbols, stream.words.len() as u64, 11,
+            PlannerConfig::with_segments(24),
+        );
+        let combined = combine_splits(&meta, target);
+        prop_assert!(combined.num_segments() <= target.max(1));
+        let got: Vec<u8> = decode_recoil(&stream, &combined, &p, None).unwrap();
+        prop_assert_eq!(got, seed_data);
+    }
+
+    /// Metadata wire format round-trips exactly.
+    #[test]
+    fn metadata_wire_round_trip(
+        seed_data in vec(any::<u8>(), 2000..12_000),
+        segments in 2u64..16,
+    ) {
+        let (stream, events, _) = encode_with_events(&seed_data, 11, 32);
+        let meta = plan_from_events(
+            &events, 32, stream.num_symbols, stream.words.len() as u64, 11,
+            PlannerConfig::with_segments(segments),
+        );
+        let bytes = metadata_to_bytes(&meta);
+        let back = metadata_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, meta);
+    }
+
+    /// SIMD kernels are bit-exact against the scalar decoder on arbitrary
+    /// streams (both LUT layouts).
+    #[test]
+    fn simd_kernels_bit_exact(
+        seed_data in vec(any::<u8>(), 100..8000),
+        n in prop::sample::select(vec![11u32, 16]),
+    ) {
+        let (stream, _, p) = encode_with_events(&seed_data, n, 32);
+        let serial: Vec<u8> = decode_interleaved(&stream, &p).unwrap();
+        let m = SimdModel::from_provider(&p);
+        for kernel in Kernel::all_available() {
+            let mut out = vec![0u8; seed_data.len()];
+            decode_interleaved_simd(kernel, &stream, &m, &mut out).unwrap();
+            prop_assert_eq!(&out, &serial, "kernel {:?}", kernel);
+        }
+    }
+
+    /// tANS multians decode equals serial tANS decode for any chunk count.
+    #[test]
+    fn multians_equals_serial(
+        seed_data in vec(any::<u8>(), 500..8000),
+        chunks in 1usize..64,
+    ) {
+        let table = TansTable::from_cdf(&CdfTable::of_bytes(&seed_data, 11));
+        let stream = encode_tans(&seed_data, &table);
+        let serial: Vec<u8> = decode_tans_serial(&stream, &table).unwrap();
+        let (par, _) = decode_multians::<u8>(&stream, &table, chunks, None).unwrap();
+        prop_assert_eq!(&serial, &seed_data);
+        prop_assert_eq!(par, serial);
+    }
+
+    /// Quantization invariants: sums to 2^n, support preserved, capped.
+    #[test]
+    fn quantizer_invariants(
+        counts in vec(0u64..100_000, 2..256),
+        n in 8u32..=16,
+    ) {
+        prop_assume!(counts.iter().any(|&c| c > 0));
+        let freqs = recoil::models::quantize_counts(&counts, n);
+        prop_assert_eq!(freqs.iter().map(|&f| f as u64).sum::<u64>(), 1u64 << n);
+        for (i, (&c, &f)) in counts.iter().zip(&freqs).enumerate() {
+            prop_assert!((c > 0) == (f > 0) || (c == 0 && f == 1), "symbol {i}");
+            prop_assert!((f as u64) < (1u64 << n));
+        }
+    }
+}
