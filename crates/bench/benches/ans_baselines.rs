@@ -28,7 +28,9 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(decode_single::<u8, _>(&single_stream, &model).unwrap()));
     });
     group.bench_function("rans_interleaved_32", |b| {
-        b.iter(|| std::hint::black_box(decode_interleaved::<u8, _>(&inter_stream, &model).unwrap()));
+        b.iter(|| {
+            std::hint::black_box(decode_interleaved::<u8, _>(&inter_stream, &model).unwrap())
+        });
     });
     group.bench_function("tans_serial", |b| {
         b.iter(|| std::hint::black_box(decode_tans_serial::<u8>(&tans_stream, &table).unwrap()));

@@ -4,12 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use recoil::conventional::encode_conventional;
+use recoil::core::codec::decode_pooled;
 use recoil::prelude::*;
 
 fn bench_pipeline(c: &mut Criterion) {
     let data = recoil::data::exponential_bytes(2_000_000, 100.0, 42);
     let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
-    let container = encode_with_splits(&data, &model, 32, 256);
+    let codec = Codec::builder().max_segments(256).build().unwrap();
+    let container = codec.encode_with_provider(&data, &model).unwrap();
     let conv = encode_conventional(&data, &model, 32, 256);
     let meta_bytes = metadata_to_bytes(&container.metadata);
     let pool = ThreadPool::with_default_parallelism();
@@ -19,7 +21,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(data.len() as u64));
 
     group.bench_function("encode_with_split_planning", |b| {
-        b.iter(|| std::hint::black_box(encode_with_splits(&data, &model, 32, 256)));
+        b.iter(|| std::hint::black_box(codec.encode_with_provider(&data, &model).unwrap()));
     });
     group.bench_function("encode_plain_interleaved", |b| {
         b.iter(|| {
@@ -31,8 +33,14 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("decode_recoil_parallel", |b| {
         let mut out = vec![0u8; data.len()];
         b.iter(|| {
-            decode_recoil_into(&container.stream, &container.metadata, &model, Some(&pool), &mut out)
-                .unwrap();
+            decode_pooled(
+                &container.stream,
+                &container.metadata,
+                &model,
+                Some(&pool),
+                &mut out,
+            )
+            .unwrap();
             std::hint::black_box(&out);
         });
     });

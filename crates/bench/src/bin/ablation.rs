@@ -8,10 +8,10 @@
 //! 3. **Combine cost**: the real-time split-combining latency for a range
 //!    of requested parallelism levels (§3.3 claims it is negligible).
 
-use recoil_bench::report::{print_table, Reporter};
-use recoil_bench::BenchConfig;
 use recoil::core::{plan_from_events, Heuristic, PlannerConfig};
 use recoil::prelude::*;
+use recoil_bench::report::{print_table, Reporter};
+use recoil_bench::BenchConfig;
 use std::time::Instant;
 
 fn heuristic_study(data: &[u8], reporter: &mut Reporter) {
@@ -22,9 +22,10 @@ fn heuristic_study(data: &[u8], reporter: &mut Reporter) {
     let stream = enc.finish();
 
     let mut rows = Vec::new();
-    for (name, heuristic) in
-        [("Def4.1 sync-aware", Heuristic::SyncAware), ("naive nearest", Heuristic::NearestOnly)]
-    {
+    for (name, heuristic) in [
+        ("Def4.1 sync-aware", Heuristic::SyncAware),
+        ("naive nearest", Heuristic::NearestOnly),
+    ] {
         for segments in [16u64, 256, 2176] {
             let mut cfg = PlannerConfig::with_segments(segments);
             cfg.heuristic = heuristic;
@@ -43,7 +44,14 @@ fn heuristic_study(data: &[u8], reporter: &mut Reporter) {
             let spans: Vec<u64> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
             let target = stream.num_symbols as f64 / segments as f64;
             let worst = spans.iter().max().copied().unwrap_or(0) as f64 / target;
-            reporter.push("ablation-heuristic", name, &segments.to_string(), avg_sync, "sync symbols", None);
+            reporter.push(
+                "ablation-heuristic",
+                name,
+                &segments.to_string(),
+                avg_sync,
+                "sync symbols",
+                None,
+            );
             rows.push(vec![
                 name.into(),
                 segments.to_string(),
@@ -55,7 +63,13 @@ fn heuristic_study(data: &[u8], reporter: &mut Reporter) {
     }
     print_table(
         "Ablation 1: split heuristic (10 MB text, n=11)",
-        &["heuristic", "segments", "avg sync len", "max sync len", "worst span/target"],
+        &[
+            "heuristic",
+            "segments",
+            "avg sync len",
+            "max sync len",
+            "worst span/target",
+        ],
         &rows,
     );
 }
@@ -64,11 +78,19 @@ fn metadata_scaling(data: &[u8], reporter: &mut Reporter) {
     let model = StaticModelProvider::new(CdfTable::of_bytes(data, 11));
     let mut rows = Vec::new();
     for segments in [16u64, 64, 256, 1024, 2176, 4096] {
-        let c = encode_with_splits(data, &model, 32, segments);
+        let codec = Codec::builder().max_segments(segments).build().unwrap();
+        let c = codec.encode_with_provider(data, &model).unwrap();
         let meta_bytes = c.metadata_bytes();
         let per_split = meta_bytes as f64 / (c.metadata.num_segments() - 1).max(1) as f64;
         let pct = 100.0 * meta_bytes as f64 / c.stream_bytes() as f64;
-        reporter.push("ablation-metadata", "rand_100", &segments.to_string(), per_split, "B/split", None);
+        reporter.push(
+            "ablation-metadata",
+            "rand_100",
+            &segments.to_string(),
+            per_split,
+            "B/split",
+            None,
+        );
         rows.push(vec![
             segments.to_string(),
             c.metadata.num_segments().to_string(),
@@ -79,7 +101,13 @@ fn metadata_scaling(data: &[u8], reporter: &mut Reporter) {
     }
     print_table(
         "Ablation 2: metadata size vs split count (10 MB rand_100, n=11, W=32)",
-        &["requested", "planned", "metadata bytes", "bytes/split", "of payload"],
+        &[
+            "requested",
+            "planned",
+            "metadata bytes",
+            "bytes/split",
+            "of payload",
+        ],
         &rows,
     );
     println!("paper §5.2 ballpark: ≈76 B/split at W=32 (64 B of raw u16 states + diffs)");
@@ -87,7 +115,8 @@ fn metadata_scaling(data: &[u8], reporter: &mut Reporter) {
 
 fn combine_cost(data: &[u8], reporter: &mut Reporter) {
     let model = StaticModelProvider::new(CdfTable::of_bytes(data, 11));
-    let c = encode_with_splits(data, &model, 32, 2176);
+    let codec = Codec::builder().max_segments(2176).build().unwrap();
+    let c = codec.encode_with_provider(data, &model).unwrap();
     let mut rows = Vec::new();
     for target in [1u64, 4, 16, 64, 256, 1024] {
         let runs = 200;
@@ -104,7 +133,14 @@ fn combine_cost(data: &[u8], reporter: &mut Reporter) {
             std::hint::black_box(metadata_to_bytes(&m));
         }
         let with_ser = t0.elapsed().as_secs_f64() / runs as f64;
-        reporter.push("ablation-combine", "rand_100", &target.to_string(), with_ser * 1e6, "us", None);
+        reporter.push(
+            "ablation-combine",
+            "rand_100",
+            &target.to_string(),
+            with_ser * 1e6,
+            "us",
+            None,
+        );
         rows.push(vec![
             target.to_string(),
             format!("{:.1} µs", each * 1e6),
@@ -121,9 +157,13 @@ fn combine_cost(data: &[u8], reporter: &mut Reporter) {
 fn main() {
     let _cfg = BenchConfig::from_args();
     let mut reporter = Reporter::new();
-    let text = recoil::data::Dataset::by_name("enwik9").unwrap().generate_bytes(10_000_000);
+    let text = recoil::data::Dataset::by_name("enwik9")
+        .unwrap()
+        .generate_bytes(10_000_000);
     heuristic_study(&text, &mut reporter);
-    let rand = recoil::data::Dataset::by_name("rand_100").unwrap().generate_bytes(10_000_000);
+    let rand = recoil::data::Dataset::by_name("rand_100")
+        .unwrap()
+        .generate_bytes(10_000_000);
     metadata_scaling(&rand, &mut reporter);
     combine_cost(&rand, &mut reporter);
     reporter.flush("ablation");

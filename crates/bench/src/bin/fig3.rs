@@ -5,9 +5,9 @@
 //!
 //! Paper reference points: 1 → +0.00%, 16 → +0.02%, 2176 → +3.20%.
 
-use recoil_bench::report::{print_table, Reporter};
 use recoil::conventional::encode_conventional;
 use recoil::prelude::*;
+use recoil_bench::report::{print_table, Reporter};
 
 fn main() {
     let enwik9 = recoil::data::Dataset::by_name("enwik9").unwrap();
@@ -29,7 +29,14 @@ fn main() {
         }
         let pct = 100.0 * (bytes as f64 - base as f64) / base as f64;
         let paper_pct = paper.iter().find(|(p, _)| *p == parts).map(|&(_, v)| v);
-        reporter.push("fig3", "enwik9[0..10MB]", &parts.to_string(), pct, "%", paper_pct);
+        reporter.push(
+            "fig3",
+            "enwik9[0..10MB]",
+            &parts.to_string(),
+            pct,
+            "%",
+            paper_pct,
+        );
         rows.push(vec![
             parts.to_string(),
             format!("{:.3} MB", bytes as f64 / 1e6),

@@ -13,12 +13,23 @@
 //! cargo run -p recoil-bench --release --bin fig7 -- --full --runs 10
 //! ```
 
+use recoil::core::codec::{decode_pooled, DecodeRequest};
+use recoil::data::ALL_DATASETS;
+use recoil::prelude::*;
 use recoil_bench::report::{print_table, Reporter};
 use recoil_bench::variations::{ByteVariations, LARGE};
 use recoil_bench::{measure_gbps, BenchConfig};
-use recoil::data::ALL_DATASETS;
-use recoil::prelude::*;
 use std::sync::Arc;
+
+/// The decode backend matching one of the paper's kernel configurations,
+/// sized to `threads` total decode threads.
+fn backend_for(kernel: Kernel, threads: usize) -> Box<dyn DecodeBackend> {
+    match kernel {
+        Kernel::Scalar => Box::new(PooledBackend::new(threads)),
+        Kernel::Avx2 => Box::new(Avx2Backend::with_threads(threads)),
+        Kernel::Avx512 => Box::new(Avx512Backend::with_threads(threads)),
+    }
+}
 
 /// Paper Figure 7 values in GB/s: (dataset, n) → per-configuration numbers.
 /// Order: [multians, ConvCUDA, RecoilCUDA, ST-512, Conv-512, Recoil-512,
@@ -62,10 +73,16 @@ fn fmt(v: f64, paper: f64) -> String {
 
 fn byte_dataset_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
     let cpu_pool = ThreadPool::new(cfg.threads.saturating_sub(1));
+    let gpu_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let gpu_pool = ThreadPool::with_default_parallelism();
+    let gpu_backend = backend_for(Kernel::best(), gpu_threads);
     let kernels: Vec<Kernel> = [Kernel::Avx512, Kernel::Avx2]
         .into_iter()
         .filter(|k| k.is_available())
+        .collect();
+    let cpu_backends: Vec<(Kernel, Box<dyn DecodeBackend>)> = kernels
+        .iter()
+        .map(|&k| (k, backend_for(k, cfg.threads)))
         .collect();
 
     for &n in &[11u32, 16] {
@@ -91,15 +108,12 @@ fn byte_dataset_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
                     .unwrap();
             });
             let g_rec = measure_gbps(cfg.runs, bytes, || {
-                decode_recoil_simd(
-                    kern,
-                    &v.recoil_large.stream,
-                    &v.recoil_large.metadata,
-                    &v.model,
-                    Some(&gpu_pool),
-                    &mut out,
-                )
-                .unwrap();
+                let req = DecodeRequest {
+                    stream: &v.recoil_large.stream,
+                    metadata: &v.recoil_large.metadata,
+                    model: &v.model,
+                };
+                gpu_backend.decode_u8(&req, &mut out).unwrap();
             });
             for (cfg_name, val, p) in [
                 ("multians", g_mult, paper[0]),
@@ -124,26 +138,30 @@ fn byte_dataset_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
 
             // --- CPU: Single-Thread (a), Conventional (d), Recoil (e). ---
             let mut row = vec![d.name.to_string()];
-            for (ki, &kernel) in kernels.iter().enumerate() {
+            for (ki, (kernel, cpu_backend)) in cpu_backends.iter().enumerate() {
+                let kernel = *kernel;
                 let pbase = if kernel == Kernel::Avx512 { 3 } else { 6 };
                 let c_single = measure_gbps(cfg.runs, bytes, || {
                     let m = SimdModel::from_provider(&v.model);
                     decode_interleaved_simd(kernel, &v.recoil_large.stream, &m, &mut out).unwrap();
                 });
                 let c_conv = measure_gbps(cfg.runs, bytes, || {
-                    decode_conventional_simd(kernel, &v.conv_small, &v.model, Some(&cpu_pool), &mut out)
-                        .unwrap();
-                });
-                let c_rec = measure_gbps(cfg.runs, bytes, || {
-                    decode_recoil_simd(
+                    decode_conventional_simd(
                         kernel,
-                        &v.recoil_large.stream,
-                        &v.recoil_small,
+                        &v.conv_small,
                         &v.model,
                         Some(&cpu_pool),
                         &mut out,
                     )
                     .unwrap();
+                });
+                let c_rec = measure_gbps(cfg.runs, bytes, || {
+                    let req = DecodeRequest {
+                        stream: &v.recoil_large.stream,
+                        metadata: &v.recoil_small,
+                        model: &v.model,
+                    };
+                    cpu_backend.decode_u8(&req, &mut out).unwrap();
                 });
                 for (cfg_name, val, p) in [
                     ("single", c_single, paper[pbase]),
@@ -180,7 +198,10 @@ fn byte_dataset_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
             }
         }
         print_table(
-            &format!("Figure 7 CPU ({} threads, n={n}), GB/s [paper]", cfg.threads),
+            &format!(
+                "Figure 7 CPU ({} threads, n={n}), GB/s [paper]",
+                cfg.threads
+            ),
             &headers,
             &cpu_rows,
         );
@@ -200,7 +221,14 @@ fn latent_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
         let bytes = cfg.dataset_bytes(d);
         eprintln!("[fig7 {}: {bytes} latent bytes]", d.name);
         let ds = d.generate_latents(Arc::clone(&bank), bytes);
-        let recoil_large = encode_with_splits(&ds.symbols, &ds.provider, 32, LARGE as u64);
+        let codec = Codec::builder()
+            .max_segments(LARGE as u64)
+            .quant_bits(16)
+            .build()
+            .unwrap();
+        let recoil_large = codec
+            .encode_with_provider(&ds.symbols, &ds.provider)
+            .unwrap();
         let recoil_small = combine_splits(&recoil_large.metadata, 16);
         let conv_large =
             recoil::conventional::encode_conventional(&ds.symbols, &ds.provider, 32, LARGE);
@@ -219,7 +247,7 @@ fn latent_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
             .unwrap();
         });
         let g_rec = measure_gbps(cfg.runs, bytes, || {
-            decode_recoil_into(
+            decode_pooled(
                 &recoil_large.stream,
                 &recoil_large.metadata,
                 &ds.provider,
@@ -238,7 +266,7 @@ fn latent_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
             .unwrap();
         });
         let c_rec = measure_gbps(cfg.runs, bytes, || {
-            decode_recoil_into(
+            decode_pooled(
                 &recoil_large.stream,
                 &recoil_small,
                 &ds.provider,
@@ -253,7 +281,14 @@ fn latent_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
             ("fig7-cpu-adaptive-n16", "conv", c_conv, paper[4]),
             ("fig7-cpu-adaptive-n16", "recoil", c_rec, paper[5]),
         ] {
-            reporter.push(exp, d.name, cfg_name, val, "GB/s", (!p.is_nan()).then_some(p));
+            reporter.push(
+                exp,
+                d.name,
+                cfg_name,
+                val,
+                "GB/s",
+                (!p.is_nan()).then_some(p),
+            );
         }
         rows.push(vec![
             d.name.into(),
@@ -265,7 +300,13 @@ fn latent_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
     }
     print_table(
         "Figure 7 div2k (adaptive n=16, scalar decoder), GB/s [paper]",
-        &["dataset", "GPU-sim Conv(b)", "GPU-sim Recoil(c)", "CPU Conv(d)", "CPU Recoil(e)"],
+        &[
+            "dataset",
+            "GPU-sim Conv(b)",
+            "GPU-sim Recoil(c)",
+            "CPU Conv(d)",
+            "CPU Recoil(e)",
+        ],
         &rows,
     );
 }

@@ -6,11 +6,11 @@
 //! cargo run -p recoil-bench --release --bin tables -- --full  # paper sizes
 //! ```
 
+use recoil::data::ALL_DATASETS;
+use recoil::prelude::*;
 use recoil_bench::report::{fmt_delta, print_table, Reporter};
 use recoil_bench::variations::{ByteVariations, LARGE, SMALL};
 use recoil_bench::BenchConfig;
-use recoil::data::ALL_DATASETS;
-use recoil::prelude::*;
 use std::sync::Arc;
 
 /// Paper deltas for Tables 5/6: (dataset, n, variation) → percent.
@@ -65,7 +65,10 @@ fn byte_dataset_tables(cfg: &BenchConfig, reporter: &mut Reporter) {
         for d in ALL_DATASETS.iter().filter(|d| !d.is_latent()) {
             let bytes = cfg.dataset_bytes(d);
             let scale = bytes as f64 / d.full_bytes() as f64;
-            eprintln!("[{} n={n}: generating {bytes} bytes + building 6 variations]", d.name);
+            eprintln!(
+                "[{} n={n}: generating {bytes} bytes + building 6 variations]",
+                d.name
+            );
             let data = d.generate_bytes(bytes);
             let v = ByteVariations::build(&data, n);
             let a = v.baseline_bytes();
@@ -78,7 +81,14 @@ fn byte_dataset_tables(cfg: &BenchConfig, reporter: &mut Reporter) {
                 d.paper.baseline_n16_kb as f64
             } * 1000.0
                 * scale;
-            reporter.push("table4", d.name, &format!("(a) n={n}"), a as f64, "bytes", Some(paper_a));
+            reporter.push(
+                "table4",
+                d.name,
+                &format!("(a) n={n}"),
+                a as f64,
+                "bytes",
+                Some(paper_a),
+            );
             t4_rows.push(vec![
                 d.name.to_string(),
                 format!("{:.0} KB", bytes as f64 / 1e3),
@@ -120,7 +130,14 @@ fn byte_dataset_tables(cfg: &BenchConfig, reporter: &mut Reporter) {
                 "Table {} (n={n}): size deltas vs (a); Large={LARGE}, Small={SMALL}",
                 if n == 11 { 5 } else { 6 }
             ),
-            &["dataset", "(b) ConvLarge", "(c) RecoilLarge", "(d) ConvSmall", "(e) RecoilSmall", "(f) multians"],
+            &[
+                "dataset",
+                "(b) ConvLarge",
+                "(c) RecoilLarge",
+                "(d) ConvSmall",
+                "(e) RecoilSmall",
+                "(f) multians",
+            ],
             &delta_rows,
         );
     }
@@ -134,7 +151,14 @@ fn latent_tables(cfg: &BenchConfig, reporter: &mut Reporter) {
         let bytes = cfg.dataset_bytes(d);
         eprintln!("[{}: generating {bytes} latent bytes + variations]", d.name);
         let ds = d.generate_latents(Arc::clone(&bank), bytes);
-        let recoil_large = encode_with_splits(&ds.symbols, &ds.provider, 32, 2176);
+        let codec = Codec::builder()
+            .max_segments(2176)
+            .quant_bits(16)
+            .build()
+            .unwrap();
+        let recoil_large = codec
+            .encode_with_provider(&ds.symbols, &ds.provider)
+            .unwrap();
         let recoil_small = combine_splits(&recoil_large.metadata, 16);
         let conv_large =
             recoil::conventional::encode_conventional(&ds.symbols, &ds.provider, 32, 2176);
@@ -142,8 +166,16 @@ fn latent_tables(cfg: &BenchConfig, reporter: &mut Reporter) {
             recoil::conventional::encode_conventional(&ds.symbols, &ds.provider, 32, 16);
 
         let a = recoil_large.stream_bytes();
-        let paper_a = d.paper.baseline_n16_kb as f64 * 1000.0 * (bytes as f64 / d.full_bytes() as f64);
-        reporter.push("table4", d.name, "(a) n=16", a as f64, "bytes", Some(paper_a));
+        let paper_a =
+            d.paper.baseline_n16_kb as f64 * 1000.0 * (bytes as f64 / d.full_bytes() as f64);
+        reporter.push(
+            "table4",
+            d.name,
+            "(a) n=16",
+            a as f64,
+            "bytes",
+            Some(paper_a),
+        );
 
         let deltas = [
             ("(b)", conv_large.payload_bytes() as i64 - a as i64),
@@ -169,7 +201,14 @@ fn latent_tables(cfg: &BenchConfig, reporter: &mut Reporter) {
     }
     print_table(
         "Table 6 (div2k, adaptive n=16): size deltas vs (a)",
-        &["dataset", "(a) ours/paper", "(b) ConvLarge", "(c) RecoilLarge", "(d) ConvSmall", "(e) RecoilSmall"],
+        &[
+            "dataset",
+            "(a) ours/paper",
+            "(b) ConvLarge",
+            "(c) RecoilLarge",
+            "(d) ConvSmall",
+            "(e) RecoilSmall",
+        ],
         &rows,
     );
 }

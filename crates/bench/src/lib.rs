@@ -33,7 +33,11 @@ impl BenchConfig {
     /// Parses `--full`, `--threads N`, `--runs N` from argv.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let mut cfg = Self { full: false, threads: 16, runs: 5 };
+        let mut cfg = Self {
+            full: false,
+            threads: 16,
+            runs: 5,
+        };
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {

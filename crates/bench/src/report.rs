@@ -1,12 +1,11 @@
 //! Table printing and JSON result recording.
 
-use serde::Serialize;
 use std::io::Write;
 use std::path::Path;
 
 /// One measured data point, written to `results/<experiment>.json` so
 /// `EXPERIMENTS.md` can cite exact numbers.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Record {
     /// Table/figure id, e.g. `"table5"`, `"fig7-gpu"`.
     pub experiment: String,
@@ -61,14 +60,64 @@ impl Reporter {
         let path = dir.join(format!("{name}.json"));
         match std::fs::File::create(&path) {
             Ok(mut f) => {
-                let json =
-                    serde_json::to_string_pretty(&self.records).expect("serializable records");
+                let json = records_to_json(&self.records);
                 let _ = f.write_all(json.as_bytes());
                 eprintln!("[results written to {}]", path.display());
             }
             Err(e) => eprintln!("[could not write {}: {e}]", path.display()),
         }
     }
+}
+
+/// Serializes records as pretty-printed JSON. The record fields are flat
+/// strings/numbers, so hand-rolled emission (with string escaping) keeps the
+/// harness free of registry dependencies.
+fn records_to_json(records: &[Record]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!(
+            "    \"experiment\": \"{}\",\n",
+            esc(&r.experiment)
+        ));
+        out.push_str(&format!("    \"dataset\": \"{}\",\n", esc(&r.dataset)));
+        out.push_str(&format!("    \"config\": \"{}\",\n", esc(&r.config)));
+        out.push_str(&format!("    \"value\": {},\n", num(r.value)));
+        out.push_str(&format!("    \"unit\": \"{}\",\n", esc(&r.unit)));
+        match r.paper {
+            Some(p) => out.push_str(&format!("    \"paper\": {}\n", num(p))),
+            None => out.push_str("    \"paper\": null\n"),
+        }
+        out.push_str(if i + 1 == records.len() {
+            "  }\n"
+        } else {
+            "  },\n"
+        });
+    }
+    out.push(']');
+    out
 }
 
 /// Prints an aligned text table.
@@ -90,7 +139,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         line(row);
     }

@@ -37,13 +37,28 @@ impl ByteVariations {
     /// Builds every variation for `data` at level `n`.
     pub fn build(data: &[u8], n: u32) -> Self {
         let model = StaticModelProvider::new(CdfTable::of_bytes(data, n));
-        let recoil_large = encode_with_splits(data, &model, 32, LARGE as u64);
+        let codec = Codec::builder()
+            .ways(32)
+            .max_segments(LARGE as u64)
+            .quant_bits(n)
+            .build()
+            .expect("static variation config is valid");
+        let recoil_large = codec
+            .encode_with_provider(data, &model)
+            .expect("matching model");
         let recoil_small = combine_splits(&recoil_large.metadata, SMALL as u64);
         let conv_large = encode_conventional(data, &model, 32, LARGE);
         let conv_small = encode_conventional(data, &model, 32, SMALL);
         let table = TansTable::from_cdf(&CdfTable::of_bytes(data, n));
         let tans_stream = encode_tans(data, &table);
-        Self { model, recoil_large, recoil_small, conv_large, conv_small, tans: (tans_stream, table) }
+        Self {
+            model,
+            recoil_large,
+            recoil_small,
+            conv_large,
+            conv_small,
+            tans: (tans_stream, table),
+        }
     }
 
     /// Variation (a) baseline payload bytes.
@@ -70,6 +85,7 @@ impl ByteVariations {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recoil::core::codec::decode_pooled;
 
     #[test]
     fn variations_have_paper_size_ordering() {
@@ -92,12 +108,31 @@ mod tests {
         let pool = ThreadPool::new(3);
         let a: Vec<u8> = decode_interleaved(&v.recoil_large.stream, &v.model).unwrap();
         let b: Vec<u8> = decode_conventional(&v.conv_large, &v.model, Some(&pool)).unwrap();
-        let c: Vec<u8> =
-            decode_recoil(&v.recoil_large.stream, &v.recoil_large.metadata, &v.model, Some(&pool))
-                .unwrap();
+        let c: Vec<u8> = {
+            let mut out = vec![0u8; data.len()];
+            decode_pooled(
+                &v.recoil_large.stream,
+                &v.recoil_large.metadata,
+                &v.model,
+                Some(&pool),
+                &mut out,
+            )
+            .unwrap();
+            out
+        };
         let d: Vec<u8> = decode_conventional(&v.conv_small, &v.model, Some(&pool)).unwrap();
-        let e: Vec<u8> =
-            decode_recoil(&v.recoil_large.stream, &v.recoil_small, &v.model, Some(&pool)).unwrap();
+        let e: Vec<u8> = {
+            let mut out = vec![0u8; data.len()];
+            decode_pooled(
+                &v.recoil_large.stream,
+                &v.recoil_small,
+                &v.model,
+                Some(&pool),
+                &mut out,
+            )
+            .unwrap();
+            out
+        };
         let (f, _) = decode_multians::<u8>(&v.tans.0, &v.tans.1, LARGE, Some(&pool)).unwrap();
         for (label, got) in [("a", a), ("b", b), ("c", c), ("d", d), ("e", e), ("f", f)] {
             assert_eq!(got, data, "variation ({label})");

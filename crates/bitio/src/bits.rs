@@ -24,7 +24,10 @@ impl BitWriter {
     /// Writes the low `n` bits of `v` (`n <= 64`).
     pub fn write(&mut self, v: u64, n: u32) {
         debug_assert!(n <= 64);
-        debug_assert!(n == 64 || v < (1u64 << n), "value {v} does not fit in {n} bits");
+        debug_assert!(
+            n == 64 || v < (1u64 << n),
+            "value {v} does not fit in {n} bits"
+        );
         let mut v = if n == 64 { v } else { v & ((1u64 << n) - 1) };
         let mut left = n;
         while left > 0 {
@@ -90,9 +93,7 @@ impl<'a> BitReader<'a> {
         // sub-byte offset. This is the hot call of the tANS decoders.
         let byte = (self.pos / 8) as usize;
         if n <= 57 && byte + 8 <= self.bytes.len() {
-            let word = u64::from_le_bytes(
-                self.bytes[byte..byte + 8].try_into().expect("8 bytes"),
-            );
+            let word = u64::from_le_bytes(self.bytes[byte..byte + 8].try_into().expect("8 bytes"));
             let off = (self.pos % 8) as u32;
             self.pos += n as u64;
             // `n == 0` must yield 0 (shift-by-64 is UB-adjacent otherwise).

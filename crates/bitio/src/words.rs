@@ -22,7 +22,9 @@ impl WordStream {
 
     /// Creates an empty stream with room for `cap` words.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { words: Vec::with_capacity(cap) }
+        Self {
+            words: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends one word and returns the offset it was written at.

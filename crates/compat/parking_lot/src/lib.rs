@@ -1,0 +1,142 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no registry access, so this shim implements the
+//! small API subset the workspace uses — `Mutex::{new, lock, into_inner}` and
+//! `Condvar::{new, wait, notify_all, notify_one}` — on top of `std::sync`.
+//! Semantics match parking_lot where it matters here: `lock()` returns the
+//! guard directly (poisoning is absorbed, as parking_lot has none), and
+//! `Condvar::wait` takes the guard by `&mut`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Mutual exclusion primitive (non-poisoning facade over [`std::sync::Mutex`]).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Wraps the std guard in an `Option` so [`Condvar::wait`] can temporarily
+/// take ownership through a `&mut` borrow, parking_lot-style.
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { guard: Some(guard) }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard
+            .as_deref()
+            .expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard
+            .as_deref_mut()
+            .expect("guard present outside Condvar::wait")
+    }
+}
+
+/// Condition variable pairing with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guarded lock and blocks until notified;
+    /// the lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.guard.take().expect("guard present entering wait");
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.guard = Some(inner);
+    }
+
+    /// Wakes every thread blocked in [`Condvar::wait`].
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Wakes one thread blocked in [`Condvar::wait`].
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(5i32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn condvar_handshake() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        {
+            let (m, cv) = &*shared;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+}

@@ -107,7 +107,10 @@ mod tests {
         let bank = Arc::new(GaussianScaleBank::build(12, 256, 8, 0.5, 32.0));
         let count = 50_000usize;
         let specs: Vec<LatentSpec> = (0..count)
-            .map(|i| LatentSpec { mean: 3000 + (i % 512) as u16, scale_idx: (i % 8) as u8 })
+            .map(|i| LatentSpec {
+                mean: 3000 + (i % 512) as u16,
+                scale_idx: (i % 8) as u8,
+            })
             .collect();
         let p = LatentModelProvider::new(bank, specs.clone());
         let data: Vec<u16> = (0..count)

@@ -64,7 +64,9 @@ mod tests {
     use recoil_models::{CdfTable, StaticModelProvider};
 
     fn sample(len: usize) -> Vec<u8> {
-        (0..len as u32).map(|i| (i.wrapping_mul(2654435761) >> 23) as u8).collect()
+        (0..len as u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 23) as u8)
+            .collect()
     }
 
     #[test]
@@ -99,6 +101,9 @@ mod tests {
         assert!(p16 > base);
         assert!(p128 > p16);
         let per_chunk = (p128 - base) as f64 / 127.0;
-        assert!(per_chunk > 100.0 && per_chunk < 200.0, "per-chunk cost {per_chunk}");
+        assert!(
+            per_chunk > 100.0 && per_chunk < 200.0,
+            "per-chunk cost {per_chunk}"
+        );
     }
 }

@@ -35,7 +35,10 @@ pub fn combine_splits(meta: &RecoilMetadata, segments: u64) -> RecoilMetadata {
         }
     }
     let splits = keep.iter().map(|&j| meta.splits[j].clone()).collect();
-    let combined = RecoilMetadata { splits, ..meta.clone() };
+    let combined = RecoilMetadata {
+        splits,
+        ..meta.clone()
+    };
     debug_assert!(combined.validate().is_ok());
     combined
 }

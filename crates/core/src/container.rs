@@ -37,15 +37,16 @@ impl RecoilContainer {
     }
 }
 
-/// Encodes `data` with `ways` interleaved lanes while planning split
-/// metadata for `segments` parallel decoders — the Recoil encode path.
-pub fn encode_with_splits<S: Symbol, P: ModelProvider>(
+/// The Recoil encode path: one interleaved bitstream plus planned split
+/// metadata. Shared engine behind [`crate::codec::Codec`] and the
+/// deprecated [`encode_with_splits`] shim.
+pub(crate) fn encode_container<S: Symbol, P: ModelProvider>(
     data: &[S],
     provider: &P,
     ways: u32,
-    segments: u64,
+    planner_config: PlannerConfig,
 ) -> RecoilContainer {
-    let mut planner = SplitPlanner::new(ways, data.len() as u64, PlannerConfig::with_segments(segments));
+    let mut planner = SplitPlanner::new(ways, data.len() as u64, planner_config);
     let mut enc = InterleavedEncoder::new(provider, ways);
     enc.encode_all(data, &mut planner);
     let stream = enc.finish();
@@ -53,16 +54,35 @@ pub fn encode_with_splits<S: Symbol, P: ModelProvider>(
     RecoilContainer { stream, metadata }
 }
 
+/// Encodes `data` with `ways` interleaved lanes while planning split
+/// metadata for `segments` parallel decoders.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `recoil_core::codec::Codec::builder()` — e.g. \
+            `Codec::builder().ways(32).max_segments(64).build()?.encode_with_provider(data, provider)`"
+)]
+pub fn encode_with_splits<S: Symbol, P: ModelProvider>(
+    data: &[S],
+    provider: &P,
+    ways: u32,
+    segments: u64,
+) -> RecoilContainer {
+    encode_container(data, provider, ways, PlannerConfig::with_segments(segments))
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims must keep working; tests exercise them
+
     use super::*;
     use crate::decoder::decode_recoil;
     use recoil_models::{CdfTable, StaticModelProvider};
 
     #[test]
     fn one_call_encode_decodes_back() {
-        let data: Vec<u8> =
-            (0..150_000u32).map(|i| (i.wrapping_mul(2654435761) >> 22) as u8).collect();
+        let data: Vec<u8> = (0..150_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 22) as u8)
+            .collect();
         let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
         let c = encode_with_splits(&data, &p, 32, 16);
         assert_eq!(c.metadata.num_segments(), 16);
@@ -72,15 +92,23 @@ mod tests {
 
     #[test]
     fn metadata_bytes_scale_with_segments() {
-        let data: Vec<u8> =
-            (0..400_000u32).map(|i| (i.wrapping_mul(747796405) >> 21) as u8).collect();
+        let data: Vec<u8> = (0..400_000u32)
+            .map(|i| (i.wrapping_mul(747796405) >> 21) as u8)
+            .collect();
         let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
         let small = encode_with_splits(&data, &p, 32, 8);
         let large = encode_with_splits(&data, &p, 32, 128);
-        assert_eq!(small.stream_bytes(), large.stream_bytes(), "bitstream is unchanged");
+        assert_eq!(
+            small.stream_bytes(),
+            large.stream_bytes(),
+            "bitstream is unchanged"
+        );
         assert!(large.metadata_bytes() > small.metadata_bytes() * 8);
         // ~76 bytes per split at W=32 (paper §5.2 ballpark).
         let per_split = large.metadata_bytes() as f64 / 127.0;
-        assert!(per_split > 60.0 && per_split < 100.0, "per-split {per_split}");
+        assert!(
+            per_split > 60.0 && per_split < 100.0,
+            "per-split {per_split}"
+        );
     }
 }

@@ -38,6 +38,11 @@ pub fn decode_split_count(meta: &RecoilMetadata) -> usize {
 /// useful for tests and for decoders without parallel capacity (the whole
 /// point of decoder-adaptive scalability is that such decoders receive
 /// metadata with fewer splits, not a different bitstream).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `recoil_core::codec::Codec::decode` with a `ScalarBackend`/`PooledBackend`, \
+            or `codec::decode_pooled` when implementing a backend"
+)]
 pub fn decode_recoil<S: Symbol, P: ModelProvider>(
     stream: &EncodedStream,
     meta: &RecoilMetadata,
@@ -45,12 +50,29 @@ pub fn decode_recoil<S: Symbol, P: ModelProvider>(
     pool: Option<&ThreadPool>,
 ) -> Result<Vec<S>, RansError> {
     let mut out = vec![S::from_u16(0); stream.num_symbols as usize];
-    decode_recoil_into(stream, meta, provider, pool, &mut out)?;
+    decode_into_impl(stream, meta, provider, pool, &mut out)?;
     Ok(out)
 }
 
-/// [`decode_recoil`] into a caller-provided buffer.
+/// Decodes a Recoil stream into a caller-provided buffer.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `recoil_core::codec::Codec::decode_into` with a `ScalarBackend`/`PooledBackend`, \
+            or `codec::decode_pooled` when implementing a backend"
+)]
 pub fn decode_recoil_into<S: Symbol, P: ModelProvider>(
+    stream: &EncodedStream,
+    meta: &RecoilMetadata,
+    provider: &P,
+    pool: Option<&ThreadPool>,
+    out: &mut [S],
+) -> Result<(), RansError> {
+    decode_into_impl(stream, meta, provider, pool, out)
+}
+
+/// The three-phase decode engine behind both the [`crate::codec`] backends
+/// and the deprecated free functions.
+pub(crate) fn decode_into_impl<S: Symbol, P: ModelProvider + ?Sized>(
     stream: &EncodedStream,
     meta: &RecoilMetadata,
     provider: &P,
@@ -104,7 +126,7 @@ pub fn decode_recoil_into<S: Symbol, P: ModelProvider>(
 /// Runs the three phases of one decode task.
 ///
 /// `seg` receives positions `lo .. lo + seg.len()` where `lo = bounds[m]`.
-fn decode_task<S: Symbol, P: ModelProvider>(
+fn decode_task<S: Symbol, P: ModelProvider + ?Sized>(
     m: usize,
     stream: &EncodedStream,
     meta: &RecoilMetadata,
@@ -122,7 +144,10 @@ fn decode_task<S: Symbol, P: ModelProvider>(
     } else {
         // The last task starts from the exact, explicitly transmitted final
         // states; no synchronization is needed.
-        (stream.final_states.clone(), BackwardWordReader::from_end(words))
+        (
+            stream.final_states.clone(),
+            BackwardWordReader::from_end(words),
+        )
     };
 
     // Decoding Phase + Cross-Boundary Phase: positions lo .. lo+len, writing
@@ -144,7 +169,7 @@ fn decode_task<S: Symbol, P: ModelProvider>(
 ///
 /// Returns the fully synchronized lane states and the next backward read
 /// offset (`None` when the stream head was reached).
-pub fn sync_split_states<P: ModelProvider>(
+pub fn sync_split_states<P: ModelProvider + ?Sized>(
     split: &SplitPoint,
     words: &[u16],
     provider: &P,
@@ -158,7 +183,7 @@ pub fn sync_split_states<P: ModelProvider>(
 
 /// Synchronization Phase (§4.1.1): recover full decoder states from the
 /// split's 16-bit metadata states, discarding the side-effect symbols.
-fn sync_phase<'w, P: ModelProvider>(
+fn sync_phase<'w, P: ModelProvider + ?Sized>(
     split: &crate::metadata::SplitPoint,
     words: &'w [u16],
     provider: &P,
@@ -198,12 +223,17 @@ fn sync_phase<'w, P: ModelProvider>(
         }
         pos -= 1;
     }
-    debug_assert!(ready.iter().all(|&r| r), "sync ended with uninitialized lanes");
+    debug_assert!(
+        ready.iter().all(|&r| r),
+        "sync ended with uninitialized lanes"
+    );
     Ok((states, reader))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims must keep working; tests exercise them
+
     use super::*;
     use crate::planner::{plan_from_events, PlannerConfig};
     use recoil_models::{CdfTable, StaticModelProvider};

@@ -1,0 +1,127 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible operation on the public Recoil surface — codec
+//! configuration, encoding, wire parsing, backend selection, content
+//! serving — reports a [`RecoilError`]. Decode-layer failures from the rANS
+//! substrate ([`RansError`]) are wrapped rather than re-modelled, so callers
+//! can still match on the precise low-level cause when they need it.
+
+use recoil_rans::RansError;
+use std::fmt;
+
+/// Unified error for the Recoil public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoilError {
+    /// A decode-layer failure (bitstream underflow, malformed stream or
+    /// metadata) surfaced from the rANS substrate.
+    Decode(RansError),
+    /// Serialized bytes (metadata wire format, container files) failed to
+    /// parse: truncated, corrupt, or version-incompatible input.
+    Wire {
+        /// What failed to parse.
+        detail: String,
+    },
+    /// A configuration value was rejected at validation time.
+    InvalidConfig {
+        /// The offending field, e.g. `"ways"`.
+        field: &'static str,
+        /// Why the value is invalid.
+        detail: String,
+    },
+    /// The requested decode backend cannot run on this host.
+    BackendUnavailable {
+        /// Backend name, e.g. `"avx512"`.
+        backend: &'static str,
+    },
+    /// Content was published under a name that is already taken.
+    AlreadyPublished {
+        /// The conflicting content name.
+        name: String,
+    },
+    /// A request referenced content that was never published.
+    NotFound {
+        /// The unknown content name.
+        name: String,
+    },
+}
+
+impl RecoilError {
+    /// Convenience constructor for wire/parse failures.
+    pub fn wire(detail: impl Into<String>) -> Self {
+        Self::Wire {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for config validation failures.
+    pub fn config(field: &'static str, detail: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            field,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for RecoilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Decode(e) => write!(f, "decode failed: {e}"),
+            Self::Wire { detail } => write!(f, "wire parse failed: {detail}"),
+            Self::InvalidConfig { field, detail } => {
+                write!(f, "invalid codec config: {field}: {detail}")
+            }
+            Self::BackendUnavailable { backend } => {
+                write!(f, "decode backend `{backend}` is unavailable on this host")
+            }
+            Self::AlreadyPublished { name } => {
+                write!(f, "content `{name}` is already published")
+            }
+            Self::NotFound { name } => write!(f, "content `{name}` is not published"),
+        }
+    }
+}
+
+impl std::error::Error for RecoilError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RansError> for RecoilError {
+    fn from(e: RansError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = RecoilError::from(RansError::BitstreamUnderflow { pos: 7 });
+        assert!(e.to_string().contains("position 7"));
+        assert!(RecoilError::wire("bad magic")
+            .to_string()
+            .contains("bad magic"));
+        let c = RecoilError::config("ways", "must be >= 1");
+        assert!(c.to_string().contains("ways"));
+        assert!(RecoilError::BackendUnavailable { backend: "avx512" }
+            .to_string()
+            .contains("avx512"));
+    }
+
+    #[test]
+    fn decode_source_is_preserved() {
+        use std::error::Error;
+        let e = RecoilError::from(RansError::MalformedStream("x".into()));
+        assert!(e.source().is_some());
+        assert_eq!(
+            e,
+            RecoilError::Decode(RansError::MalformedStream("x".into()))
+        );
+    }
+}

@@ -15,11 +15,12 @@
 //! u32 metadata_len | metadata bytes (§4.3 format)
 //! ```
 
+use crate::error::RecoilError;
 use crate::metadata::RecoilMetadata;
 use crate::wire::{metadata_from_bytes, metadata_to_bytes};
 use crate::RecoilContainer;
 use recoil_models::{CdfTable, StaticModelProvider};
-use recoil_rans::{EncodedStream, RansError};
+use recoil_rans::EncodedStream;
 
 const MAGIC: &[u8; 4] = b"RCLF";
 const VERSION: u8 = 1;
@@ -40,25 +41,32 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], RansError> {
-        if self.at + n > self.bytes.len() {
-            return Err(RansError::MalformedStream("truncated file".into()));
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RecoilError> {
+        let end = self.at.checked_add(n);
+        if end.is_none() || end.expect("checked") > self.bytes.len() {
+            return Err(RecoilError::wire("truncated file"));
         }
         let s = &self.bytes[self.at..self.at + n];
         self.at += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, RansError> {
+    fn u8(&mut self) -> Result<u8, RecoilError> {
         Ok(self.take(1)?[0])
     }
-    fn u16(&mut self) -> Result<u16, RansError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    fn u16(&mut self) -> Result<u16, RecoilError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
-    fn u32(&mut self) -> Result<u32, RansError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    fn u32(&mut self) -> Result<u32, RecoilError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
-    fn u64(&mut self) -> Result<u64, RansError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    fn u64(&mut self) -> Result<u64, RecoilError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -93,25 +101,39 @@ pub fn container_to_bytes(container: &RecoilContainer, model: &CdfTable) -> Vec<
 /// tables.
 pub fn container_from_bytes(
     bytes: &[u8],
-) -> Result<(RecoilContainer, StaticModelProvider), RansError> {
+) -> Result<(RecoilContainer, StaticModelProvider), RecoilError> {
     let mut c = Cursor { bytes, at: 0 };
     if c.take(4)? != MAGIC {
-        return Err(RansError::MalformedStream("bad magic".into()));
+        return Err(RecoilError::wire("bad magic"));
     }
     if c.u8()? != VERSION {
-        return Err(RansError::MalformedStream("unsupported version".into()));
+        return Err(RecoilError::wire("unsupported version"));
     }
     let n = c.u8()? as u32;
     if !(1..=16).contains(&n) {
-        return Err(RansError::MalformedStream(format!("bad quantization level {n}")));
+        return Err(RecoilError::wire(format!("bad quantization level {n}")));
     }
     let ways = c.u16()? as u32;
     let alphabet = c.u32()? as usize;
     if alphabet == 0 || alphabet > 1 << 16 {
-        return Err(RansError::MalformedStream(format!("bad alphabet size {alphabet}")));
+        return Err(RecoilError::wire(format!("bad alphabet size {alphabet}")));
     }
     let num_symbols = c.u64()?;
     let num_words = c.u64()? as usize;
+
+    // Information-capacity sanity bound: every encoded symbol multiplies a
+    // lane state by at least 2^n / (2^n - 1), and all of that growth must
+    // fit in the renorm words plus the 16 bits of per-lane state headroom
+    // (states start at 2^16 and end below 2^32). A header whose symbol
+    // count exceeds this is hostile or corrupt — rejecting it here keeps
+    // the decode-side output allocation proportional to the file size.
+    let min_bits_per_symbol = ((1u64 << n) as f64).log2() - ((1u64 << n) as f64 - 1.0).log2();
+    let capacity_bits = 16.0 * (num_words as f64 + ways as f64);
+    if num_symbols as f64 * min_bits_per_symbol > capacity_bits * 1.001 + 64.0 {
+        return Err(RecoilError::wire(format!(
+            "symbol count {num_symbols} impossible for {num_words} words over {ways} lanes"
+        )));
+    }
 
     let mut freqs = Vec::with_capacity(alphabet);
     for _ in 0..alphabet {
@@ -119,9 +141,12 @@ pub fn container_from_bytes(
     }
     let sum: u64 = freqs.iter().map(|&f| f as u64).sum();
     if sum != 1 << n {
-        return Err(RansError::MalformedStream(format!(
+        return Err(RecoilError::wire(format!(
             "model frequencies sum to {sum}, expected 2^{n}"
         )));
+    }
+    if freqs.iter().any(|&f| (f as u64) >= (1u64 << n)) {
+        return Err(RecoilError::wire("model frequency reaches 2^n".to_string()));
     }
     let table = CdfTable::from_freqs(freqs, n);
 
@@ -129,7 +154,11 @@ pub fn container_from_bytes(
     for _ in 0..ways {
         final_states.push(c.u32()?);
     }
-    let word_bytes = c.take(num_words * 2)?;
+    let word_bytes = c.take(
+        num_words
+            .checked_mul(2)
+            .ok_or_else(|| RecoilError::wire("word count overflows"))?,
+    )?;
     let words: Vec<u16> = word_bytes
         .chunks_exact(2)
         .map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
@@ -138,20 +167,36 @@ pub fn container_from_bytes(
     let meta_len = c.u32()? as usize;
     let metadata: RecoilMetadata = metadata_from_bytes(c.take(meta_len)?)?;
 
-    let stream = EncodedStream { words, final_states, num_symbols, ways };
-    stream.validate()?;
-    metadata.validate_against(&stream)?;
-    Ok((RecoilContainer { stream, metadata }, StaticModelProvider::new(table)))
+    let stream = EncodedStream {
+        words,
+        final_states,
+        num_symbols,
+        ways,
+    };
+    stream
+        .validate()
+        .map_err(|e| RecoilError::wire(format!("parsed stream is inconsistent: {e}")))?;
+    metadata
+        .validate_against(&stream)
+        .map_err(|e| RecoilError::wire(format!("parsed metadata is inconsistent: {e}")))?;
+    Ok((
+        RecoilContainer { stream, metadata },
+        StaticModelProvider::new(table),
+    ))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims must keep working; tests exercise them
+
     use super::*;
     use crate::container::encode_with_splits;
     use crate::decoder::decode_recoil;
 
     fn sample(len: usize) -> Vec<u8> {
-        (0..len as u32).map(|i| (i.wrapping_mul(2654435761) >> 23) as u8).collect()
+        (0..len as u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 23) as u8)
+            .collect()
     }
 
     #[test]
@@ -175,6 +220,21 @@ mod tests {
         let bytes = container_to_bytes(&container, model.table());
         let (_, model2) = container_from_bytes(&bytes).unwrap();
         assert_eq!(model2.table(), model.table());
+    }
+
+    #[test]
+    fn hostile_symbol_count_rejected_without_allocation() {
+        let data = sample(10_000);
+        let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        let container = encode_with_splits(&data, &model, 32, 4);
+        let mut bytes = container_to_bytes(&container, model.table());
+        // num_symbols lives at offset 12..20 of the header.
+        bytes[12..20].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = match container_from_bytes(&bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("absurd symbol count must be rejected"),
+        };
+        assert!(err.to_string().contains("impossible"), "{err}");
     }
 
     #[test]

@@ -29,18 +29,30 @@
 //!                       three-phase parallel decoder (thread pool)
 //! ```
 
+pub mod codec;
 mod combine;
 mod container;
 mod decoder;
+mod error;
 mod file;
 mod metadata;
 mod planner;
 mod wire;
 
+pub use codec::{
+    Codec, CodecBuilder, CodecSymbol, DecodeBackend, DecodeRequest, Encoded, EncoderConfig,
+    PooledBackend, ScalarBackend,
+};
 pub use combine::combine_splits;
-pub use container::{encode_with_splits, RecoilContainer};
+pub use container::RecoilContainer;
+pub use decoder::{decode_split_count, sync_split_states};
+pub use error::RecoilError;
 pub use file::{container_from_bytes, container_to_bytes};
-pub use decoder::{decode_recoil, decode_recoil_into, decode_split_count, sync_split_states};
 pub use metadata::{LaneInit, RecoilMetadata, SplitPoint};
 pub use planner::{plan_from_events, Heuristic, PlannerConfig, SplitPlanner};
 pub use wire::{metadata_from_bytes, metadata_to_bytes};
+
+#[allow(deprecated)]
+pub use container::encode_with_splits;
+#[allow(deprecated)]
+pub use decoder::{decode_recoil, decode_recoil_into};

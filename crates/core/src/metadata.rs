@@ -33,13 +33,21 @@ impl SplitPoint {
     /// thread starting here owns symbols up to `P`; the next split's thread
     /// begins at `P + 1`.
     pub fn split_pos(&self) -> u64 {
-        self.lanes.iter().map(|l| l.pos).max().expect("at least one lane")
+        self.lanes
+            .iter()
+            .map(|l| l.pos)
+            .max()
+            .expect("at least one lane")
     }
 
     /// The synchronization completion point `Q`: the smallest recorded
     /// position. Symbols `Q ..= P` form the Synchronization Section.
     pub fn sync_start(&self) -> u64 {
-        self.lanes.iter().map(|l| l.pos).min().expect("at least one lane")
+        self.lanes
+            .iter()
+            .map(|l| l.pos)
+            .min()
+            .expect("at least one lane")
     }
 
     /// Number of symbols in the Synchronization Section (`t_s` of Def. 4.1).
@@ -180,10 +188,22 @@ mod tests {
         SplitPoint {
             offset: 6,
             lanes: vec![
-                LaneInit { state: 0x1111, pos: 8 },
-                LaneInit { state: 0x2222, pos: 13 },
-                LaneInit { state: 0x3333, pos: 10 },
-                LaneInit { state: 0x4444, pos: 15 },
+                LaneInit {
+                    state: 0x1111,
+                    pos: 8,
+                },
+                LaneInit {
+                    state: 0x2222,
+                    pos: 13,
+                },
+                LaneInit {
+                    state: 0x3333,
+                    pos: 10,
+                },
+                LaneInit {
+                    state: 0x4444,
+                    pos: 15,
+                },
             ],
         }
     }

@@ -60,7 +60,10 @@ impl PlannerConfig {
 
     /// Same, with the naive scoring strategy (ablation).
     pub fn with_segments_naive(segments: u64) -> Self {
-        Self { heuristic: Heuristic::NearestOnly, ..Self::with_segments(segments) }
+        Self {
+            heuristic: Heuristic::NearestOnly,
+            ..Self::with_segments(segments)
+        }
     }
 }
 
@@ -112,8 +115,12 @@ impl SplitPlanner {
     /// at most `max_candidates` entries.
     fn candidates_in(&self, lo: u64, hi: u64) -> Vec<usize> {
         // Events are position-sorted; binary search the boundaries.
-        let start = self.ring.partition_point(|e| e.pos == NO_SYMBOL || e.pos < lo);
-        let end = self.ring.partition_point(|e| e.pos == NO_SYMBOL || e.pos <= hi);
+        let start = self
+            .ring
+            .partition_point(|e| e.pos == NO_SYMBOL || e.pos < lo);
+        let end = self
+            .ring
+            .partition_point(|e| e.pos == NO_SYMBOL || e.pos <= hi);
         if start >= end {
             return Vec::new();
         }
@@ -141,7 +148,10 @@ impl SplitPlanner {
                 if e.pos == NO_SYMBOL {
                     return None; // lane state predates its first symbol
                 }
-                *slot = Some(LaneInit { state: e.state, pos: e.pos });
+                *slot = Some(LaneInit {
+                    state: e.state,
+                    pos: e.pos,
+                });
                 found += 1;
                 if found == w {
                     break;
@@ -153,7 +163,10 @@ impl SplitPlanner {
             i -= 1;
         }
         let lanes: Vec<LaneInit> = lanes.into_iter().map(|l| l.expect("all found")).collect();
-        let sp = SplitPoint { offset: self.ring[idx].offset, lanes };
+        let sp = SplitPoint {
+            offset: self.ring[idx].offset,
+            lanes,
+        };
         // Invariants the decoder depends on.
         if sp.sync_start() as i64 <= self.prev_p {
             return None;
@@ -172,8 +185,7 @@ impl SplitPlanner {
         match self.heuristic {
             Heuristic::SyncAware => {
                 let ts = sp.sync_len();
-                (t as i64 - target).unsigned_abs()
-                    + (t as i64 - ts as i64 - target).unsigned_abs()
+                (t as i64 - target).unsigned_abs() + (t as i64 - ts as i64 - target).unsigned_abs()
             }
             Heuristic::NearestOnly => (t as i64 - target).unsigned_abs(),
         }
@@ -183,13 +195,10 @@ impl SplitPlanner {
     /// Returns false when no viable candidate exists (the target is skipped).
     fn plan_one(&mut self) -> bool {
         let mut half = self.window();
-        let hi_cap = self.ring.back().map_or(0, |e| {
-            if e.pos == NO_SYMBOL {
-                0
-            } else {
-                e.pos
-            }
-        });
+        let hi_cap = self
+            .ring
+            .back()
+            .map_or(0, |e| if e.pos == NO_SYMBOL { 0 } else { e.pos });
         // Widen up to half the target on sparse data, then give up.
         loop {
             let lo = self.next_target.saturating_sub(half);
@@ -252,9 +261,10 @@ impl RenormSink for SplitPlanner {
         if e.pos != NO_SYMBOL
             && (self.chosen.len() as u64) < self.max_interior
             && e.pos >= self.next_target + self.window()
-            && !self.plan_one() {
-                self.next_target += self.target;
-            }
+            && !self.plan_one()
+        {
+            self.next_target += self.target;
+        }
     }
 }
 
@@ -280,7 +290,11 @@ mod tests {
     use recoil_models::{CdfTable, StaticModelProvider};
     use recoil_rans::{InterleavedEncoder, VecSink};
 
-    fn encode_with_events(data: &[u8], n: u32, ways: u32) -> (recoil_rans::EncodedStream, Vec<RenormEvent>) {
+    fn encode_with_events(
+        data: &[u8],
+        n: u32,
+        ways: u32,
+    ) -> (recoil_rans::EncodedStream, Vec<RenormEvent>) {
         let p = StaticModelProvider::new(CdfTable::of_bytes(data, n));
         let mut enc = InterleavedEncoder::new(&p, ways);
         let mut sink = VecSink::new();
@@ -289,7 +303,9 @@ mod tests {
     }
 
     fn sample(len: usize) -> Vec<u8> {
-        (0..len as u32).map(|i| (i.wrapping_mul(2654435761) >> 22) as u8).collect()
+        (0..len as u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 22) as u8)
+            .collect()
     }
 
     #[test]
@@ -305,7 +321,11 @@ mod tests {
                 11,
                 PlannerConfig::with_segments(segments),
             );
-            assert_eq!(meta.splits.len() as u64, segments - 1, "segments={segments}");
+            assert_eq!(
+                meta.splits.len() as u64,
+                segments - 1,
+                "segments={segments}"
+            );
             meta.validate().unwrap();
         }
     }
@@ -350,7 +370,11 @@ mod tests {
             PlannerConfig::with_segments(32),
         );
         for s in &meta.splits {
-            assert!(s.sync_len() < 32 * 24, "sync section {} too long", s.sync_len());
+            assert!(
+                s.sync_len() < 32 * 24,
+                "sync section {} too long",
+                s.sync_len()
+            );
         }
     }
 
@@ -371,14 +395,16 @@ mod tests {
         for sp in &meta.splits {
             for (lane, li) in sp.lanes.iter().enumerate() {
                 assert!(
-                    events.iter().any(|e| e.lane == lane as u32
-                        && e.pos == li.pos
-                        && e.state == li.state),
+                    events
+                        .iter()
+                        .any(|e| e.lane == lane as u32 && e.pos == li.pos && e.state == li.state),
                     "lane {lane} init not found among events"
                 );
             }
             // The split-defining event sits exactly at the stored offset.
-            assert!(events.iter().any(|e| e.offset == sp.offset && e.pos == sp.split_pos()));
+            assert!(events
+                .iter()
+                .any(|e| e.offset == sp.offset && e.pos == sp.split_pos()));
         }
     }
 
@@ -440,7 +466,8 @@ mod tests {
         let (stream, events) = encode_with_events(&data, 11, 32);
         let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
         let mut enc = InterleavedEncoder::new(&p, 32);
-        let mut planner = SplitPlanner::new(32, data.len() as u64, PlannerConfig::with_segments(16));
+        let mut planner =
+            SplitPlanner::new(32, data.len() as u64, PlannerConfig::with_segments(16));
         enc.encode_all(&data, &mut planner);
         let streamed = planner.finish(stream.words.len() as u64, 11);
         let offline = plan_from_events(

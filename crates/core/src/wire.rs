@@ -17,9 +17,9 @@
 //! 4 bits for the unsigned 16-bit-max series and 5 bits for the signed
 //! 32-bit-max series; signed values carry an extra sign bit each.
 
+use crate::error::RecoilError;
 use crate::metadata::{LaneInit, RecoilMetadata, SplitPoint};
 use recoil_bitio::{BitReader, BitWriter};
-use recoil_rans::RansError;
 
 const MAGIC: u64 = 0x5243_4C31; // "RCL1"
 const VERSION: u64 = 1;
@@ -32,7 +32,10 @@ fn bits_for(v: u64) -> u32 {
 /// Writes an unsigned series: `width-1` in `len_bits`, then values.
 fn write_unsigned_series(w: &mut BitWriter, vals: &[u64], len_bits: u32) {
     let width = vals.iter().map(|&v| bits_for(v)).max().unwrap_or(1);
-    debug_assert!(width <= (1 << len_bits), "series width {width} overflows field");
+    debug_assert!(
+        width <= (1 << len_bits),
+        "series width {width} overflows field"
+    );
     w.write((width - 1) as u64, len_bits);
     for &v in vals {
         w.write(v, width);
@@ -43,23 +46,26 @@ fn read_unsigned_series(
     r: &mut BitReader<'_>,
     count: usize,
     len_bits: u32,
-) -> Result<Vec<u64>, RansError> {
+) -> Result<Vec<u64>, RecoilError> {
     let width = r
         .read(len_bits)
-        .ok_or_else(|| RansError::MalformedMetadata("truncated series header".into()))?
-        as u32
+        .ok_or_else(|| RecoilError::wire("truncated series header"))? as u32
         + 1;
     (0..count)
         .map(|_| {
             r.read(width)
-                .ok_or_else(|| RansError::MalformedMetadata("truncated series".into()))
+                .ok_or_else(|| RecoilError::wire("truncated series"))
         })
         .collect()
 }
 
 /// Writes a signed series: `width-1` in `len_bits`, then `magnitude, sign`.
 fn write_signed_series(w: &mut BitWriter, vals: &[i64], len_bits: u32) {
-    let width = vals.iter().map(|&v| bits_for(v.unsigned_abs())).max().unwrap_or(1);
+    let width = vals
+        .iter()
+        .map(|&v| bits_for(v.unsigned_abs()))
+        .max()
+        .unwrap_or(1);
     debug_assert!(width <= (1 << len_bits));
     w.write((width - 1) as u64, len_bits);
     for &v in vals {
@@ -72,20 +78,19 @@ fn read_signed_series(
     r: &mut BitReader<'_>,
     count: usize,
     len_bits: u32,
-) -> Result<Vec<i64>, RansError> {
+) -> Result<Vec<i64>, RecoilError> {
     let width = r
         .read(len_bits)
-        .ok_or_else(|| RansError::MalformedMetadata("truncated series header".into()))?
-        as u32
+        .ok_or_else(|| RecoilError::wire("truncated series header"))? as u32
         + 1;
     (0..count)
         .map(|_| {
             let mag = r
                 .read(width)
-                .ok_or_else(|| RansError::MalformedMetadata("truncated series".into()))?;
+                .ok_or_else(|| RecoilError::wire("truncated series"))?;
             let neg = r
                 .read(1)
-                .ok_or_else(|| RansError::MalformedMetadata("truncated series".into()))?;
+                .ok_or_else(|| RecoilError::wire("truncated series"))?;
             Ok(if neg == 1 { -(mag as i64) } else { mag as i64 })
         })
         .collect()
@@ -121,8 +126,7 @@ pub fn metadata_to_bytes(meta: &RecoilMetadata) -> Vec<u8> {
         write_signed_series(&mut w, &off_diffs, 5);
 
         // Series 2: anchor (max group ID) differences across all splits.
-        let anchors: Vec<u64> =
-            meta.splits.iter().map(|s| s.split_pos() / ways).collect();
+        let anchors: Vec<u64> = meta.splits.iter().map(|s| s.split_pos() / ways).collect();
         let anchor_diffs: Vec<i64> = anchors
             .iter()
             .enumerate()
@@ -135,8 +139,7 @@ pub fn metadata_to_bytes(meta: &RecoilMetadata) -> Vec<u8> {
             for li in &s.lanes {
                 w.write(li.state as u64, 16);
             }
-            let diffs: Vec<u64> =
-                s.lanes.iter().map(|li| anchor - li.pos / ways).collect();
+            let diffs: Vec<u64> = s.lanes.iter().map(|li| anchor - li.pos / ways).collect();
             write_unsigned_series(&mut w, &diffs, 4);
         }
     }
@@ -144,8 +147,8 @@ pub fn metadata_to_bytes(meta: &RecoilMetadata) -> Vec<u8> {
 }
 
 /// Parses metadata back from its byte form.
-pub fn metadata_from_bytes(bytes: &[u8]) -> Result<RecoilMetadata, RansError> {
-    let bad = |msg: &str| RansError::MalformedMetadata(msg.into());
+pub fn metadata_from_bytes(bytes: &[u8]) -> Result<RecoilMetadata, RecoilError> {
+    let bad = |msg: &str| RecoilError::wire(msg);
     let mut r = BitReader::new(bytes);
     if r.read(32) != Some(MAGIC) {
         return Err(bad("bad magic"));
@@ -189,21 +192,28 @@ pub fn metadata_from_bytes(bytes: &[u8]) -> Result<RecoilMetadata, RansError> {
             let diffs = read_unsigned_series(&mut r, ways as usize, 4)?;
             let lanes: Vec<LaneInit> = (0..ways as u64)
                 .map(|lane| {
-                    let group = anchor.checked_sub(diffs[lane as usize]).ok_or_else(|| {
-                        bad("group difference exceeds anchor")
-                    })?;
+                    let group = anchor
+                        .checked_sub(diffs[lane as usize])
+                        .ok_or_else(|| bad("group difference exceeds anchor"))?;
                     Ok(LaneInit {
                         state: states[lane as usize],
                         pos: group * waysu + lane,
                     })
                 })
-                .collect::<Result<_, RansError>>()?;
+                .collect::<Result<_, RecoilError>>()?;
             splits.push(SplitPoint { offset, lanes });
         }
     }
 
-    let meta = RecoilMetadata { ways, quant_bits, num_symbols, num_words, splits };
-    meta.validate()?;
+    let meta = RecoilMetadata {
+        ways,
+        quant_bits,
+        num_symbols,
+        num_words,
+        splits,
+    };
+    meta.validate()
+        .map_err(|e| RecoilError::wire(format!("parsed metadata is inconsistent: {e}")))?;
     Ok(meta)
 }
 
@@ -212,7 +222,13 @@ mod tests {
     use super::*;
 
     fn meta_with(splits: Vec<SplitPoint>, ways: u32, n: u64, b: u64) -> RecoilMetadata {
-        RecoilMetadata { ways, quant_bits: 11, num_symbols: n, num_words: b, splits }
+        RecoilMetadata {
+            ways,
+            quant_bits: 11,
+            num_symbols: n,
+            num_words: b,
+            splits,
+        }
     }
 
     /// Figure 6 / Table 2 in 0-based coordinates (W = 4): positions
@@ -221,10 +237,22 @@ mod tests {
         let split = SplitPoint {
             offset: 6,
             lanes: vec![
-                LaneInit { state: 0x0A01, pos: 8 },
-                LaneInit { state: 0x0B02, pos: 13 },
-                LaneInit { state: 0x0C03, pos: 10 },
-                LaneInit { state: 0x0D04, pos: 15 },
+                LaneInit {
+                    state: 0x0A01,
+                    pos: 8,
+                },
+                LaneInit {
+                    state: 0x0B02,
+                    pos: 13,
+                },
+                LaneInit {
+                    state: 0x0C03,
+                    pos: 10,
+                },
+                LaneInit {
+                    state: 0x0D04,
+                    pos: 15,
+                },
             ],
         };
         meta_with(vec![split], 4, 20, 9)
@@ -258,7 +286,11 @@ mod tests {
     fn empty_split_list_round_trips() {
         let meta = meta_with(vec![], 32, 1000, 400);
         let bytes = metadata_to_bytes(&meta);
-        assert_eq!(bytes.len(), 28, "header-only metadata is the 224-bit header");
+        assert_eq!(
+            bytes.len(),
+            28,
+            "header-only metadata is the 224-bit header"
+        );
         assert_eq!(metadata_from_bytes(&bytes).unwrap(), meta);
     }
 
@@ -268,13 +300,19 @@ mod tests {
         let s1 = SplitPoint {
             offset: 40,
             lanes: (0..4)
-                .map(|l| LaneInit { state: 100 + l as u16, pos: 96 + l as u64 })
+                .map(|l| LaneInit {
+                    state: 100 + l as u16,
+                    pos: 96 + l as u64,
+                })
                 .collect(),
         };
         let s2 = SplitPoint {
             offset: 81,
             lanes: (0..4)
-                .map(|l| LaneInit { state: 200 + l as u16, pos: 196 + l as u64 })
+                .map(|l| LaneInit {
+                    state: 200 + l as u16,
+                    pos: 196 + l as u64,
+                })
                 .collect(),
         };
         let meta = meta_with(vec![s1, s2], 4, 300, 130);

@@ -51,7 +51,10 @@ pub fn latent_dataset(
         // Keep scales within the bank's representable range.
         log_sigma = log_sigma.clamp((sigma_typ * 0.25).ln(), (sigma_typ * 4.0).ln());
         let sigma = log_sigma.exp();
-        let spec = LatentSpec { mean: mean as u16, scale_idx: bank.nearest_scale(sigma) };
+        let spec = LatentSpec {
+            mean: mean as u16,
+            scale_idx: bank.nearest_scale(sigma),
+        };
         specs.push(spec);
         // Box–Muller sample of N(mean, sigma).
         let (u1, u2): (f64, f64) = (rng.gen_range(f64::MIN_POSITIVE..1.0), rng.gen());

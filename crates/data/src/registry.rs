@@ -68,9 +68,7 @@ impl Dataset {
     pub fn generate_bytes(&self, len: usize) -> Vec<u8> {
         match self.kind {
             DatasetKind::Exponential { lambda } => exponential_bytes(len, lambda, self.seed),
-            DatasetKind::TextLike { entropy_bits } => {
-                text_like_bytes(len, entropy_bits, self.seed)
-            }
+            DatasetKind::TextLike { entropy_bits } => text_like_bytes(len, entropy_bits, self.seed),
             DatasetKind::Latent { .. } => {
                 panic!("{} is a latent dataset; use generate_latents", self.name)
             }
@@ -102,73 +100,129 @@ pub const ALL_DATASETS: &[Dataset] = &[
     Dataset {
         name: "rand_10",
         kind: DatasetKind::Exponential { lambda: 10.0 },
-        paper: PaperRef { uncompressed_kb: 10_000, baseline_n11_kb: Some(7_828), baseline_n16_kb: 7_657 },
+        paper: PaperRef {
+            uncompressed_kb: 10_000,
+            baseline_n11_kb: Some(7_828),
+            baseline_n16_kb: 7_657,
+        },
         seed: 0x5EED_0001,
     },
     Dataset {
         name: "rand_50",
         kind: DatasetKind::Exponential { lambda: 50.0 },
-        paper: PaperRef { uncompressed_kb: 10_000, baseline_n11_kb: Some(5_357), baseline_n16_kb: 4_774 },
+        paper: PaperRef {
+            uncompressed_kb: 10_000,
+            baseline_n11_kb: Some(5_357),
+            baseline_n16_kb: 4_774,
+        },
         seed: 0x5EED_0002,
     },
     Dataset {
         name: "rand_100",
         kind: DatasetKind::Exponential { lambda: 100.0 },
-        paper: PaperRef { uncompressed_kb: 10_000, baseline_n11_kb: Some(4_157), baseline_n16_kb: 3_534 },
+        paper: PaperRef {
+            uncompressed_kb: 10_000,
+            baseline_n11_kb: Some(4_157),
+            baseline_n16_kb: 3_534,
+        },
         seed: 0x5EED_0003,
     },
     Dataset {
         name: "rand_200",
         kind: DatasetKind::Exponential { lambda: 200.0 },
-        paper: PaperRef { uncompressed_kb: 10_000, baseline_n11_kb: Some(3_045), baseline_n16_kb: 2_317 },
+        paper: PaperRef {
+            uncompressed_kb: 10_000,
+            baseline_n11_kb: Some(3_045),
+            baseline_n16_kb: 2_317,
+        },
         seed: 0x5EED_0004,
     },
     Dataset {
         name: "rand_500",
         kind: DatasetKind::Exponential { lambda: 500.0 },
-        paper: PaperRef { uncompressed_kb: 10_000, baseline_n11_kb: Some(1_395), baseline_n16_kb: 886 },
+        paper: PaperRef {
+            uncompressed_kb: 10_000,
+            baseline_n11_kb: Some(1_395),
+            baseline_n16_kb: 886,
+        },
         seed: 0x5EED_0005,
     },
     Dataset {
         name: "dickens",
-        kind: DatasetKind::TextLike { entropy_bits: 4.548 },
-        paper: PaperRef { uncompressed_kb: 10_192, baseline_n11_kb: Some(6_268), baseline_n16_kb: 5_794 },
+        kind: DatasetKind::TextLike {
+            entropy_bits: 4.548,
+        },
+        paper: PaperRef {
+            uncompressed_kb: 10_192,
+            baseline_n11_kb: Some(6_268),
+            baseline_n16_kb: 5_794,
+        },
         seed: 0x5EED_0006,
     },
     Dataset {
         name: "webster",
-        kind: DatasetKind::TextLike { entropy_bits: 4.985 },
-        paper: PaperRef { uncompressed_kb: 41_459, baseline_n11_kb: Some(27_375), baseline_n16_kb: 25_832 },
+        kind: DatasetKind::TextLike {
+            entropy_bits: 4.985,
+        },
+        paper: PaperRef {
+            uncompressed_kb: 41_459,
+            baseline_n11_kb: Some(27_375),
+            baseline_n16_kb: 25_832,
+        },
         seed: 0x5EED_0007,
     },
     Dataset {
         name: "enwik8",
-        kind: DatasetKind::TextLike { entropy_bits: 5.087 },
-        paper: PaperRef { uncompressed_kb: 100_000, baseline_n11_kb: Some(66_128), baseline_n16_kb: 63_588 },
+        kind: DatasetKind::TextLike {
+            entropy_bits: 5.087,
+        },
+        paper: PaperRef {
+            uncompressed_kb: 100_000,
+            baseline_n11_kb: Some(66_128),
+            baseline_n16_kb: 63_588,
+        },
         seed: 0x5EED_0008,
     },
     Dataset {
         name: "enwik9",
-        kind: DatasetKind::TextLike { entropy_bits: 5.164 },
-        paper: PaperRef { uncompressed_kb: 1_000_000, baseline_n11_kb: Some(672_816), baseline_n16_kb: 645_443 },
+        kind: DatasetKind::TextLike {
+            entropy_bits: 5.164,
+        },
+        paper: PaperRef {
+            uncompressed_kb: 1_000_000,
+            baseline_n11_kb: Some(672_816),
+            baseline_n16_kb: 645_443,
+        },
         seed: 0x5EED_0009,
     },
     Dataset {
         name: "div2k801",
         kind: DatasetKind::Latent { sigma_typ: 6.06 },
-        paper: PaperRef { uncompressed_kb: 7_209, baseline_n11_kb: None, baseline_n16_kb: 2_093 },
+        paper: PaperRef {
+            uncompressed_kb: 7_209,
+            baseline_n11_kb: None,
+            baseline_n16_kb: 2_093,
+        },
         seed: 0x5EED_000A,
     },
     Dataset {
         name: "div2k803",
         kind: DatasetKind::Latent { sigma_typ: 22.3 },
-        paper: PaperRef { uncompressed_kb: 7_864, baseline_n11_kb: None, baseline_n16_kb: 3_208 },
+        paper: PaperRef {
+            uncompressed_kb: 7_864,
+            baseline_n11_kb: None,
+            baseline_n16_kb: 3_208,
+        },
         seed: 0x5EED_000B,
     },
     Dataset {
         name: "div2k805",
         kind: DatasetKind::Latent { sigma_typ: 2.0 },
-        paper: PaperRef { uncompressed_kb: 7_864, baseline_n11_kb: None, baseline_n16_kb: 1_496 },
+        paper: PaperRef {
+            uncompressed_kb: 7_864,
+            baseline_n11_kb: None,
+            baseline_n16_kb: 1_496,
+        },
         seed: 0x5EED_000C,
     },
 ];
@@ -196,7 +250,11 @@ mod tests {
             let measured = Histogram::of_bytes(&data).entropy_bits() / 8.0;
             let paper = d.paper.baseline_n16_kb as f64 / d.paper.uncompressed_kb as f64;
             let err = (measured - paper).abs() / paper;
-            assert!(err < 0.09, "{}: measured {measured:.3} vs paper {paper:.3}", d.name);
+            assert!(
+                err < 0.09,
+                "{}: measured {measured:.3} vs paper {paper:.3}",
+                d.name
+            );
         }
     }
 

@@ -26,7 +26,10 @@ pub fn zipf_distribution_for_entropy(alphabet: usize, target_bits: f64) -> Vec<f
     let entropy_of = |s: f64| -> f64 {
         let weights: Vec<f64> = (0..alphabet).map(|i| ((i + 1) as f64).powf(-s)).collect();
         let total: f64 = weights.iter().sum();
-        weights.iter().map(|w| -(w / total) * (w / total).log2()).sum()
+        weights
+            .iter()
+            .map(|w| -(w / total) * (w / total).log2())
+            .sum()
     };
     // Entropy is monotone-decreasing in s: s = 0 is uniform (max entropy).
     let (mut lo, mut hi) = (0.0f64, 8.0f64);
@@ -95,7 +98,10 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         assert_eq!(text_like_bytes(1000, 5.0, 9), text_like_bytes(1000, 5.0, 9));
-        assert_ne!(text_like_bytes(1000, 5.0, 9), text_like_bytes(1000, 5.0, 10));
+        assert_ne!(
+            text_like_bytes(1000, 5.0, 9),
+            text_like_bytes(1000, 5.0, 10)
+        );
     }
 
     #[test]

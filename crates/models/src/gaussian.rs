@@ -68,7 +68,13 @@ impl GaussianScaleBank {
             .iter()
             .map(|&sigma| Self::build_scale_table(n, window, half, sigma))
             .collect();
-        Self { n, window, half, scales, tables }
+        Self {
+            n,
+            window,
+            half,
+            scales,
+            tables,
+        }
     }
 
     /// Default bank matching the div2k experiments: n=16, 4096-wide window,
@@ -214,7 +220,10 @@ impl ModelProvider for LatentModelProvider {
     fn stats(&self, pos: u64, sym: u16) -> (u32, u32) {
         let spec = self.specs[pos as usize];
         let v = (sym as i32 - spec.mean as i32 + self.bank.half as i32) as u16;
-        debug_assert!((v as usize) < self.bank.window, "symbol outside model window");
+        debug_assert!(
+            (v as usize) < self.bank.window,
+            "symbol outside model window"
+        );
         self.bank.stats_at(spec.scale_idx, v)
     }
 
@@ -241,8 +250,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -294,8 +302,14 @@ mod tests {
     fn provider_round_trips_symbols() {
         let bank = Arc::new(small_bank());
         let specs = vec![
-            LatentSpec { mean: 1000, scale_idx: 2 },
-            LatentSpec { mean: 5000, scale_idx: 7 },
+            LatentSpec {
+                mean: 1000,
+                scale_idx: 2,
+            },
+            LatentSpec {
+                mean: 5000,
+                scale_idx: 7,
+            },
         ];
         let p = LatentModelProvider::new(bank, specs);
         for (pos, mean) in [(0u64, 1000u16), (1, 5000)] {
@@ -312,7 +326,10 @@ mod tests {
     #[test]
     fn clamp_keeps_samples_in_window() {
         let bank = Arc::new(small_bank());
-        let spec = LatentSpec { mean: 200, scale_idx: 0 };
+        let spec = LatentSpec {
+            mean: 200,
+            scale_idx: 0,
+        };
         let p = LatentModelProvider::new(bank, vec![spec]);
         let lo = p.clamp_to_window(spec, -100_000);
         let hi = p.clamp_to_window(spec, 100_000);

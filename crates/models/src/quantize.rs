@@ -17,7 +17,10 @@
 /// If all counts are zero, `n` is out of `1..=16`, or the support is larger
 /// than `2^n` (too many distinct symbols to give each a nonzero frequency).
 pub fn quantize_counts(counts: &[u64], n: u32) -> Vec<u32> {
-    assert!((1..=16).contains(&n), "quantization level n={n} out of range 1..=16");
+    assert!(
+        (1..=16).contains(&n),
+        "quantization level n={n} out of range 1..=16"
+    );
     let target: u64 = 1 << n;
     let total: u64 = counts.iter().sum();
     assert!(total > 0, "cannot quantize an empty distribution");
@@ -70,8 +73,7 @@ fn balance_to_target(freqs: &mut [u32], counts: &[u64], target: u64) {
         // exceeds their proportional share, never dropping below 1.
         let mut excess = sum - target;
         let total: u64 = counts.iter().sum();
-        let mut order: Vec<usize> =
-            (0..freqs.len()).filter(|&i| freqs[i] > 1).collect();
+        let mut order: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 1).collect();
         // Sort by over-assignment: f/target - c/total, descending.
         order.sort_by(|&a, &b| {
             let oa = freqs[a] as i128 * total as i128 - counts[a] as i128 * target as i128;

@@ -31,7 +31,11 @@ impl CdfTable {
             acc += f;
         }
         cdf.push(acc);
-        Self { n, freq: freqs, cdf }
+        Self {
+            n,
+            freq: freqs,
+            cdf,
+        }
     }
 
     /// Counts `data` and quantizes to level `n` over a 256-symbol alphabet.

@@ -53,7 +53,12 @@ impl ThreadPool {
     /// Pool with `workers` background threads (0 = run everything inline).
     pub fn new(workers: usize) -> Self {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { job: None, epoch: 0, active: 0, shutdown: false }),
+            state: Mutex::new(State {
+                job: None,
+                epoch: 0,
+                active: 0,
+                shutdown: false,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             next: AtomicUsize::new(0),
@@ -64,7 +69,11 @@ impl ThreadPool {
                 std::thread::spawn(move || worker_loop(shared))
             })
             .collect();
-        Self { shared, handles, run_lock: Mutex::new(()) }
+        Self {
+            shared,
+            handles,
+            run_lock: Mutex::new(()),
+        }
     }
 
     /// Pool sized to the machine: one worker per logical CPU minus the

@@ -22,7 +22,10 @@ impl fmt::Display for RansError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::BitstreamUnderflow { pos } => {
-                write!(f, "bitstream underflow while decoding symbol position {pos}")
+                write!(
+                    f,
+                    "bitstream underflow while decoding symbol position {pos}"
+                )
             }
             Self::MalformedStream(msg) => write!(f, "malformed stream: {msg}"),
             Self::MalformedMetadata(msg) => write!(f, "malformed metadata: {msg}"),

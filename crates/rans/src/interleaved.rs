@@ -138,8 +138,8 @@ pub fn decode_interleaved_into<S: Symbol, P: ModelProvider>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sink::{NullSink, VecSink};
     use crate::single::SingleEncoder;
+    use crate::sink::{NullSink, VecSink};
     use recoil_models::{CdfTable, StaticModelProvider};
 
     fn provider(data: &[u8], n: u32) -> StaticModelProvider {
@@ -147,7 +147,9 @@ mod tests {
     }
 
     fn sample(len: usize) -> Vec<u8> {
-        (0..len as u32).map(|i| ((i.wrapping_mul(2654435761)) >> 23) as u8).collect()
+        (0..len as u32)
+            .map(|i| ((i.wrapping_mul(2654435761)) >> 23) as u8)
+            .collect()
     }
 
     #[test]
@@ -230,7 +232,10 @@ mod tests {
         many.encode_all(&data, &mut NullSink);
         let s32 = many.finish();
         let d = s32.payload_bytes() as i64 - s1.payload_bytes() as i64;
-        assert!(d.unsigned_abs() < 32 * 8, "unexpected interleave overhead: {d} bytes");
+        assert!(
+            d.unsigned_abs() < 32 * 8,
+            "unexpected interleave overhead: {d} bytes"
+        );
     }
 
     #[test]
@@ -299,8 +304,9 @@ mod invariant_tests {
     /// an instrumented reader that records consumed offsets.
     #[test]
     fn decode_read_order_is_reverse_of_write_order() {
-        let data: Vec<u8> =
-            (0..40_000u32).map(|i| (i.wrapping_mul(747796405) >> 23) as u8).collect();
+        let data: Vec<u8> = (0..40_000u32)
+            .map(|i| (i.wrapping_mul(747796405) >> 23) as u8)
+            .collect();
         let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
         let mut enc = InterleavedEncoder::new(&p, 32);
         enc.encode_all(&data, &mut NullSink);
@@ -332,14 +338,18 @@ mod invariant_tests {
     /// final states are always full (the last decode task needs no sync).
     #[test]
     fn encoder_states_keep_lower_bound_invariant() {
-        let data: Vec<u8> =
-            (0..20_000u32).map(|i| (i.wrapping_mul(2654435761) >> 26) as u8).collect();
+        let data: Vec<u8> = (0..20_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 26) as u8)
+            .collect();
         let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 12));
         let mut enc = InterleavedEncoder::new(&p, 8);
         for &b in &data {
             enc.encode(b, &mut NullSink);
         }
         let stream = enc.finish();
-        assert!(stream.final_states.iter().all(|&s| s >= crate::params::LOWER_BOUND));
+        assert!(stream
+            .final_states
+            .iter()
+            .all(|&s| s >= crate::params::LOWER_BOUND));
     }
 }

@@ -24,7 +24,13 @@ impl<'p, P: ModelProvider> SingleEncoder<'p, P> {
     pub fn new(provider: &'p P) -> Self {
         let n = provider.quant_bits();
         assert!(n <= params::MAX_QUANT_BITS);
-        Self { provider, n, state: INITIAL_STATE, stream: WordStream::new(), next_pos: 0 }
+        Self {
+            provider,
+            n,
+            state: INITIAL_STATE,
+            stream: WordStream::new(),
+            next_pos: 0,
+        }
     }
 
     /// Encodes one symbol (Eq. 3 renormalization, then Eq. 1 transform).
@@ -39,7 +45,12 @@ impl<'p, P: ModelProvider> SingleEncoder<'p, P> {
             x >>= params::RENORM_BITS;
             debug_assert!(x < params::LOWER_BOUND, "one-step renorm violated");
             let last = pos.checked_sub(1).unwrap_or(NO_SYMBOL);
-            sink.on_renorm(RenormEvent { lane: 0, pos: last, state: x as u16, offset });
+            sink.on_renorm(RenormEvent {
+                lane: 0,
+                pos: last,
+                state: x as u16,
+                offset,
+            });
         }
         self.state = ((x / f) << self.n) + c + (x % f);
         self.next_pos = pos + 1;
@@ -113,8 +124,9 @@ mod tests {
 
     #[test]
     fn round_trip_various_n() {
-        let data: Vec<u8> =
-            (0..20_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let data: Vec<u8> = (0..20_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
         for n in [8u32, 10, 11, 12, 14, 16] {
             let p = provider(&data, n);
             let mut enc = SingleEncoder::new(&p);
@@ -140,7 +152,10 @@ mod tests {
         let h = recoil_models::Histogram::of_bytes(&data);
         let ideal_bits = p.table().cross_entropy_bits(&h);
         let actual_bits = stream.words.len() as f64 * 16.0;
-        assert!(actual_bits < ideal_bits * 1.02 + 64.0, "{actual_bits} vs ideal {ideal_bits}");
+        assert!(
+            actual_bits < ideal_bits * 1.02 + 64.0,
+            "{actual_bits} vs ideal {ideal_bits}"
+        );
         assert!(actual_bits > ideal_bits * 0.98 - 64.0);
     }
 

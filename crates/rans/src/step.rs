@@ -10,7 +10,11 @@ use recoil_models::ModelProvider;
 /// Eq. 4 (one step, because `b >= n`): if `x` underflowed `L`, pull one u16
 /// word from the stream; otherwise leave it unchanged.
 #[inline(always)]
-pub fn renorm_read(x: u32, reader: &mut BackwardWordReader<'_>, pos: u64) -> Result<u32, RansError> {
+pub fn renorm_read(
+    x: u32,
+    reader: &mut BackwardWordReader<'_>,
+    pos: u64,
+) -> Result<u32, RansError> {
     if x < LOWER_BOUND {
         let w = reader.next().ok_or(RansError::BitstreamUnderflow { pos })? as u32;
         let x = (x << RENORM_BITS) | w;
@@ -24,7 +28,7 @@ pub fn renorm_read(x: u32, reader: &mut BackwardWordReader<'_>, pos: u64) -> Res
 /// Eq. 2: decodes one symbol from state `x` at position `pos`, returning the
 /// successor state and the symbol. `x` must be renormalized (`>= L`).
 #[inline(always)]
-pub fn decode_transform<P: ModelProvider>(
+pub fn decode_transform<P: ModelProvider + ?Sized>(
     x: u32,
     pos: u64,
     provider: &P,
@@ -66,7 +70,7 @@ impl LaneDecoder {
 
     /// Renormalizes (reading if needed) then decodes the symbol at `pos`.
     #[inline(always)]
-    pub fn step<P: ModelProvider>(
+    pub fn step<P: ModelProvider + ?Sized>(
         &mut self,
         pos: u64,
         provider: &P,
@@ -110,11 +114,13 @@ mod tests {
     fn transform_inverts_encode_formula() {
         // Encode x' = (x/f) << n + F + x%f by hand, then invert via
         // decode_transform.
-        let provider =
-            StaticModelProvider::new(CdfTable::from_freqs(vec![4, 8, 4], 4));
+        let provider = StaticModelProvider::new(CdfTable::from_freqs(vec![4, 8, 4], 4));
         let (n, mask) = (4u32, 15u32);
         for sym in 0u16..3 {
-            let (f, c) = (provider.table().freq(sym as usize), provider.table().cdf(sym as usize));
+            let (f, c) = (
+                provider.table().freq(sym as usize),
+                provider.table().cdf(sym as usize),
+            );
             for x0 in [LOWER_BOUND, 123_456, 0xFFFF_FF00u32 >> 4] {
                 let enc = ((x0 / f) << n) + c + (x0 % f);
                 let (back, s) = decode_transform(enc, 0, &provider, n, mask);

@@ -42,7 +42,9 @@ impl EncodedStream {
     /// Validates the basic invariants shared by every decoder.
     pub fn validate(&self) -> Result<(), crate::RansError> {
         if self.ways == 0 {
-            return Err(crate::RansError::MalformedStream("ways must be >= 1".into()));
+            return Err(crate::RansError::MalformedStream(
+                "ways must be >= 1".into(),
+            ));
         }
         if self.final_states.len() != self.ways as usize {
             return Err(crate::RansError::MalformedStream(format!(
@@ -85,7 +87,10 @@ mod tests {
     #[test]
     fn payload_accounts_words_states_header() {
         let s = stream(2, 2);
-        assert_eq!(s.payload_bytes(), 4 * 2 + 2 * 4 + EncodedStream::HEADER_BYTES);
+        assert_eq!(
+            s.payload_bytes(),
+            4 * 2 + 2 * 4 + EncodedStream::HEADER_BYTES
+        );
     }
 
     #[test]

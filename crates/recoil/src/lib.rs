@@ -22,36 +22,66 @@
 //!
 //! ## Quickstart
 //!
+//! The primary API is the [`core::codec::Codec`] facade: configure the
+//! encode side once with the builder, and plug in a [`DecodeBackend`] for
+//! the decode side.
+//!
 //! ```
 //! use recoil::prelude::*;
 //!
-//! // Some data and a static order-0 model quantized to 2^11.
+//! // Some data to compress.
 //! let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
-//! let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
 //!
-//! // Encode once with split metadata for up to 64 parallel decoders.
-//! let container = encode_with_splits(&data, &model, 32, 64);
-//! // The planner is best-effort: up to 64 segments, usually all of them.
-//! assert!(container.metadata.num_segments() > 56);
+//! // A reusable codec: 32 interleaved lanes, split metadata for up to 64
+//! // parallel decoders, an order-0 model quantized to 2^11, and a decode
+//! // backend that auto-selects AVX-512 → AVX2 → scalar at runtime.
+//! let codec = Codec::builder()
+//!     .ways(32)
+//!     .max_segments(64)
+//!     .quant_bits(11)
+//!     .backend(AutoBackend::with_threads(4))
+//!     .build()?;
 //!
-//! // A 4-thread client needs only 4 segments: combine in real time.
-//! let small = combine_splits(&container.metadata, 4);
+//! // Encode once. The planner is best-effort: up to 64 segments.
+//! let encoded = codec.encode(&data)?;
+//! assert!(encoded.container.metadata.num_segments() > 56);
 //!
-//! // Decode in parallel (pool optional; SIMD drivers also available).
-//! let pool = ThreadPool::new(3);
-//! let decoded: Vec<u8> =
-//!     decode_recoil(&container.stream, &small, &model, Some(&pool)).unwrap();
+//! // A 4-thread client needs only 4 segments: combine in real time — the
+//! // bitstream bytes are untouched, only metadata entries are dropped.
+//! let small = combine_splits(&encoded.container.metadata, 4);
+//! assert_eq!(small.num_segments(), 4);
+//!
+//! // Decode through the configured backend…
+//! let decoded: Vec<u8> = codec.decode(&encoded)?;
 //! assert_eq!(decoded, data);
+//!
+//! // …or through any other backend, per call.
+//! let scalar: Vec<u8> = codec.decode_with(&ScalarBackend, &encoded)?;
+//! assert_eq!(scalar, data);
+//! # Ok::<(), RecoilError>(())
 //! ```
+//!
+//! ## Backend selection semantics
+//!
+//! | Backend | Behaviour |
+//! |---|---|
+//! | [`ScalarBackend`] | portable serial reference; always available |
+//! | [`PooledBackend`] | one task per metadata segment on a persistent thread pool |
+//! | [`Avx2Backend`] / [`Avx512Backend`] | explicit vector kernels; decoding errors with [`RecoilError::BackendUnavailable`] on hosts without the CPU feature |
+//! | [`AutoBackend`] | runtime dispatch **AVX-512 → AVX2 → scalar**; never unavailable, falls back to scalar for non-32-way streams |
+//!
+//! Invalid configurations (`ways = 0`, `quant_bits > 16`,
+//! `max_segments = 0`) are rejected at [`Codec::builder`]'s `build()` with
+//! typed [`RecoilError`] variants — the public API surface does not panic.
 //!
 //! ## Crate map
 //!
 //! | Module | Contents |
 //! |---|---|
 //! | [`rans`] | single & W-way interleaved rANS codec (Table 3 parameters) |
-//! | [`core`] | split planner, metadata wire format, combining, 3-phase decoder |
+//! | [`core`] | `Codec` facade, split planner, metadata wire format, combining, 3-phase decoder |
 //! | [`models`] | histograms, quantization, decode LUTs, hyperprior models |
-//! | [`simd`] | AVX2 / AVX-512 kernels + drivers, runtime dispatch |
+//! | [`simd`] | AVX2 / AVX-512 kernels + drivers, SIMD decode backends |
 //! | [`conventional`] | baseline (B): partitioning-symbols codec |
 //! | [`tans`] | baseline (C): tANS + multians self-sync parallel decoder |
 //! | [`parallel`] | persistent thread pool (also the "GPU-sim" substrate) |
@@ -69,13 +99,21 @@ pub use recoil_server as server;
 pub use recoil_simd as simd;
 pub use recoil_tans as tans;
 
+#[doc(no_inline)]
+pub use recoil_core::codec::{Codec, DecodeBackend, Encoded, EncoderConfig};
+#[doc(no_inline)]
+pub use recoil_core::RecoilError;
+
 /// The commonly used names in one import.
 pub mod prelude {
     pub use recoil_conventional::{decode_conventional, encode_conventional};
+    pub use recoil_core::codec::{
+        Codec, CodecBuilder, CodecSymbol, DecodeBackend, DecodeRequest, Encoded, EncoderConfig,
+        PooledBackend, ScalarBackend,
+    };
     pub use recoil_core::{
-        combine_splits, decode_recoil, decode_recoil_into, encode_with_splits,
-        metadata_from_bytes, metadata_to_bytes, PlannerConfig, RecoilContainer, RecoilMetadata,
-        SplitPlanner,
+        combine_splits, metadata_from_bytes, metadata_to_bytes, Heuristic, PlannerConfig,
+        RecoilContainer, RecoilError, RecoilMetadata, SplitPlanner,
     };
     pub use recoil_models::{
         CdfTable, GaussianScaleBank, Histogram, LatentModelProvider, LatentSpec, ModelProvider,
@@ -86,7 +124,15 @@ pub mod prelude {
         decode_interleaved, EncodedStream, InterleavedEncoder, NullSink, RansError, VecSink,
     };
     pub use recoil_simd::{
-        decode_conventional_simd, decode_interleaved_simd, decode_recoil_simd, Kernel, SimdModel,
+        decode_conventional_simd, decode_interleaved_simd, AutoBackend, Avx2Backend, Avx512Backend,
+        Kernel, SimdModel,
     };
     pub use recoil_tans::{decode_multians, decode_tans_serial, encode_tans, TansTable};
+
+    // Deprecated shims, still exported so existing call sites keep
+    // compiling (each use warns and points at the `Codec` replacement).
+    #[allow(deprecated)]
+    pub use recoil_core::{decode_recoil, decode_recoil_into, encode_with_splits};
+    #[allow(deprecated)]
+    pub use recoil_simd::decode_recoil_simd;
 }

@@ -1,34 +1,40 @@
 //! The decoding client: a machine with a given parallel capacity.
 
 use crate::server::Transmission;
-use recoil_core::metadata_from_bytes;
+use recoil_core::codec::{DecodeBackend, DecodeRequest};
+use recoil_core::{metadata_from_bytes, RecoilError};
 use recoil_models::StaticModelProvider;
-use recoil_parallel::ThreadPool;
-use recoil_rans::{EncodedStream, RansError};
-use recoil_simd::{decode_recoil_simd, Kernel};
+use recoil_rans::EncodedStream;
+use recoil_simd::AutoBackend;
 
 /// A client decodes with however many threads it has and the best SIMD
 /// kernel its CPU offers — the server never needs to know more than the
 /// segment count the client asked for.
 pub struct Client {
-    pool: Option<ThreadPool>,
-    kernel: Kernel,
+    backend: Box<dyn DecodeBackend>,
     /// Parallel segments this client requests from servers.
     pub parallel_segments: u64,
 }
 
 impl Client {
-    /// Client with `threads` decode threads.
+    /// Client with `threads` decode threads and runtime kernel dispatch
+    /// (AVX-512 → AVX2 → scalar).
     pub fn new(threads: usize) -> Self {
-        let pool = (threads > 1).then(|| ThreadPool::new(threads - 1));
-        Self { pool, kernel: Kernel::best(), parallel_segments: threads as u64 }
+        Self {
+            backend: Box::new(AutoBackend::with_threads(threads)),
+            parallel_segments: threads.max(1) as u64,
+        }
     }
 
-    /// Forces a specific kernel (tests / measurements).
-    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
-        assert!(kernel.is_available());
-        self.kernel = kernel;
+    /// Forces a specific decode backend (tests / measurements).
+    pub fn with_backend(mut self, backend: impl DecodeBackend + 'static) -> Self {
+        self.backend = Box::new(backend);
         self
+    }
+
+    /// The backend this client decodes with.
+    pub fn backend(&self) -> &dyn DecodeBackend {
+        self.backend.as_ref()
     }
 
     /// Decodes a served transmission against the shared bitstream.
@@ -40,10 +46,20 @@ impl Client {
         stream: &EncodedStream,
         transmission: &Transmission,
         model: &StaticModelProvider,
-    ) -> Result<Vec<u8>, RansError> {
+    ) -> Result<Vec<u8>, RecoilError> {
+        if !self.backend.is_available() {
+            return Err(RecoilError::BackendUnavailable {
+                backend: self.backend.name(),
+            });
+        }
         let metadata = metadata_from_bytes(&transmission.metadata_bytes)?;
         let mut out = vec![0u8; stream.num_symbols as usize];
-        decode_recoil_simd(self.kernel, stream, &metadata, model, self.pool.as_ref(), &mut out)?;
+        let req = DecodeRequest {
+            stream,
+            metadata: &metadata,
+            model,
+        };
+        self.backend.decode_u8(&req, &mut out)?;
         Ok(out)
     }
 }
@@ -52,13 +68,19 @@ impl Client {
 mod tests {
     use super::*;
     use crate::server::ContentServer;
+    use recoil_core::codec::{EncoderConfig, ScalarBackend};
 
     #[test]
     fn end_to_end_content_delivery() {
-        let data: Vec<u8> =
-            (0..500_000u32).map(|i| (i.wrapping_mul(2654435761) >> 23) as u8).collect();
+        let data: Vec<u8> = (0..500_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 23) as u8)
+            .collect();
         let mut server = ContentServer::new();
-        server.publish("video", &data, 11, 32, 256);
+        let config = EncoderConfig {
+            max_segments: 256,
+            ..EncoderConfig::default()
+        };
+        server.publish("video", &data, &config).unwrap();
 
         // A beefy client and a budget client request the same content.
         for threads in [1usize, 2, 8] {
@@ -68,6 +90,12 @@ mod tests {
             let decoded = client.decode(&item.stream, &t, &item.model).unwrap();
             assert_eq!(decoded, data, "threads={threads}");
         }
+
+        // A forced-scalar client agrees bit for bit.
+        let scalar = Client::new(1).with_backend(ScalarBackend);
+        let t = server.request("video", scalar.parallel_segments).unwrap();
+        let item = server.get("video").unwrap();
+        assert_eq!(scalar.decode(&item.stream, &t, &item.model).unwrap(), data);
 
         // The budget client transferred fewer bytes than the beefy one.
         let small = server.request("video", 1).unwrap();

@@ -1,10 +1,12 @@
 //! The encode-once, combine-per-request server.
 
+use recoil_core::codec::{Codec, EncoderConfig};
 use recoil_core::{
-    combine_splits, encode_with_splits, metadata_to_bytes, RecoilContainer, RecoilMetadata,
+    combine_splits, metadata_to_bytes, RecoilContainer, RecoilError, RecoilMetadata,
 };
-use recoil_models::{CdfTable, StaticModelProvider};
+use recoil_models::StaticModelProvider;
 use recoil_rans::EncodedStream;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,23 +54,40 @@ impl ContentServer {
         Self::default()
     }
 
-    /// Encodes `data` once at `max_segments` parallelism and publishes it.
+    /// Encodes `data` once under `config` (lane width, split budget,
+    /// quantization) and publishes it as `name`.
+    ///
+    /// Publishing over an existing name is rejected with
+    /// [`RecoilError::AlreadyPublished`] — republishing would silently
+    /// invalidate bitstreams clients may still be downloading. Use
+    /// [`ContentServer::unpublish`] first to replace content.
     pub fn publish(
         &mut self,
         name: &str,
         data: &[u8],
-        quant_bits: u32,
-        ways: u32,
-        max_segments: u64,
-    ) -> &StoredContent {
-        let model = Arc::new(StaticModelProvider::new(CdfTable::of_bytes(data, quant_bits)));
-        let RecoilContainer { stream, metadata } =
-            encode_with_splits(data, model.as_ref(), ways, max_segments);
-        self.items.insert(
-            name.to_string(),
-            StoredContent { stream: Arc::new(stream), metadata, model },
-        );
-        &self.items[name]
+        config: &EncoderConfig,
+    ) -> Result<&StoredContent, RecoilError> {
+        let entry = match self.items.entry(name.to_string()) {
+            Entry::Occupied(_) => {
+                return Err(RecoilError::AlreadyPublished {
+                    name: name.to_string(),
+                })
+            }
+            Entry::Vacant(v) => v,
+        };
+        let codec = Codec::from_config(config.clone())?;
+        let encoded = codec.encode(data)?;
+        let RecoilContainer { stream, metadata } = encoded.container;
+        Ok(entry.insert(StoredContent {
+            stream: Arc::new(stream),
+            metadata,
+            model: Arc::new(encoded.model),
+        }))
+    }
+
+    /// Removes published content, returning whether it existed.
+    pub fn unpublish(&mut self, name: &str) -> bool {
+        self.items.remove(name).is_some()
     }
 
     /// Published item lookup.
@@ -79,13 +98,26 @@ impl ContentServer {
     /// Serves `name` for a client that can decode `parallel_segments`
     /// segments in parallel: combines splits in real time, never touching
     /// the bitstream.
-    pub fn request(&self, name: &str, parallel_segments: u64) -> Option<Transmission> {
-        let item = self.items.get(name)?;
+    ///
+    /// `parallel_segments` is validated at this API boundary: a request for
+    /// zero segments is a malformed client header, reported as
+    /// [`RecoilError::InvalidConfig`] rather than silently clamped deep in
+    /// the combine path.
+    pub fn request(&self, name: &str, parallel_segments: u64) -> Result<Transmission, RecoilError> {
+        if parallel_segments == 0 {
+            return Err(RecoilError::config(
+                "parallel_segments",
+                "a client must request at least one decode segment",
+            ));
+        }
+        let item = self.items.get(name).ok_or_else(|| RecoilError::NotFound {
+            name: name.to_string(),
+        })?;
         let t0 = Instant::now();
-        let metadata = combine_splits(&item.metadata, parallel_segments.max(1));
+        let metadata = combine_splits(&item.metadata, parallel_segments);
         let metadata_bytes = metadata_to_bytes(&metadata);
         let combine_nanos = t0.elapsed().as_nanos();
-        Some(Transmission {
+        Ok(Transmission {
             stream_bytes: item.stream.payload_bytes(),
             metadata_bytes,
             metadata,
@@ -99,14 +131,23 @@ mod tests {
     use super::*;
 
     fn sample(len: usize) -> Vec<u8> {
-        (0..len as u32).map(|i| (i.wrapping_mul(2654435761) >> 23) as u8).collect()
+        (0..len as u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 23) as u8)
+            .collect()
+    }
+
+    fn config(max_segments: u64) -> EncoderConfig {
+        EncoderConfig {
+            max_segments,
+            ..EncoderConfig::default()
+        }
     }
 
     #[test]
     fn publish_then_request_scales_metadata() {
         let data = sample(400_000);
         let mut server = ContentServer::new();
-        server.publish("movie", &data, 11, 32, 128);
+        server.publish("movie", &data, &config(128)).unwrap();
         let big = server.request("movie", 128).unwrap();
         let small = server.request("movie", 4).unwrap();
         assert_eq!(big.stream_bytes, small.stream_bytes, "bitstream is shared");
@@ -118,9 +159,55 @@ mod tests {
     fn request_beyond_capacity_serves_max() {
         let data = sample(100_000);
         let mut server = ContentServer::new();
-        server.publish("x", &data, 11, 32, 16);
+        server.publish("x", &data, &config(16)).unwrap();
         let t = server.request("x", 10_000).unwrap();
         assert_eq!(t.metadata.num_segments(), 16);
+    }
+
+    #[test]
+    fn duplicate_publish_is_rejected_and_preserves_original() {
+        let data = sample(50_000);
+        let mut server = ContentServer::new();
+        server.publish("x", &data, &config(16)).unwrap();
+        let before = server.get("x").unwrap().metadata.num_segments();
+        let err = match server.publish("x", &data, &config(4)) {
+            Err(e) => e,
+            Ok(_) => panic!("duplicate publish must be rejected"),
+        };
+        assert!(matches!(err, RecoilError::AlreadyPublished { ref name } if name == "x"));
+        assert_eq!(server.get("x").unwrap().metadata.num_segments(), before);
+        // After unpublishing, the name is free again.
+        assert!(server.unpublish("x"));
+        server.publish("x", &data, &config(4)).unwrap();
+    }
+
+    #[test]
+    fn invalid_publish_config_is_rejected() {
+        let data = sample(10_000);
+        let mut server = ContentServer::new();
+        let bad = EncoderConfig {
+            ways: 0,
+            ..EncoderConfig::default()
+        };
+        assert!(matches!(
+            server.publish("x", &data, &bad),
+            Err(RecoilError::InvalidConfig { field: "ways", .. })
+        ));
+        assert!(server.get("x").is_none());
+    }
+
+    #[test]
+    fn zero_segment_request_is_invalid() {
+        let data = sample(10_000);
+        let mut server = ContentServer::new();
+        server.publish("x", &data, &config(8)).unwrap();
+        assert!(matches!(
+            server.request("x", 0),
+            Err(RecoilError::InvalidConfig {
+                field: "parallel_segments",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -129,7 +216,7 @@ mod tests {
         // time by the content delivery server before data transmission".
         let data = sample(2_000_000);
         let mut server = ContentServer::new();
-        server.publish("big", &data, 11, 32, 2176);
+        server.publish("big", &data, &config(2176)).unwrap();
         let t = server.request("big", 16).unwrap();
         assert!(
             t.combine_nanos < 50_000_000,
@@ -139,8 +226,11 @@ mod tests {
     }
 
     #[test]
-    fn unknown_content_is_none() {
+    fn unknown_content_is_not_found() {
         let server = ContentServer::new();
-        assert!(server.request("nope", 4).is_none());
+        assert!(matches!(
+            server.request("nope", 4),
+            Err(RecoilError::NotFound { ref name }) if name == "nope"
+        ));
     }
 }

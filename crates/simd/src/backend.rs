@@ -1,0 +1,313 @@
+//! SIMD [`DecodeBackend`] implementations plugging the AVX2/AVX-512 kernels
+//! into the `recoil_core::codec` facade.
+//!
+//! ## Backend selection semantics
+//!
+//! * [`Avx2Backend`] / [`Avx512Backend`] run their kernel or fail: decoding
+//!   on a host without the CPU feature returns
+//!   [`RecoilError::BackendUnavailable`] (and `is_available()` reports it
+//!   up front, so [`recoil_core::codec::CodecBuilder::build`] rejects the
+//!   configuration early).
+//! * [`AutoBackend`] dispatches at decode time in the order
+//!   **AVX-512 → AVX2 → scalar**: the best kernel the CPU supports wins,
+//!   and when neither vector extension is present it degrades to the
+//!   scalar three-phase decoder rather than erroring — one binary serves
+//!   every host.
+//! * The vector kernels are built for the paper's 32-way interleave and
+//!   static models. For non-32-way streams [`AutoBackend`] falls back to
+//!   the scalar path, while the explicit AVX backends report the stream as
+//!   malformed (matching the seed `decode_recoil_simd` behavior). Adaptive
+//!   (per-position-model) decodes always take the scalar/pooled path —
+//!   per-symbol model indirection defeats flat gathers.
+//!
+//! All backends optionally carry a [`ThreadPool`], in which case decode
+//! tasks (one per metadata segment) are distributed across it; the kernels
+//! then run *inside* each task.
+
+use crate::driver::run_recoil_simd;
+use crate::kernel::Kernel;
+use recoil_core::codec::{decode_pooled, DecodeBackend, DecodeRequest};
+use recoil_core::{RecoilError, RecoilMetadata};
+use recoil_models::{ModelProvider, Symbol};
+use recoil_parallel::ThreadPool;
+use recoil_rans::EncodedStream;
+
+fn run_fixed<S: Symbol>(
+    kernel: Kernel,
+    name: &'static str,
+    pool: Option<&ThreadPool>,
+    req: &DecodeRequest<'_>,
+    out: &mut [S],
+) -> Result<(), RecoilError> {
+    if !kernel.is_available() {
+        return Err(RecoilError::BackendUnavailable { backend: name });
+    }
+    run_recoil_simd(kernel, req.stream, req.metadata, req.model, pool, out)
+        .map_err(RecoilError::from)
+}
+
+/// AVX2 kernel backend (8 lanes × 4 unroll, paper implementation (2)).
+#[derive(Default)]
+pub struct Avx2Backend {
+    pool: Option<ThreadPool>,
+}
+
+/// AVX-512 kernel backend (16 lanes × 2 unroll, paper implementation (3)).
+#[derive(Default)]
+pub struct Avx512Backend {
+    pool: Option<ThreadPool>,
+}
+
+/// Runtime-dispatch backend: AVX-512 → AVX2 → scalar, never unavailable.
+#[derive(Default)]
+pub struct AutoBackend {
+    pool: Option<ThreadPool>,
+}
+
+macro_rules! pool_constructors {
+    ($ty:ident) => {
+        impl $ty {
+            /// Single-threaded backend (kernels still vectorize within the
+            /// calling thread).
+            pub fn new() -> Self {
+                Self { pool: None }
+            }
+
+            /// Backend decoding on `threads` threads.
+            pub fn with_threads(threads: usize) -> Self {
+                Self {
+                    pool: (threads > 1).then(|| ThreadPool::new(threads - 1)),
+                }
+            }
+
+            /// Backend decoding on an existing pool.
+            pub fn with_pool(pool: ThreadPool) -> Self {
+                Self { pool: Some(pool) }
+            }
+        }
+    };
+}
+
+pool_constructors!(Avx2Backend);
+pool_constructors!(Avx512Backend);
+pool_constructors!(AutoBackend);
+
+impl DecodeBackend for Avx2Backend {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn is_available(&self) -> bool {
+        Kernel::Avx2.is_available()
+    }
+
+    fn decode_u8(&self, req: &DecodeRequest<'_>, out: &mut [u8]) -> Result<(), RecoilError> {
+        run_fixed(Kernel::Avx2, self.name(), self.pool.as_ref(), req, out)
+    }
+
+    fn decode_u16(&self, req: &DecodeRequest<'_>, out: &mut [u16]) -> Result<(), RecoilError> {
+        run_fixed(Kernel::Avx2, self.name(), self.pool.as_ref(), req, out)
+    }
+
+    fn decode_adaptive(
+        &self,
+        stream: &EncodedStream,
+        metadata: &RecoilMetadata,
+        provider: &dyn ModelProvider,
+        out: &mut [u16],
+    ) -> Result<(), RecoilError> {
+        decode_pooled(stream, metadata, provider, self.pool.as_ref(), out)
+    }
+}
+
+impl DecodeBackend for Avx512Backend {
+    fn name(&self) -> &'static str {
+        "avx512"
+    }
+
+    fn is_available(&self) -> bool {
+        Kernel::Avx512.is_available()
+    }
+
+    fn decode_u8(&self, req: &DecodeRequest<'_>, out: &mut [u8]) -> Result<(), RecoilError> {
+        run_fixed(Kernel::Avx512, self.name(), self.pool.as_ref(), req, out)
+    }
+
+    fn decode_u16(&self, req: &DecodeRequest<'_>, out: &mut [u16]) -> Result<(), RecoilError> {
+        run_fixed(Kernel::Avx512, self.name(), self.pool.as_ref(), req, out)
+    }
+
+    fn decode_adaptive(
+        &self,
+        stream: &EncodedStream,
+        metadata: &RecoilMetadata,
+        provider: &dyn ModelProvider,
+        out: &mut [u16],
+    ) -> Result<(), RecoilError> {
+        decode_pooled(stream, metadata, provider, self.pool.as_ref(), out)
+    }
+}
+
+impl AutoBackend {
+    /// The kernel a decode will use for a `ways`-way stream on this host.
+    pub fn selected_kernel(&self, ways: u32) -> Kernel {
+        if ways == crate::SIMD_WAYS {
+            Kernel::best()
+        } else {
+            Kernel::Scalar
+        }
+    }
+
+    fn run_auto<S: Symbol>(
+        &self,
+        req: &DecodeRequest<'_>,
+        out: &mut [S],
+    ) -> Result<(), RecoilError> {
+        match self.selected_kernel(req.stream.ways) {
+            Kernel::Scalar => {
+                decode_pooled(req.stream, req.metadata, req.model, self.pool.as_ref(), out)
+            }
+            kernel => run_recoil_simd(
+                kernel,
+                req.stream,
+                req.metadata,
+                req.model,
+                self.pool.as_ref(),
+                out,
+            )
+            .map_err(RecoilError::from),
+        }
+    }
+}
+
+impl DecodeBackend for AutoBackend {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn decode_u8(&self, req: &DecodeRequest<'_>, out: &mut [u8]) -> Result<(), RecoilError> {
+        self.run_auto(req, out)
+    }
+
+    fn decode_u16(&self, req: &DecodeRequest<'_>, out: &mut [u16]) -> Result<(), RecoilError> {
+        self.run_auto(req, out)
+    }
+
+    fn decode_adaptive(
+        &self,
+        stream: &EncodedStream,
+        metadata: &RecoilMetadata,
+        provider: &dyn ModelProvider,
+        out: &mut [u16],
+    ) -> Result<(), RecoilError> {
+        decode_pooled(stream, metadata, provider, self.pool.as_ref(), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recoil_core::codec::Codec;
+    use recoil_models::{CdfTable, StaticModelProvider};
+
+    fn sample(len: usize, seed: u32) -> Vec<u8> {
+        (0..len as u32)
+            .map(|i| (((i ^ seed).wrapping_mul(2654435761)) >> 23) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn auto_matches_scalar_on_any_host() {
+        let data = sample(200_000, 1);
+        let codec = Codec::builder().max_segments(24).build().unwrap();
+        let enc = codec.encode(&data).unwrap();
+        let reference: Vec<u8> = codec.decode(&enc).unwrap();
+        let auto: Vec<u8> = codec
+            .decode_with(&AutoBackend::with_threads(4), &enc)
+            .unwrap();
+        assert_eq!(reference, data);
+        assert_eq!(auto, data);
+    }
+
+    #[test]
+    fn auto_falls_back_to_scalar_for_narrow_streams() {
+        let data = sample(50_000, 2);
+        let codec = Codec::builder().ways(8).max_segments(8).build().unwrap();
+        let enc = codec.encode(&data).unwrap();
+        let backend = AutoBackend::new();
+        assert_eq!(backend.selected_kernel(8), Kernel::Scalar);
+        let got: Vec<u8> = codec.decode_with(&backend, &enc).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn explicit_backends_error_when_unavailable() {
+        let data = sample(20_000, 3);
+        let codec = Codec::builder().max_segments(4).build().unwrap();
+        let enc = codec.encode(&data).unwrap();
+        for (avail, result) in [
+            (
+                Kernel::Avx2.is_available(),
+                codec.decode_with::<u8>(&Avx2Backend::new(), &enc),
+            ),
+            (
+                Kernel::Avx512.is_available(),
+                codec.decode_with::<u8>(&Avx512Backend::new(), &enc),
+            ),
+        ] {
+            if avail {
+                assert_eq!(result.unwrap(), data);
+            } else {
+                assert!(matches!(
+                    result,
+                    Err(RecoilError::BackendUnavailable { .. })
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_path_is_scalar_but_correct() {
+        use recoil_models::{GaussianScaleBank, LatentModelProvider, LatentSpec};
+        use std::sync::Arc;
+        let bank = Arc::new(GaussianScaleBank::build(12, 256, 8, 0.5, 32.0));
+        let count = 40_000usize;
+        let specs: Vec<LatentSpec> = (0..count)
+            .map(|i| LatentSpec {
+                mean: 2000 + (i % 700) as u16,
+                scale_idx: (i % 8) as u8,
+            })
+            .collect();
+        let provider = LatentModelProvider::new(bank, specs.clone());
+        let data: Vec<u16> = (0..count)
+            .map(|i| {
+                let d = ((i as i64).wrapping_mul(2654435761) % 31) - 15;
+                provider.clamp_to_window(specs[i], specs[i].mean as i64 + d)
+            })
+            .collect();
+        let codec = Codec::builder()
+            .quant_bits(12)
+            .max_segments(8)
+            .build()
+            .unwrap();
+        let container = codec.encode_with_provider(&data, &provider).unwrap();
+        for backend in [
+            &AutoBackend::with_threads(4) as &dyn DecodeBackend,
+            &Avx2Backend::new(),
+        ] {
+            let mut out = vec![0u16; data.len()];
+            backend
+                .decode_adaptive(&container.stream, &container.metadata, &provider, &mut out)
+                .unwrap();
+            assert_eq!(out, data, "backend {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn model_quant_check_rejects_mismatch() {
+        let data = sample(5_000, 4);
+        let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 10));
+        let codec = Codec::builder().quant_bits(11).build().unwrap();
+        assert!(codec.encode_with_provider(&data, &model).is_err());
+    }
+}

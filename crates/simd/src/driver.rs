@@ -149,7 +149,25 @@ pub fn decode_interleaved_simd<S: Symbol>(
 
 /// Recoil parallel decode with SIMD kernels: scalar three-phase sync per
 /// split, vector Decoding/Cross-Boundary phases.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `recoil_core::codec::Codec::decode` with an `Avx2Backend`, `Avx512Backend`, \
+            or `AutoBackend` from `recoil_simd`"
+)]
 pub fn decode_recoil_simd<S: Symbol>(
+    kernel: Kernel,
+    stream: &EncodedStream,
+    meta: &RecoilMetadata,
+    provider: &StaticModelProvider,
+    pool: Option<&ThreadPool>,
+    out: &mut [S],
+) -> Result<(), RansError> {
+    run_recoil_simd(kernel, stream, meta, provider, pool, out)
+}
+
+/// The SIMD Recoil decode engine behind both [`crate::backend`] and the
+/// deprecated [`decode_recoil_simd`] shim.
+pub(crate) fn run_recoil_simd<S: Symbol>(
     kernel: Kernel,
     stream: &EncodedStream,
     meta: &RecoilMetadata,
@@ -185,7 +203,15 @@ pub fn decode_recoil_simd<S: Symbol>(
             };
             let mut states = states_array(&states_vec);
             let mut seg = segments[m].lock();
-            decode_segment(kernel, &model, &stream.words, next, &mut states, bounds[m], &mut seg)?;
+            decode_segment(
+                kernel,
+                &model,
+                &stream.words,
+                next,
+                &mut states,
+                bounds[m],
+                &mut seg,
+            )?;
             Ok(())
         };
         if let Err(e) = task() {
@@ -260,6 +286,8 @@ pub fn decode_conventional_simd<S: Symbol>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims must keep working; tests exercise them
+
     use super::*;
     use recoil_core::encode_with_splits;
     use recoil_models::CdfTable;
@@ -329,8 +357,7 @@ mod tests {
         let pool = ThreadPool::new(7);
         for kernel in Kernel::all_available() {
             let mut out = vec![0u8; data.len()];
-            decode_recoil_simd(kernel, &c.stream, &c.metadata, &p, Some(&pool), &mut out)
-                .unwrap();
+            decode_recoil_simd(kernel, &c.stream, &c.metadata, &p, Some(&pool), &mut out).unwrap();
             assert_eq!(out, data, "kernel {kernel:?}");
         }
     }
@@ -403,14 +430,36 @@ mod segment_tests {
                 let next = Some(stream.words.len() as u64 - 1);
                 let mut hi_part = vec![0u8; data.len() - cut];
                 let next = decode_segment(
-                    kernel, &model, &stream.words, next, &mut states, cut as u64, &mut hi_part,
+                    kernel,
+                    &model,
+                    &stream.words,
+                    next,
+                    &mut states,
+                    cut as u64,
+                    &mut hi_part,
                 )
                 .unwrap();
                 let mut lo_part = vec![0u8; cut];
-                decode_segment(kernel, &model, &stream.words, next, &mut states, 0, &mut lo_part)
-                    .unwrap();
-                assert_eq!(&lo_part[..], &full[..cut], "kernel {kernel:?} cut {cut} low");
-                assert_eq!(&hi_part[..], &full[cut..], "kernel {kernel:?} cut {cut} high");
+                decode_segment(
+                    kernel,
+                    &model,
+                    &stream.words,
+                    next,
+                    &mut states,
+                    0,
+                    &mut lo_part,
+                )
+                .unwrap();
+                assert_eq!(
+                    &lo_part[..],
+                    &full[..cut],
+                    "kernel {kernel:?} cut {cut} low"
+                );
+                assert_eq!(
+                    &hi_part[..],
+                    &full[cut..],
+                    "kernel {kernel:?} cut {cut} high"
+                );
             }
         }
     }

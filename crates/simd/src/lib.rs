@@ -26,16 +26,19 @@
 mod avx2;
 #[cfg(target_arch = "x86_64")]
 mod avx512;
+pub mod backend;
 mod driver;
 mod kernel;
 mod model;
 mod scalar;
 
-pub use driver::{
-    decode_conventional_simd, decode_interleaved_simd, decode_recoil_simd, decode_segment,
-};
+pub use backend::{AutoBackend, Avx2Backend, Avx512Backend};
+pub use driver::{decode_conventional_simd, decode_interleaved_simd, decode_segment};
 pub use kernel::Kernel;
 pub use model::SimdModel;
+
+#[allow(deprecated)]
+pub use driver::decode_recoil_simd;
 
 /// The interleave width all SIMD kernels are built for.
 pub const SIMD_WAYS: u32 = 32;

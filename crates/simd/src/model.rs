@@ -40,12 +40,19 @@ impl<'a> SimdModel<'a> {
 
     /// View of a packed LUT.
     pub fn from_packed(p: &'a PackedLut) -> Self {
-        SimdModel::Packed { lut: p.entries(), n: p.quant_bits() }
+        SimdModel::Packed {
+            lut: p.entries(),
+            n: p.quant_bits(),
+        }
     }
 
     /// View of a wide LUT.
     pub fn from_wide(w: &'a WideLut) -> Self {
-        SimdModel::Wide { inv: w.inv(), ff: w.ff(), n: w.quant_bits() }
+        SimdModel::Wide {
+            inv: w.inv(),
+            ff: w.ff(),
+            n: w.quant_bits(),
+        }
     }
 
     /// Quantization level `n`.

@@ -69,9 +69,7 @@ pub fn decode_tans_serial<S: Symbol>(
     for i in 0..stream.num_symbols {
         let (sym, nb, base) = table.decode_entry(t);
         out.push(S::from_u16(sym));
-        let bits = r
-            .read(nb)
-            .ok_or(RansError::BitstreamUnderflow { pos: i })? as u32;
+        let bits = r.read(nb).ok_or(RansError::BitstreamUnderflow { pos: i })? as u32;
         t = base + bits;
     }
     Ok(out)
@@ -124,7 +122,10 @@ mod tests {
         let stream = encode_tans(&data, &table);
         let ideal = h.entropy_bits() * data.len() as f64;
         let actual = stream.bit_len as f64;
-        assert!(actual < ideal * 1.05 + 64.0, "tANS {actual} vs entropy {ideal}");
+        assert!(
+            actual < ideal * 1.05 + 64.0,
+            "tANS {actual} vs entropy {ideal}"
+        );
     }
 
     #[test]

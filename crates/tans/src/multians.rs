@@ -93,8 +93,10 @@ pub fn decode_multians<S: Symbol>(
         Some(pool) if num_chunks > 1 => pool.run(num_chunks, run_chunk),
         _ => (0..num_chunks).for_each(run_chunk),
     }
-    let specs: Vec<Speculative> =
-        specs.into_iter().map(|m| m.into_inner().expect("chunk decoded")).collect();
+    let specs: Vec<Speculative> = specs
+        .into_iter()
+        .map(|m| m.into_inner().expect("chunk decoded"))
+        .collect();
 
     // Pass 2: sequential fix-up and splice.
     let mut stats = MultiansStats::default();
@@ -130,10 +132,9 @@ pub fn decode_multians<S: Symbol>(
             let (sym, nb, base) = table.decode_entry(t);
             out.push(sym);
             stats.resync_symbols += 1;
-            let bits = r
-                .read(nb)
-                .ok_or(RansError::BitstreamUnderflow { pos: out.len() as u64 })?
-                as u32;
+            let bits = r.read(nb).ok_or(RansError::BitstreamUnderflow {
+                pos: out.len() as u64,
+            })? as u32;
             t = base + bits;
         }
         if !synced {
@@ -152,10 +153,9 @@ pub fn decode_multians<S: Symbol>(
         while (out.len() as u64) < stream.num_symbols {
             let (sym, nb, base) = table.decode_entry(t);
             out.push(sym);
-            let bits = r
-                .read(nb)
-                .ok_or(RansError::BitstreamUnderflow { pos: out.len() as u64 })?
-                as u32;
+            let bits = r.read(nb).ok_or(RansError::BitstreamUnderflow {
+                pos: out.len() as u64,
+            })? as u32;
             t = base + bits;
         }
     }
@@ -180,7 +180,7 @@ fn decode_range(
     let mut syms: Vec<u16> = Vec::with_capacity(cap);
     let mut checkpoints = Vec::with_capacity(cap / CHECKPOINT_STRIDE + 1);
     while r.bit_pos() < end {
-        if syms.len() % CHECKPOINT_STRIDE == 0 {
+        if syms.len().is_multiple_of(CHECKPOINT_STRIDE) {
             checkpoints.push(pack(r.bit_pos(), t));
         }
         let (sym, nb, base) = table.decode_entry(t);
@@ -192,7 +192,11 @@ fn decode_range(
         };
         t = base + bits;
     }
-    Speculative { syms, checkpoints, exit: (r.bit_pos(), t) }
+    Speculative {
+        syms,
+        checkpoints,
+        exit: (r.bit_pos(), t),
+    }
 }
 
 #[cfg(test)]

@@ -70,7 +70,16 @@ impl TansTable {
         }
 
         let freq = (0..alphabet).map(|s| table.freq(s)).collect();
-        Self { n, size, decode_sym, decode_nbits, decode_base, enc_state, enc_start, freq }
+        Self {
+            n,
+            size,
+            decode_sym,
+            decode_nbits,
+            decode_base,
+            enc_state,
+            enc_start,
+            freq,
+        }
     }
 
     /// Quantization level / log2 of the state count.
@@ -89,7 +98,11 @@ impl TansTable {
     #[inline(always)]
     pub fn decode_entry(&self, t: u32) -> (u16, u32, u32) {
         let i = t as usize;
-        (self.decode_sym[i], self.decode_nbits[i] as u32, self.decode_base[i])
+        (
+            self.decode_sym[i],
+            self.decode_nbits[i] as u32,
+            self.decode_base[i],
+        )
     }
 
     /// Encode step: shed enough low bits of `X = t + size` to land in
@@ -124,7 +137,9 @@ mod tests {
     use super::*;
 
     fn table(n: u32) -> TansTable {
-        let data: Vec<u8> = (0..50_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let data: Vec<u8> = (0..50_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
         TansTable::from_cdf(&CdfTable::of_bytes(&data, n))
     }
 
@@ -134,7 +149,10 @@ mod tests {
         for st in 0..t.size() {
             let (_, nb, base) = t.decode_entry(st);
             assert!(nb <= 11);
-            assert!(base + ((1u32 << nb) - 1) < t.size(), "state {st} escapes range");
+            assert!(
+                base + ((1u32 << nb) - 1) < t.size(),
+                "state {st} escapes range"
+            );
         }
     }
 

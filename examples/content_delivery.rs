@@ -1,11 +1,11 @@
 //! The paper's motivating scenario (§1, §3.3): one server, clients with
 //! wildly different parallel capacities.
 //!
-//! The server encodes each item once at maximum parallelism. Each client
-//! attaches its capacity to the request; the server shrinks the metadata in
-//! real time. Compare with the conventional approach, where the server must
-//! either store one encoding per capacity tier or ship everyone the
-//! massively-parallel (largest) file.
+//! The server encodes each item once under an [`EncoderConfig`] at maximum
+//! parallelism. Each client attaches its capacity to the request; the
+//! server shrinks the metadata in real time. Compare with the conventional
+//! approach, where the server must either store one encoding per capacity
+//! tier or ship everyone the massively-parallel (largest) file.
 //!
 //! ```sh
 //! cargo run --release --example content_delivery
@@ -15,29 +15,47 @@ use recoil::conventional::encode_conventional;
 use recoil::prelude::*;
 use recoil::server::{Client, ContentServer};
 
-fn main() {
+fn main() -> Result<(), RecoilError> {
     let data = recoil::data::exponential_bytes(10_000_000, 500.0, 7);
     let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
 
     // --- Recoil server: encode ONCE at max parallelism (2176 segments). ---
+    let config = EncoderConfig {
+        ways: 32,
+        max_segments: 2176,
+        quant_bits: 11,
+        ..EncoderConfig::default()
+    };
     let mut server = ContentServer::new();
-    server.publish("rand_500", &data, 11, 32, 2176);
-    let item = server.get("rand_500").unwrap();
+    server.publish("rand_500", &data, &config)?;
+    let item = server.get("rand_500").expect("just published");
     let baseline = item.stream.payload_bytes();
     println!("baseline (a) payload: {baseline} bytes\n");
+
+    // Publishing twice is rejected instead of silently clobbering content
+    // that clients may still be downloading.
+    let dup = server.publish("rand_500", &data, &config);
+    assert!(matches!(dup, Err(RecoilError::AlreadyPublished { .. })));
 
     // --- Conventional comparators (fixed at encode time). ---
     let conv_large = encode_conventional(&data, &model, 32, 2176).payload_bytes();
     println!("conventional Large (2176 partitions): {conv_large} bytes");
-    println!("  => every client downloads +{} bytes of parallelism overhead\n", conv_large - baseline);
+    println!(
+        "  => every client downloads +{} bytes of parallelism overhead\n",
+        conv_large - baseline
+    );
 
-    println!("{:>8} | {:>12} | {:>14} | {:>12} | combine", "client", "segments", "transfer (B)", "overhead");
+    println!(
+        "{:>8} | {:>12} | {:>14} | {:>12} | combine",
+        "client", "segments", "transfer (B)", "overhead"
+    );
     println!("{}", "-".repeat(70));
     for &threads in &[1usize, 4, 16, 256, 2176] {
         let client = Client::new(threads.min(32));
-        let t = server.request("rand_500", threads as u64).unwrap();
+        let item = server.get("rand_500").expect("published");
+        let t = server.request("rand_500", threads as u64)?;
         // Verify the client actually decodes the response correctly.
-        let decoded = client.decode(&item.stream, &t, &item.model).unwrap();
+        let decoded = client.decode(&item.stream, &t, &item.model)?;
         assert_eq!(decoded, data);
         println!(
             "{:>8} | {:>12} | {:>14} | {:>12} | {:>7.2?}",
@@ -50,7 +68,7 @@ fn main() {
     }
 
     // Headline numbers (§5.2): overhead saved vs serving Conventional Large.
-    let small = server.request("rand_500", 16).unwrap();
+    let small = server.request("rand_500", 16)?;
     let saved = conv_large as f64 - small.total_bytes() as f64;
     println!(
         "\nserving a 16-way client: Recoil {} B vs Conventional-Large {} B",
@@ -61,4 +79,5 @@ fn main() {
         "=> compression-rate overhead reduced by {:.2}% of the baseline size",
         -100.0 * saved / baseline as f64
     );
+    Ok(())
 }

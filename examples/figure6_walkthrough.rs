@@ -6,14 +6,16 @@
 //! cargo run --example figure6_walkthrough
 //! ```
 
+use recoil::core::codec::decode_pooled;
 use recoil::core::{metadata_to_bytes, plan_from_events, PlannerConfig};
 use recoil::prelude::*;
 
 fn main() {
     // A small 4-way interleaved stream so individual renorm events are
     // visible (the paper's figures use W = 4 for the same reason).
-    let data: Vec<u8> =
-        (0..64u32).map(|i| [7u8, 200, 13, 250, 99][(i % 5) as usize]).collect();
+    let data: Vec<u8> = (0..64u32)
+        .map(|i| [7u8, 200, 13, 250, 99][(i % 5) as usize])
+        .collect();
     let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 8));
 
     let mut enc = InterleavedEncoder::new(&model, 4);
@@ -21,9 +23,16 @@ fn main() {
     enc.encode_all(&data, &mut events);
     let stream = enc.finish();
 
-    println!("encoded {} symbols into {} renorm words\n", data.len(), stream.words.len());
+    println!(
+        "encoded {} symbols into {} renorm words\n",
+        data.len(),
+        stream.words.len()
+    );
     println!("renormalization events (== words, because b >= n):");
-    println!("{:>7} | {:>4} | {:>10} | {:>9}", "offset", "lane", "symbol idx", "state<2^16");
+    println!(
+        "{:>7} | {:>4} | {:>10} | {:>9}",
+        "offset", "lane", "symbol idx", "state<2^16"
+    );
     for e in events.events.iter().take(12) {
         println!(
             "{:>7} | {:>4} | {:>10} | {:#9x}",
@@ -46,7 +55,8 @@ fn main() {
         PlannerConfig::with_segments(2),
     );
     let split = &meta.splits[0];
-    println!("chosen split: bitstream offset {}, P = s_{}, sync section s_{}..=s_{}",
+    println!(
+        "chosen split: bitstream offset {}, P = s_{}, sync section s_{}..=s_{}",
         split.offset,
         split.split_pos() + 1,
         split.sync_start() + 1,
@@ -77,9 +87,14 @@ fn main() {
 
     // Serialize (§4.3 difference coding) and decode both segments.
     let bytes = metadata_to_bytes(&meta);
-    println!("\nserialized metadata: {} bytes for {} segments", bytes.len(), meta.num_segments());
+    println!(
+        "\nserialized metadata: {} bytes for {} segments",
+        bytes.len(),
+        meta.num_segments()
+    );
 
-    let decoded: Vec<u8> = decode_recoil(&stream, &meta, &model, None).unwrap();
+    let mut decoded = vec![0u8; data.len()];
+    decode_pooled(&stream, &meta, &model, None, &mut decoded).unwrap();
     assert_eq!(decoded, data);
     println!("parallel 3-phase decode matches the input — done.");
 }

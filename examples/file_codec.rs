@@ -8,22 +8,40 @@
 //!
 //! With no arguments, runs a self-demo on generated data in a temp dir.
 
+use recoil::core::codec::decode_pooled;
 use recoil::core::{container_from_bytes, container_to_bytes};
 use recoil::prelude::*;
 
-fn compress(input: &[u8]) -> Vec<u8> {
-    let model = StaticModelProvider::new(CdfTable::of_bytes(input, 12));
+fn file_codec() -> Codec {
     // Plan enough splits for any realistic client; they cost ~80 B each and
     // a weaker decoder simply ignores (or is served fewer of) them.
-    let container = encode_with_splits(input, &model, 32, 256);
-    container_to_bytes(&container, model.table())
+    Codec::builder()
+        .quant_bits(12)
+        .max_segments(256)
+        .build()
+        .expect("static file-codec config is valid")
 }
 
-fn decompress(bytes: &[u8]) -> Vec<u8> {
-    let (container, model) = container_from_bytes(bytes).expect("valid .rcl file");
+fn compress(input: &[u8]) -> Result<Vec<u8>, RecoilError> {
+    let encoded = file_codec().encode(input)?;
+    Ok(container_to_bytes(
+        &encoded.container,
+        encoded.model.table(),
+    ))
+}
+
+fn decompress(bytes: &[u8]) -> Result<Vec<u8>, RecoilError> {
+    let (container, model) = container_from_bytes(bytes)?;
     let pool = ThreadPool::with_default_parallelism();
-    decode_recoil(&container.stream, &container.metadata, &model, Some(&pool))
-        .expect("decodable stream")
+    let mut out = vec![0u8; container.stream.num_symbols as usize];
+    decode_pooled(
+        &container.stream,
+        &container.metadata,
+        &model,
+        Some(&pool),
+        &mut out,
+    )?;
+    Ok(out)
 }
 
 fn main() {
@@ -31,7 +49,7 @@ fn main() {
     match args.get(1).map(String::as_str) {
         Some("compress") => {
             let input = std::fs::read(&args[2]).expect("readable input");
-            let out = compress(&input);
+            let out = compress(&input).expect("encodable input");
             println!(
                 "{} -> {}: {} -> {} bytes ({:.1}%)",
                 args[2],
@@ -44,7 +62,11 @@ fn main() {
         }
         Some("decompress") => {
             let bytes = std::fs::read(&args[2]).expect("readable input");
-            let out = decompress(&bytes);
+            let out = decompress(&bytes).unwrap_or_else(|e| {
+                // Typed errors name the offending layer (Wire vs Decode).
+                eprintln!("error: {}: {e}", args[2]);
+                std::process::exit(1);
+            });
             println!("{} -> {}: {} bytes restored", args[2], args[3], out.len());
             std::fs::write(&args[3], out).expect("writable output");
         }
@@ -57,7 +79,7 @@ fn main() {
             std::fs::write(&src, &data).expect("temp write");
 
             let input = std::fs::read(&src).unwrap();
-            let packed = compress(&input);
+            let packed = compress(&input).expect("encodable input");
             std::fs::write(&rcl, &packed).unwrap();
             println!(
                 "compressed {} -> {} bytes ({:.1}%), file: {}",
@@ -67,7 +89,7 @@ fn main() {
                 rcl.display()
             );
 
-            let restored = decompress(&std::fs::read(&rcl).unwrap());
+            let restored = decompress(&std::fs::read(&rcl).unwrap()).expect("valid file");
             assert_eq!(restored, data);
             println!("decompressed and verified {} bytes — OK", restored.len());
             let _ = std::fs::remove_file(src);

@@ -12,7 +12,7 @@ use recoil::data::latent_dataset;
 use recoil::prelude::*;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), RecoilError> {
     // The n=16 scale bank used for all div2k-style runs (64 scales).
     println!("building Gaussian scale bank (n=16, 64 scales)...");
     let bank = Arc::new(GaussianScaleBank::default_latent_bank());
@@ -20,10 +20,25 @@ fn main() {
     // ~3.6M latents ≈ one DIV2K image through mbt2018-mean.
     let ds = latent_dataset(Arc::clone(&bank), 3_600_000, 6.0, 801);
     let bytes = ds.symbols.len() * 2;
-    println!("latents: {} symbols ({} bytes uncompressed)", ds.symbols.len(), bytes);
+    println!(
+        "latents: {} symbols ({} bytes uncompressed)",
+        ds.symbols.len(),
+        bytes
+    );
 
-    // Encode with split metadata for 256 parallel decoders.
-    let container = encode_with_splits(&ds.symbols, &ds.provider, 32, 256);
+    // One codec for the whole pipeline: split metadata for 256 parallel
+    // decoders, adaptive decodes distributed over all cores. (The SIMD
+    // kernels need flat static LUTs, so adaptive content always takes the
+    // scalar/pooled path — exactly as in the paper's div2k rows.)
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let codec = Codec::builder()
+        .quant_bits(16)
+        .max_segments(256)
+        .backend(PooledBackend::new(threads))
+        .build()?;
+
+    // Encode with the caller-owned adaptive provider.
+    let container = codec.encode_with_provider(&ds.symbols, &ds.provider)?;
     println!(
         "compressed: {} bytes ({:.1}% of raw) + {} metadata bytes, {} segments",
         container.stream_bytes(),
@@ -34,10 +49,8 @@ fn main() {
 
     // Parallel adaptive decode: each thread's Sync Phase looks up models by
     // absolute symbol index, so split boundaries are invisible to the model.
-    let pool = ThreadPool::with_default_parallelism();
     let t0 = std::time::Instant::now();
-    let decoded: Vec<u16> =
-        decode_recoil(&container.stream, &container.metadata, &ds.provider, Some(&pool)).unwrap();
+    let decoded = codec.decode_adaptive(&container.stream, &container.metadata, &ds.provider)?;
     let dt = t0.elapsed();
     assert_eq!(decoded, ds.symbols);
     println!(
@@ -48,12 +61,12 @@ fn main() {
 
     // Scale down for a 4-thread tablet: same bitstream, less metadata.
     let small = combine_splits(&container.metadata, 4);
-    let decoded4: Vec<u16> =
-        decode_recoil(&container.stream, &small, &ds.provider, Some(&pool)).unwrap();
+    let decoded4 = codec.decode_adaptive(&container.stream, &small, &ds.provider)?;
     assert_eq!(decoded4, ds.symbols);
     println!(
         "4-segment variant: metadata {} bytes (was {})",
         metadata_to_bytes(&small).len(),
         container.metadata_bytes()
     );
+    Ok(())
 }

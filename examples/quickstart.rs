@@ -1,5 +1,5 @@
-//! Quickstart: encode once, scale the metadata to the decoder, decode in
-//! parallel.
+//! Quickstart: configure a codec once, encode once, scale the metadata to
+//! the decoder, decode in parallel.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,39 +7,49 @@
 
 use recoil::prelude::*;
 
-fn main() {
+fn main() -> Result<(), RecoilError> {
     // 4 MB of moderately compressible synthetic text.
     let data = recoil::data::text_like_bytes(4_000_000, 5.0, 42);
-    println!("input: {} bytes ({:.2} bits/byte order-0 entropy)", data.len(), {
-        Histogram::of_bytes(&data).entropy_bits()
-    });
+    println!(
+        "input: {} bytes ({:.2} bits/byte order-0 entropy)",
+        data.len(),
+        { Histogram::of_bytes(&data).entropy_bits() }
+    );
 
-    // A static order-0 model quantized to 2^11 (Table 3 recommends n <= 16).
-    let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+    // The codec is configured once and reused: 32 interleaved lanes, an
+    // order-0 model quantized to 2^11 (Table 3 recommends n <= 16), split
+    // metadata for up to 2176 parallel decoders (the paper's "Large"
+    // variation), and a backend that auto-selects AVX-512 → AVX2 → scalar.
+    let codec = Codec::builder()
+        .ways(32)
+        .quant_bits(11)
+        .max_segments(2176)
+        .backend(AutoBackend::with_threads(
+            std::thread::available_parallelism().map_or(1, |p| p.get()),
+        ))
+        .build()?;
 
-    // Encode ONE interleaved rANS bitstream, planning split metadata for up
-    // to 2176 parallel decoders (the paper's "Large" variation).
-    let container = encode_with_splits(&data, &model, 32, 2176);
+    // Encode ONE interleaved rANS bitstream.
+    let encoded = codec.encode(&data)?;
     println!(
         "encoded: {} payload bytes + {} metadata bytes ({} segments)",
-        container.stream_bytes(),
-        container.metadata_bytes(),
-        container.metadata.num_segments()
+        encoded.stream_bytes(),
+        encoded.metadata_bytes(),
+        encoded.container.metadata.num_segments()
     );
 
     // A 16-thread client doesn't need 2176 segments: combine in real time.
     // The bitstream is untouched; only metadata entries are dropped.
-    let small = combine_splits(&container.metadata, 16);
+    let small = combine_splits(&encoded.container.metadata, 16);
     println!(
         "combined for 16 threads: {} metadata bytes (was {})",
         metadata_to_bytes(&small).len(),
-        container.metadata_bytes()
+        encoded.metadata_bytes()
     );
 
-    // Parallel three-phase decode on a thread pool.
-    let pool = ThreadPool::with_default_parallelism();
+    // Parallel three-phase decode through the configured backend.
     let t0 = std::time::Instant::now();
-    let decoded: Vec<u8> = decode_recoil(&container.stream, &small, &model, Some(&pool)).unwrap();
+    let decoded: Vec<u8> = codec.decode(&encoded)?;
     let dt = t0.elapsed();
     assert_eq!(decoded, data);
     println!(
@@ -49,16 +59,16 @@ fn main() {
         decoded.len() as f64 / dt.as_secs_f64() / 1e9
     );
 
-    // The same stream through the SIMD driver (AVX-512 → AVX2 → scalar).
-    let kernel = Kernel::best();
-    let mut out = vec![0u8; data.len()];
+    // The same payload through an explicit per-call backend: a portable
+    // scalar pass that any host can run.
     let t0 = std::time::Instant::now();
-    decode_recoil_simd(kernel, &container.stream, &small, &model, Some(&pool), &mut out).unwrap();
+    let scalar: Vec<u8> = codec.decode_with(&ScalarBackend, &encoded)?;
     let dt = t0.elapsed();
-    assert_eq!(out, data);
+    assert_eq!(scalar, data);
     println!(
-        "decoded with {kernel:?} in {:.2?} ({:.2} GB/s)",
+        "decoded with ScalarBackend in {:.2?} ({:.2} GB/s)",
         dt,
-        out.len() as f64 / dt.as_secs_f64() / 1e9
+        scalar.len() as f64 / dt.as_secs_f64() / 1e9
     );
+    Ok(())
 }

@@ -1,0 +1,144 @@
+//! Acceptance tests for the `Codec` facade: every Table-4-style dataset
+//! family round-trips through every available `DecodeBackend` with
+//! identical output, and invalid configurations are rejected with typed
+//! errors — no panics anywhere on the public surface.
+
+use recoil::data::{exponential_bytes, text_like_bytes};
+use recoil::prelude::*;
+
+/// Four Table-4-style datasets: two exponential rates (incompressible and
+/// highly compressible) and two text entropies, scaled for CI.
+fn datasets() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("rand_10", exponential_bytes(400_000, 10.0, 41)),
+        ("rand_500", exponential_bytes(400_000, 500.0, 42)),
+        ("dickens", text_like_bytes(400_000, 4.548, 43)),
+        ("enwik", text_like_bytes(400_000, 5.087, 44)),
+    ]
+}
+
+fn all_backends() -> Vec<Box<dyn DecodeBackend>> {
+    vec![
+        Box::new(ScalarBackend),
+        Box::new(PooledBackend::new(8)),
+        Box::new(Avx2Backend::with_threads(8)),
+        Box::new(Avx512Backend::with_threads(8)),
+        Box::new(AutoBackend::with_threads(8)),
+    ]
+}
+
+#[test]
+fn every_dataset_through_every_available_backend() {
+    let codec = Codec::builder()
+        .ways(32)
+        .max_segments(64)
+        .quant_bits(11)
+        .build()
+        .unwrap();
+    for (name, data) in datasets() {
+        let encoded = codec.encode(&data).unwrap();
+        let reference: Vec<u8> = codec.decode_with(&ScalarBackend, &encoded).unwrap();
+        assert_eq!(reference, data, "{name} scalar");
+        for backend in all_backends() {
+            if !backend.is_available() {
+                // Explicit SIMD backends on hosts without the feature:
+                // typed error, not a panic.
+                let err = codec
+                    .decode_with::<u8>(backend.as_ref(), &encoded)
+                    .unwrap_err();
+                assert!(
+                    matches!(err, RecoilError::BackendUnavailable { .. }),
+                    "{name} {}",
+                    backend.name()
+                );
+                continue;
+            }
+            let got: Vec<u8> = codec.decode_with(backend.as_ref(), &encoded).unwrap();
+            assert_eq!(got, reference, "{name} {}", backend.name());
+        }
+    }
+}
+
+#[test]
+fn codec_is_reusable_across_payloads() {
+    let codec = Codec::builder()
+        .max_segments(16)
+        .backend(AutoBackend::with_threads(4))
+        .build()
+        .unwrap();
+    for (name, data) in datasets() {
+        let encoded = codec.encode(&data).unwrap();
+        assert!(encoded.container.metadata.num_segments() <= 16);
+        let got: Vec<u8> = codec.decode(&encoded).unwrap();
+        assert_eq!(got, data, "{name}");
+    }
+}
+
+#[test]
+fn invalid_configs_are_typed_errors() {
+    for (build, field) in [
+        (Codec::builder().ways(0).build(), "ways"),
+        (Codec::builder().max_segments(0).build(), "max_segments"),
+        (Codec::builder().quant_bits(17).build(), "quant_bits"),
+        (Codec::builder().quant_bits(0).build(), "quant_bits"),
+        (Codec::builder().max_candidates(0).build(), "max_candidates"),
+    ] {
+        match build {
+            Err(RecoilError::InvalidConfig { field: got, .. }) => {
+                assert_eq!(got, field);
+            }
+            other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+        }
+    }
+    // EncoderConfig validation is shared with the builder.
+    let bad = EncoderConfig {
+        quant_bits: 22,
+        ..EncoderConfig::default()
+    };
+    assert!(matches!(
+        bad.validate(),
+        Err(RecoilError::InvalidConfig {
+            field: "quant_bits",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn decoding_wrong_width_is_an_error_not_a_panic() {
+    let codec = Codec::builder().build().unwrap();
+    let data: Vec<u16> = (0..20_000u32).map(|i| (i % 300) as u16).collect();
+    let encoded = codec.encode_u16(&data).unwrap();
+    assert!(codec.decode::<u8>(&encoded).is_err());
+    let ok: Vec<u16> = codec.decode(&encoded).unwrap();
+    assert_eq!(ok, data);
+}
+
+#[test]
+fn mismatched_buffer_is_an_error_not_a_panic() {
+    let codec = Codec::builder().max_segments(4).build().unwrap();
+    let data = exponential_bytes(10_000, 100.0, 45);
+    let encoded = codec.encode(&data).unwrap();
+    let mut short = vec![0u8; data.len() - 1];
+    assert!(codec.decode_into(&encoded, &mut short).is_err());
+}
+
+#[test]
+fn heuristic_choice_flows_through_the_builder() {
+    let data = text_like_bytes(300_000, 5.0, 46);
+    let sync = Codec::builder().max_segments(64).build().unwrap();
+    let naive = Codec::builder()
+        .max_segments(64)
+        .heuristic(Heuristic::NearestOnly)
+        .build()
+        .unwrap();
+    let a = sync.encode(&data).unwrap();
+    let b = naive.encode(&data).unwrap();
+    // Same bitstream (encoding is heuristic-independent)…
+    assert_eq!(a.container.stream, b.container.stream);
+    // …and both plans decode correctly.
+    let da: Vec<u8> = sync.decode(&a).unwrap();
+    let db: Vec<u8> = naive.decode(&b).unwrap();
+    assert_eq!(da, data);
+    assert_eq!(db, data);
+}

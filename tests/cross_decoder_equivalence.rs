@@ -1,6 +1,6 @@
 //! Exhaustive cross-decoder equivalence over every dataset family in
-//! Table 4 (scaled), all kernels, scalar/pool execution, and both the
-//! Recoil and Conventional containers.
+//! Table 4 (scaled), all backends, scalar/pool execution, and both the
+//! Recoil and Conventional containers — one bitstream, every decoder.
 
 use recoil::data::{Dataset, ALL_DATASETS};
 use recoil::prelude::*;
@@ -10,41 +10,37 @@ const SCALE_BYTES: usize = 300_000;
 
 fn check_byte_dataset(d: &Dataset, n: u32) {
     let data = d.generate_bytes(SCALE_BYTES);
-    let model = StaticModelProvider::new(CdfTable::of_bytes(&data, n));
+    let codec = Codec::builder()
+        .max_segments(64)
+        .quant_bits(n)
+        .build()
+        .unwrap();
+    let encoded = codec.encode(&data).unwrap();
     let pool = ThreadPool::new(7);
 
-    let container = encode_with_splits(&data, &model, 32, 64);
-    let reference: Vec<u8> = decode_interleaved(&container.stream, &model).unwrap();
+    let reference: Vec<u8> = decode_interleaved(&encoded.container.stream, &encoded.model).unwrap();
     assert_eq!(reference, data, "{} serial", d.name);
 
-    // Recoil: scalar / pool / SIMD kernels.
-    let scalar: Vec<u8> =
-        decode_recoil(&container.stream, &container.metadata, &model, None).unwrap();
-    assert_eq!(scalar, data, "{} recoil scalar", d.name);
-    let pooled: Vec<u8> =
-        decode_recoil(&container.stream, &container.metadata, &model, Some(&pool)).unwrap();
-    assert_eq!(pooled, data, "{} recoil pooled", d.name);
-    for kernel in Kernel::all_available() {
-        let mut out = vec![0u8; data.len()];
-        decode_recoil_simd(
-            kernel,
-            &container.stream,
-            &container.metadata,
-            &model,
-            Some(&pool),
-            &mut out,
-        )
-        .unwrap();
-        assert_eq!(out, data, "{} recoil {:?}", d.name, kernel);
+    // Recoil: every available backend must agree bit for bit.
+    let backends: Vec<Box<dyn DecodeBackend>> = vec![
+        Box::new(ScalarBackend),
+        Box::new(PooledBackend::new(8)),
+        Box::new(Avx2Backend::with_threads(8)),
+        Box::new(Avx512Backend::with_threads(8)),
+        Box::new(AutoBackend::with_threads(8)),
+    ];
+    for backend in backends.iter().filter(|b| b.is_available()) {
+        let got: Vec<u8> = codec.decode_with(backend.as_ref(), &encoded).unwrap();
+        assert_eq!(got, data, "{} recoil {}", d.name, backend.name());
     }
 
     // Conventional: scalar and SIMD.
-    let conv = encode_conventional(&data, &model, 32, 64);
-    let got: Vec<u8> = decode_conventional(&conv, &model, Some(&pool)).unwrap();
+    let conv = encode_conventional(&data, &encoded.model, 32, 64);
+    let got: Vec<u8> = decode_conventional(&conv, &encoded.model, Some(&pool)).unwrap();
     assert_eq!(got, data, "{} conventional", d.name);
     for kernel in Kernel::all_available() {
         let mut out = vec![0u8; data.len()];
-        decode_conventional_simd(kernel, &conv, &model, Some(&pool), &mut out).unwrap();
+        decode_conventional_simd(kernel, &conv, &encoded.model, Some(&pool), &mut out).unwrap();
         assert_eq!(out, data, "{} conventional {:?}", d.name, kernel);
     }
 
@@ -74,14 +70,22 @@ fn latent_datasets_adaptive_paths() {
     // Smaller bank than production (build time) but the same structure.
     let bank = Arc::new(GaussianScaleBank::build(14, 2048, 32, 0.4, 64.0));
     let pool = ThreadPool::new(7);
+    let codec = Codec::builder()
+        .max_segments(48)
+        .quant_bits(14)
+        .backend(AutoBackend::with_threads(8))
+        .build()
+        .unwrap();
     for d in ALL_DATASETS.iter().filter(|d| d.is_latent()) {
         let ds = d.generate_latents(Arc::clone(&bank), SCALE_BYTES);
-        let container = encode_with_splits(&ds.symbols, &ds.provider, 32, 48);
+        let container = codec
+            .encode_with_provider(&ds.symbols, &ds.provider)
+            .unwrap();
         let serial: Vec<u16> = decode_interleaved(&container.stream, &ds.provider).unwrap();
         assert_eq!(serial, ds.symbols, "{} serial", d.name);
-        let par: Vec<u16> =
-            decode_recoil(&container.stream, &container.metadata, &ds.provider, Some(&pool))
-                .unwrap();
+        let par = codec
+            .decode_adaptive(&container.stream, &container.metadata, &ds.provider)
+            .unwrap();
         assert_eq!(par, ds.symbols, "{} recoil", d.name);
 
         let conv = encode_conventional(&ds.symbols, &ds.provider, 32, 16);

@@ -1,0 +1,124 @@
+//! The pre-`Codec` free functions are deprecated but must keep compiling
+//! and produce byte-identical results to the new facade paths — one
+//! bitstream format, two API generations.
+
+#![allow(deprecated)]
+
+use recoil::prelude::*;
+
+fn sample(len: usize) -> Vec<u8> {
+    (0..len as u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 22) as u8)
+        .collect()
+}
+
+#[test]
+fn encode_with_splits_matches_codec_encode() {
+    let data = sample(300_000);
+    let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+    let legacy = encode_with_splits(&data, &model, 32, 64);
+
+    let codec = Codec::builder()
+        .ways(32)
+        .max_segments(64)
+        .quant_bits(11)
+        .build()
+        .unwrap();
+    let new = codec.encode(&data).unwrap();
+
+    assert_eq!(
+        new.container.stream, legacy.stream,
+        "bitstream must be byte-identical"
+    );
+    assert_eq!(
+        new.container.metadata, legacy.metadata,
+        "split plan must be identical"
+    );
+    assert_eq!(
+        metadata_to_bytes(&new.container.metadata),
+        metadata_to_bytes(&legacy.metadata),
+        "serialized metadata must be byte-identical"
+    );
+}
+
+#[test]
+fn decode_recoil_matches_codec_decode() {
+    let data = sample(250_000);
+    let codec = Codec::builder().max_segments(32).build().unwrap();
+    let encoded = codec.encode(&data).unwrap();
+
+    let legacy: Vec<u8> = decode_recoil(
+        &encoded.container.stream,
+        &encoded.container.metadata,
+        &encoded.model,
+        None,
+    )
+    .unwrap();
+    let pool = ThreadPool::new(3);
+    let legacy_pooled: Vec<u8> = decode_recoil(
+        &encoded.container.stream,
+        &encoded.container.metadata,
+        &encoded.model,
+        Some(&pool),
+    )
+    .unwrap();
+    let new: Vec<u8> = codec.decode(&encoded).unwrap();
+    assert_eq!(legacy, data);
+    assert_eq!(legacy_pooled, data);
+    assert_eq!(new, legacy);
+}
+
+#[test]
+fn decode_recoil_into_matches_codec_decode_into() {
+    let data = sample(120_000);
+    let codec = Codec::builder().max_segments(16).build().unwrap();
+    let encoded = codec.encode(&data).unwrap();
+
+    let mut legacy = vec![0u8; data.len()];
+    decode_recoil_into(
+        &encoded.container.stream,
+        &encoded.container.metadata,
+        &encoded.model,
+        None,
+        &mut legacy,
+    )
+    .unwrap();
+    let mut new = vec![0u8; data.len()];
+    codec.decode_into(&encoded, &mut new).unwrap();
+    assert_eq!(legacy, new);
+    assert_eq!(new, data);
+}
+
+#[test]
+fn decode_recoil_simd_matches_simd_backends() {
+    let data = sample(200_000);
+    let codec = Codec::builder().max_segments(24).build().unwrap();
+    let encoded = codec.encode(&data).unwrap();
+
+    for kernel in Kernel::all_available() {
+        let mut legacy = vec![0u8; data.len()];
+        decode_recoil_simd(
+            kernel,
+            &encoded.container.stream,
+            &encoded.container.metadata,
+            &encoded.model,
+            None,
+            &mut legacy,
+        )
+        .unwrap();
+        assert_eq!(legacy, data, "legacy kernel {kernel:?}");
+
+        let backend: Box<dyn DecodeBackend> = match kernel {
+            Kernel::Scalar => Box::new(ScalarBackend),
+            Kernel::Avx2 => Box::new(Avx2Backend::new()),
+            Kernel::Avx512 => Box::new(Avx512Backend::new()),
+        };
+        let new: Vec<u8> = codec.decode_with(backend.as_ref(), &encoded).unwrap();
+        assert_eq!(
+            new,
+            legacy,
+            "backend {} vs kernel {kernel:?}",
+            backend.name()
+        );
+    }
+}

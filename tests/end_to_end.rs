@@ -1,30 +1,44 @@
 //! Cross-crate integration tests: realistic datasets through the full
-//! encode → plan → serialize → combine → parallel-decode pipeline.
+//! encode → plan → serialize → combine → parallel-decode pipeline, all via
+//! the `Codec` facade.
 
+use recoil::core::codec::decode_pooled;
 use recoil::data::{exponential_bytes, text_like_bytes};
 use recoil::prelude::*;
 use recoil::server::{Client, ContentServer};
 
-fn byte_model(data: &[u8], n: u32) -> StaticModelProvider {
-    StaticModelProvider::new(CdfTable::of_bytes(data, n))
+fn codec(max_segments: u64, quant_bits: u32) -> Codec {
+    Codec::builder()
+        .max_segments(max_segments)
+        .quant_bits(quant_bits)
+        .build()
+        .unwrap()
 }
 
 #[test]
 fn text_dataset_full_pipeline() {
     let data = text_like_bytes(1_000_000, 5.1, 1);
-    let model = byte_model(&data, 11);
-    let container = encode_with_splits(&data, &model, 32, 128);
+    let codec = codec(128, 11);
+    let encoded = codec.encode(&data).unwrap();
 
     // Wire round-trip of the metadata.
-    let bytes = metadata_to_bytes(&container.metadata);
+    let bytes = metadata_to_bytes(&encoded.container.metadata);
     let meta = metadata_from_bytes(&bytes).unwrap();
-    assert_eq!(meta, container.metadata);
+    assert_eq!(meta, encoded.container.metadata);
 
     // Decode at several parallelism levels; all must be identical.
-    let pool = ThreadPool::new(7);
+    let pooled = PooledBackend::new(8);
     for segments in [1u64, 2, 16, 128] {
         let m = combine_splits(&meta, segments);
-        let got: Vec<u8> = decode_recoil(&container.stream, &m, &model, Some(&pool)).unwrap();
+        let mut got = vec![0u8; data.len()];
+        decode_pooled(
+            &encoded.container.stream,
+            &m,
+            &encoded.model,
+            Some(pooled.pool()),
+            &mut got,
+        )
+        .unwrap();
         assert_eq!(got, data, "segments={segments}");
     }
 }
@@ -32,26 +46,27 @@ fn text_dataset_full_pipeline() {
 #[test]
 fn compressed_size_is_near_entropy_plus_metadata() {
     let data = exponential_bytes(2_000_000, 100.0, 2);
-    let model = byte_model(&data, 11);
-    let container = encode_with_splits(&data, &model, 32, 64);
-    let entropy_bytes =
-        Histogram::of_bytes(&data).entropy_bits() * data.len() as f64 / 8.0;
-    let payload = container.stream_bytes() as f64;
-    assert!(payload < entropy_bytes * 1.08, "payload {payload} vs entropy {entropy_bytes}");
+    let encoded = codec(64, 11).encode(&data).unwrap();
+    let entropy_bytes = Histogram::of_bytes(&data).entropy_bits() * data.len() as f64 / 8.0;
+    let payload = encoded.stream_bytes() as f64;
+    assert!(
+        payload < entropy_bytes * 1.08,
+        "payload {payload} vs entropy {entropy_bytes}"
+    );
     assert!(payload > entropy_bytes * 0.95);
     // Metadata is a rounding error next to the payload at 64 segments.
-    assert!((container.metadata_bytes() as f64) < payload * 0.01);
+    assert!((encoded.metadata_bytes() as f64) < payload * 0.01);
 }
 
 #[test]
 fn recoil_never_loses_to_conventional_at_equal_parallelism() {
     // §5.2: Recoil's overhead undercuts Conventional at every split count.
     let data = exponential_bytes(1_000_000, 200.0, 3);
-    let model = byte_model(&data, 11);
+    let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
     for parallelism in [16usize, 256] {
-        let recoil = encode_with_splits(&data, &model, 32, parallelism as u64);
+        let encoded = codec(parallelism as u64, 11).encode(&data).unwrap();
         let conv = encode_conventional(&data, &model, 32, parallelism);
-        let recoil_total = recoil.total_bytes();
+        let recoil_total = encoded.total_bytes();
         let conv_total = conv.payload_bytes();
         assert!(
             recoil_total < conv_total,
@@ -63,14 +78,20 @@ fn recoil_never_loses_to_conventional_at_equal_parallelism() {
 #[test]
 fn conventional_and_recoil_decode_identically() {
     let data = text_like_bytes(500_000, 4.6, 4);
-    let model = byte_model(&data, 12);
+    let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 12));
     let pool = ThreadPool::new(7);
 
     let conv = encode_conventional(&data, &model, 32, 64);
     let a: Vec<u8> = decode_conventional(&conv, &model, Some(&pool)).unwrap();
 
-    let rec = encode_with_splits(&data, &model, 32, 64);
-    let b: Vec<u8> = decode_recoil(&rec.stream, &rec.metadata, &model, Some(&pool)).unwrap();
+    let codec = Codec::builder()
+        .max_segments(64)
+        .quant_bits(12)
+        .backend(PooledBackend::new(8))
+        .build()
+        .unwrap();
+    let encoded = codec.encode(&data).unwrap();
+    let b: Vec<u8> = codec.decode(&encoded).unwrap();
     assert_eq!(a, data);
     assert_eq!(b, data);
 }
@@ -91,7 +112,11 @@ fn tans_multians_agrees_with_rans_content() {
 fn server_scales_per_client_and_all_clients_agree() {
     let data = exponential_bytes(1_500_000, 50.0, 6);
     let mut server = ContentServer::new();
-    server.publish("item", &data, 11, 32, 512);
+    let config = EncoderConfig {
+        max_segments: 512,
+        ..EncoderConfig::default()
+    };
+    server.publish("item", &data, &config).unwrap();
     let item = server.get("item").unwrap();
 
     let mut sizes = Vec::new();
@@ -110,15 +135,19 @@ fn server_scales_per_client_and_all_clients_agree() {
 fn simd_and_scalar_recoil_decoders_agree_on_all_variations() {
     let data = text_like_bytes(600_000, 5.2, 7);
     for n in [11u32, 16] {
-        let model = byte_model(&data, n);
-        let container = encode_with_splits(&data, &model, 32, 64);
-        let scalar: Vec<u8> =
-            decode_recoil(&container.stream, &container.metadata, &model, None).unwrap();
-        for kernel in Kernel::all_available() {
-            let mut out = vec![0u8; data.len()];
-            decode_recoil_simd(kernel, &container.stream, &container.metadata, &model, None, &mut out)
-                .unwrap();
-            assert_eq!(out, scalar, "kernel {kernel:?} n={n}");
+        let codec = codec(64, n);
+        let encoded = codec.encode(&data).unwrap();
+        let scalar: Vec<u8> = codec.decode_with(&ScalarBackend, &encoded).unwrap();
+        for backend in [
+            &Avx2Backend::new() as &dyn DecodeBackend,
+            &Avx512Backend::new(),
+            &AutoBackend::new(),
+        ] {
+            if !backend.is_available() {
+                continue;
+            }
+            let got: Vec<u8> = codec.decode_with(backend, &encoded).unwrap();
+            assert_eq!(got, scalar, "backend {} n={n}", backend.name());
         }
     }
 }
@@ -128,22 +157,27 @@ fn mutual_compatibility_one_bitstream_every_decoder() {
     // §4.4: "All four implementations are mutually compatible; generated
     // bitstreams by the encoder can be decoded by any of them."
     let data = exponential_bytes(800_000, 100.0, 8);
-    let model = byte_model(&data, 11);
-    let container = encode_with_splits(&data, &model, 32, 96);
-    let pool = ThreadPool::new(7);
+    let codec = codec(96, 11);
+    let encoded = codec.encode(&data).unwrap();
 
-    let serial: Vec<u8> = decode_interleaved(&container.stream, &model).unwrap();
-    let recoil_scalar: Vec<u8> =
-        decode_recoil(&container.stream, &container.metadata, &model, Some(&pool)).unwrap();
+    let serial: Vec<u8> = decode_interleaved(&encoded.container.stream, &encoded.model).unwrap();
+    let recoil_scalar: Vec<u8> = codec.decode_with(&PooledBackend::new(8), &encoded).unwrap();
     assert_eq!(serial, recoil_scalar);
-    let m = SimdModel::from_provider(&model);
+    let m = SimdModel::from_provider(&encoded.model);
     for kernel in Kernel::all_available() {
         let mut out = vec![0u8; data.len()];
-        decode_interleaved_simd(kernel, &container.stream, &m, &mut out).unwrap();
+        decode_interleaved_simd(kernel, &encoded.container.stream, &m, &mut out).unwrap();
         assert_eq!(out, serial, "single-thread {kernel:?}");
-        let mut out2 = vec![0u8; data.len()];
-        decode_recoil_simd(kernel, &container.stream, &container.metadata, &model, Some(&pool), &mut out2)
-            .unwrap();
-        assert_eq!(out2, serial, "recoil {kernel:?}");
+    }
+    for backend in [
+        &Avx2Backend::with_threads(8) as &dyn DecodeBackend,
+        &Avx512Backend::with_threads(8),
+        &AutoBackend::with_threads(8),
+    ] {
+        if !backend.is_available() {
+            continue;
+        }
+        let out: Vec<u8> = codec.decode_with(backend, &encoded).unwrap();
+        assert_eq!(out, serial, "recoil backend {}", backend.name());
     }
 }

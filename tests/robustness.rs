@@ -1,68 +1,95 @@
 //! Robustness at the trust boundaries: the wire parsers must never panic on
 //! arbitrary or mutated input — they either parse to validated structures
-//! or return an error. (Decoding a *corrupt payload* with valid metadata is
-//! garbage-in/garbage-out, as for any entropy coder; the parsers are the
-//! layer that must be hostile-input safe.)
+//! or return a [`RecoilError`]. (Decoding a *corrupt payload* with valid
+//! metadata is garbage-in/garbage-out, as for any entropy coder; the
+//! parsers are the layer that must be hostile-input safe.)
+//!
+//! The registry `proptest` crate is unavailable offline, so the properties
+//! run over deterministic seeded cases.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use recoil::core::{container_from_bytes, container_to_bytes, metadata_from_bytes};
 use recoil::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+mod common;
+use common::Cases;
 
-    /// Arbitrary bytes into the metadata parser: error or valid, no panic.
-    #[test]
-    fn metadata_parser_never_panics(bytes in vec(any::<u8>(), 0..512)) {
+fn codec(max_segments: u64, quant_bits: u32) -> Codec {
+    Codec::builder()
+        .max_segments(max_segments)
+        .quant_bits(quant_bits)
+        .build()
+        .unwrap()
+}
+
+/// Arbitrary bytes into the metadata parser: error or valid, no panic.
+#[test]
+fn metadata_parser_never_panics() {
+    for seed in 0..256u64 {
+        let mut rng = Cases::new(0xFEED ^ seed);
+        let len = rng.below(512) as usize;
+        let bytes = rng.bytes(len);
         if let Ok(meta) = metadata_from_bytes(&bytes) {
-            prop_assert!(meta.validate().is_ok());
+            assert!(meta.validate().is_ok(), "seed {seed}");
         }
     }
+}
 
-    /// Arbitrary bytes into the file parser: error or valid, no panic.
-    #[test]
-    fn file_parser_never_panics(bytes in vec(any::<u8>(), 0..512)) {
+/// Arbitrary bytes into the file parser: error or valid, no panic.
+#[test]
+fn file_parser_never_panics() {
+    for seed in 0..256u64 {
+        let mut rng = Cases::new(0xF11E ^ seed);
+        let len = rng.below(512) as usize;
+        let bytes = rng.bytes(len);
         if let Ok((container, _model)) = container_from_bytes(&bytes) {
-            prop_assert!(container.stream.validate().is_ok());
+            assert!(container.stream.validate().is_ok(), "seed {seed}");
         }
     }
+}
 
-    /// Single-byte mutations of a real file: every outcome is parse error,
-    /// or a still-valid container (whose decode may legitimately fail or
-    /// produce different symbols — but must not panic at the parse layer).
-    #[test]
-    fn mutated_file_parses_or_errors(
-        seed_data in vec(any::<u8>(), 500..3000),
-        flip_at in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
-        let model = StaticModelProvider::new(CdfTable::of_bytes(&seed_data, 10));
-        let container = encode_with_splits(&seed_data, &model, 32, 4);
-        let mut bytes = container_to_bytes(&container, model.table());
-        let at = flip_at.index(bytes.len());
+/// Single-byte mutations of a real file: every outcome is a parse error,
+/// or a still-valid container (whose decode may legitimately fail or
+/// produce different symbols — but must not panic at the parse layer).
+#[test]
+fn mutated_file_parses_or_errors() {
+    for seed in 0..96u64 {
+        let mut rng = Cases::new(0x3117 ^ seed);
+        let len = 500 + rng.below(2500) as usize;
+        let seed_data = rng.bytes(len);
+        let enc = codec(4, 10).encode(&seed_data).unwrap();
+        let mut bytes = container_to_bytes(&enc.container, enc.model.table());
+        let at = rng.below(bytes.len() as u64) as usize;
+        let flip_bit = rng.below(8) as u8;
         bytes[at] ^= 1 << flip_bit;
         match container_from_bytes(&bytes) {
             Err(_) => {}
             Ok((c, _m)) => {
-                prop_assert!(c.stream.validate().is_ok());
-                prop_assert!(c.metadata.validate_against(&c.stream).is_ok());
+                assert!(c.stream.validate().is_ok(), "seed {seed} at {at}");
+                assert!(
+                    c.metadata.validate_against(&c.stream).is_ok(),
+                    "seed {seed} at {at}"
+                );
             }
         }
     }
+}
 
-    /// Truncated metadata at every cut point errors cleanly.
-    #[test]
-    fn truncated_metadata_errors(
-        seed_data in vec(any::<u8>(), 2000..6000),
-        cut_frac in 0.0f64..1.0,
-    ) {
-        let model = StaticModelProvider::new(CdfTable::of_bytes(&seed_data, 11));
-        let container = encode_with_splits(&seed_data, &model, 32, 8);
-        let bytes = metadata_to_bytes(&container.metadata);
-        let cut = ((bytes.len() as f64) * cut_frac) as usize;
-        if cut < bytes.len() {
-            prop_assert!(metadata_from_bytes(&bytes[..cut]).is_err());
+/// Truncated metadata at every cut point errors cleanly (and with the
+/// `Wire` variant, not a decode error).
+#[test]
+fn truncated_metadata_errors() {
+    for seed in 0..16u64 {
+        let mut rng = Cases::new(0x7C07 ^ seed);
+        let len = 2000 + rng.below(4000) as usize;
+        let seed_data = rng.bytes(len);
+        let enc = codec(8, 11).encode(&seed_data).unwrap();
+        let bytes = metadata_to_bytes(&enc.container.metadata);
+        for cut in 0..bytes.len() {
+            let err = metadata_from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, RecoilError::Wire { .. }),
+                "seed {seed} cut {cut}: {err}"
+            );
         }
     }
 }
@@ -71,26 +98,28 @@ proptest! {
 fn pathological_inputs_round_trip() {
     // Degenerate but legal inputs through the whole pipeline.
     let cases: Vec<Vec<u8>> = vec![
-        vec![0u8; 10_000],                     // single symbol
+        vec![0u8; 10_000],                         // single symbol
         (0..=255u8).cycle().take(9_999).collect(), // uniform
         {
-            let mut v = vec![0u8; 20_000];     // one rare symbol
+            let mut v = vec![0u8; 20_000]; // one rare symbol
             v[19_999] = 255;
             v
         },
-        vec![7u8, 7, 7, 8],                    // tiny input
+        vec![7u8, 7, 7, 8], // tiny input
+        vec![],             // empty payload
     ];
     for (i, data) in cases.iter().enumerate() {
         for n in [8u32, 11, 16] {
-            let model = StaticModelProvider::new(CdfTable::of_bytes(data, n));
-            let container = encode_with_splits(data, &model, 32, 16);
-            let got: Vec<u8> =
-                decode_recoil(&container.stream, &container.metadata, &model, None).unwrap();
+            let codec = codec(16, n);
+            let enc = codec.encode(data).unwrap();
+            let got: Vec<u8> = codec.decode(&enc).unwrap();
             assert_eq!(&got, data, "case {i} n={n}");
             // And through the file format.
-            let bytes = container_to_bytes(&container, model.table());
+            let bytes = container_to_bytes(&enc.container, enc.model.table());
             let (back, m2) = container_from_bytes(&bytes).unwrap();
-            let got2: Vec<u8> = decode_recoil(&back.stream, &back.metadata, &m2, None).unwrap();
+            let mut got2 = vec![0u8; back.stream.num_symbols as usize];
+            recoil::core::codec::decode_pooled(&back.stream, &back.metadata, &m2, None, &mut got2)
+                .unwrap();
             assert_eq!(&got2, data, "file case {i} n={n}");
         }
     }
@@ -98,17 +127,17 @@ fn pathological_inputs_round_trip() {
 
 #[test]
 fn naive_heuristic_still_decodes_correctly() {
-    use recoil::core::PlannerConfig;
-    use recoil::core::SplitPlanner;
     let data = recoil::data::text_like_bytes(300_000, 5.0, 77);
-    let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
-    let mut planner =
-        SplitPlanner::new(32, data.len() as u64, PlannerConfig::with_segments_naive(64));
-    let mut enc = InterleavedEncoder::new(&model, 32);
-    enc.encode_all(&data, &mut planner);
-    let stream = enc.finish();
-    let meta = planner.finish(stream.words.len() as u64, 11);
-    meta.validate_against(&stream).unwrap();
-    let got: Vec<u8> = decode_recoil(&stream, &meta, &model, None).unwrap();
+    let codec = Codec::builder()
+        .max_segments(64)
+        .heuristic(Heuristic::NearestOnly)
+        .build()
+        .unwrap();
+    let enc = codec.encode(&data).unwrap();
+    enc.container
+        .metadata
+        .validate_against(&enc.container.stream)
+        .unwrap();
+    let got: Vec<u8> = codec.decode(&enc).unwrap();
     assert_eq!(got, data);
 }

@@ -1,0 +1,102 @@
+//! Wire-format round-trips for edge-case metadata: one segment, the
+//! maximum planned segments, and an empty payload — plus corruption cases
+//! that must surface as `RecoilError::Wire`, never as a panic.
+
+use recoil::prelude::*;
+
+fn codec(max_segments: u64) -> Codec {
+    Codec::builder().max_segments(max_segments).build().unwrap()
+}
+
+fn roundtrip(meta: &RecoilMetadata) -> RecoilMetadata {
+    let bytes = metadata_to_bytes(meta);
+    metadata_from_bytes(&bytes).unwrap()
+}
+
+#[test]
+fn one_segment_metadata_round_trips() {
+    let data: Vec<u8> = (0..50_000u32).map(|i| (i % 97) as u8).collect();
+    let encoded = codec(1).encode(&data).unwrap();
+    let meta = &encoded.container.metadata;
+    assert_eq!(meta.num_segments(), 1);
+    assert!(meta.splits.is_empty());
+    assert_eq!(&roundtrip(meta), meta);
+}
+
+#[test]
+fn max_segments_metadata_round_trips() {
+    let data = recoil::data::exponential_bytes(400_000, 50.0, 9);
+    let encoded = codec(512).encode(&data).unwrap();
+    let meta = &encoded.container.metadata;
+    assert!(
+        meta.num_segments() > 256,
+        "planner placed {}",
+        meta.num_segments()
+    );
+    assert_eq!(&roundtrip(meta), meta);
+}
+
+#[test]
+fn empty_payload_metadata_round_trips() {
+    let encoded = codec(8).encode(&[]).unwrap();
+    let meta = &encoded.container.metadata;
+    assert_eq!(meta.num_symbols, 0);
+    assert_eq!(meta.num_segments(), 1);
+    assert_eq!(&roundtrip(meta), meta);
+}
+
+#[test]
+fn corrupted_bytes_return_wire_error_not_panic() {
+    let data = recoil::data::text_like_bytes(100_000, 5.0, 10);
+    let encoded = codec(16).encode(&data).unwrap();
+    let bytes = metadata_to_bytes(&encoded.container.metadata);
+
+    // Bad magic.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        metadata_from_bytes(&bad_magic),
+        Err(RecoilError::Wire { .. })
+    ));
+
+    // Every single-byte corruption either parses to valid metadata or is a
+    // Wire error — never a panic, never a decode-layer error.
+    for at in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[at] ^= 0x55;
+        match metadata_from_bytes(&mutated) {
+            Ok(meta) => meta.validate().unwrap(),
+            Err(RecoilError::Wire { .. }) => {}
+            Err(other) => panic!("byte {at}: unexpected error variant {other:?}"),
+        }
+    }
+
+    // Every truncation is a Wire error.
+    for cut in 0..bytes.len() {
+        assert!(
+            matches!(
+                metadata_from_bytes(&bytes[..cut]),
+                Err(RecoilError::Wire { .. })
+            ),
+            "cut {cut}"
+        );
+    }
+}
+
+#[test]
+fn container_file_corruption_is_wire_error() {
+    use recoil::core::{container_from_bytes, container_to_bytes};
+    let data = recoil::data::exponential_bytes(50_000, 200.0, 11);
+    let encoded = codec(8).encode(&data).unwrap();
+    let bytes = container_to_bytes(&encoded.container, encoded.model.table());
+    assert!(container_from_bytes(&bytes).is_ok());
+    for cut in [0, 3, 9, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            matches!(
+                container_from_bytes(&bytes[..cut]),
+                Err(RecoilError::Wire { .. })
+            ),
+            "cut {cut}"
+        );
+    }
+}
