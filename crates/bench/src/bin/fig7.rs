@@ -71,10 +71,13 @@ fn fmt(v: f64, paper: f64) -> String {
     }
 }
 
-fn byte_dataset_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
-    let cpu_pool = ThreadPool::new(cfg.threads.saturating_sub(1));
+fn byte_dataset_fig7(
+    cfg: &BenchConfig,
+    reporter: &mut Reporter,
+    cpu_pool: &ThreadPool,
+    gpu_pool: &ThreadPool,
+) {
     let gpu_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let gpu_pool = ThreadPool::with_default_parallelism();
     let gpu_backend = backend_for(Kernel::best(), gpu_threads);
     let kernels: Vec<Kernel> = [Kernel::Avx512, Kernel::Avx2]
         .into_iter()
@@ -100,11 +103,11 @@ fn byte_dataset_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
             let kern = Kernel::best();
             let g_mult = measure_gbps(cfg.runs, bytes, || {
                 let (o, _) =
-                    decode_multians::<u8>(&v.tans.0, &v.tans.1, LARGE, Some(&gpu_pool)).unwrap();
+                    decode_multians::<u8>(&v.tans.0, &v.tans.1, LARGE, Some(gpu_pool)).unwrap();
                 assert_eq!(o.len(), data.len());
             });
             let g_conv = measure_gbps(cfg.runs, bytes, || {
-                decode_conventional_simd(kern, &v.conv_large, &v.model, Some(&gpu_pool), &mut out)
+                decode_conventional_simd(kern, &v.conv_large, &v.model, Some(gpu_pool), &mut out)
                     .unwrap();
             });
             let g_rec = measure_gbps(cfg.runs, bytes, || {
@@ -150,7 +153,7 @@ fn byte_dataset_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
                         kernel,
                         &v.conv_small,
                         &v.model,
-                        Some(&cpu_pool),
+                        Some(cpu_pool),
                         &mut out,
                     )
                     .unwrap();
@@ -208,14 +211,17 @@ fn byte_dataset_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
     }
 }
 
-fn latent_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
+fn latent_fig7(
+    cfg: &BenchConfig,
+    reporter: &mut Reporter,
+    cpu_pool: &ThreadPool,
+    gpu_pool: &ThreadPool,
+) {
     // Adaptive models have no flat-LUT SIMD path (per-position indirection);
     // both CPU and GPU-sim rows run the scalar trait-based decoder — the
     // paper's adaptive rows are likewise its slowest (§5.3).
     eprintln!("[fig7 div2k: building n=16 scale bank]");
     let bank = Arc::new(GaussianScaleBank::default_latent_bank());
-    let cpu_pool = ThreadPool::new(cfg.threads.saturating_sub(1));
-    let gpu_pool = ThreadPool::with_default_parallelism();
     let mut rows = Vec::new();
     for d in ALL_DATASETS.iter().filter(|d| d.is_latent()) {
         let bytes = cfg.dataset_bytes(d);
@@ -241,7 +247,7 @@ fn latent_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
             recoil::conventional::decode_conventional_into(
                 &conv_large,
                 &ds.provider,
-                Some(&gpu_pool),
+                Some(gpu_pool),
                 &mut out,
             )
             .unwrap();
@@ -251,7 +257,7 @@ fn latent_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
                 &recoil_large.stream,
                 &recoil_large.metadata,
                 &ds.provider,
-                Some(&gpu_pool),
+                Some(gpu_pool),
                 &mut out,
             )
             .unwrap();
@@ -260,7 +266,7 @@ fn latent_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
             recoil::conventional::decode_conventional_into(
                 &conv_small,
                 &ds.provider,
-                Some(&cpu_pool),
+                Some(cpu_pool),
                 &mut out,
             )
             .unwrap();
@@ -270,7 +276,7 @@ fn latent_fig7(cfg: &BenchConfig, reporter: &mut Reporter) {
                 &recoil_large.stream,
                 &recoil_small,
                 &ds.provider,
-                Some(&cpu_pool),
+                Some(cpu_pool),
                 &mut out,
             )
             .unwrap();
@@ -320,7 +326,12 @@ fn main() {
         Kernel::all_available()
     );
     let mut reporter = Reporter::new();
-    byte_dataset_fig7(&cfg, &mut reporter);
-    latent_fig7(&cfg, &mut reporter);
+    // One pool per hardware configuration for the whole run, shared by both
+    // experiment families: the measurements time decoding, never pool
+    // construction or thread churn.
+    let cpu_pool = ThreadPool::new(cfg.threads.saturating_sub(1));
+    let gpu_pool = ThreadPool::with_default_parallelism();
+    byte_dataset_fig7(&cfg, &mut reporter, &cpu_pool, &gpu_pool);
+    latent_fig7(&cfg, &mut reporter, &cpu_pool, &gpu_pool);
     reporter.flush("fig7");
 }

@@ -1,11 +1,12 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
 //! The build environment has no registry access, so this shim implements the
-//! small API subset the workspace uses — `Mutex::{new, lock, into_inner}` and
+//! small API subset the workspace uses — `Mutex::{new, lock, into_inner}`,
+//! `RwLock::{new, read, write, into_inner}` and
 //! `Condvar::{new, wait, notify_all, notify_one}` — on top of `std::sync`.
-//! Semantics match parking_lot where it matters here: `lock()` returns the
-//! guard directly (poisoning is absorbed, as parking_lot has none), and
-//! `Condvar::wait` takes the guard by `&mut`.
+//! Semantics match parking_lot where it matters here: `lock()`/`read()`/
+//! `write()` return the guard directly (poisoning is absorbed, as
+//! parking_lot has none), and `Condvar::wait` takes the guard by `&mut`.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -69,6 +70,76 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Reader-writer lock (non-poisoning facade over [`std::sync::RwLock`]).
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-access RAII guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-access RAII guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access, blocking while a writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        RwLockReadGuard { guard }
+    }
+
+    /// Acquires exclusive access, blocking until all guards are released.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        RwLockWriteGuard { guard }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
 /// Condition variable pairing with [`Mutex`].
 #[derive(Default)]
 pub struct Condvar {
@@ -119,6 +190,33 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 6);
         assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_readers_share_and_writer_excludes() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(a.len() + b.len(), 6);
+        }
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+        assert_eq!(l.into_inner(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rwlock_poison_is_absorbed() {
+        let l = Arc::new(RwLock::new(0u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison the lock");
+        })
+        .join();
+        // A panicking writer must not wedge later accessors.
+        *l.write() += 1;
+        assert_eq!(*l.read(), 1);
     }
 
     #[test]

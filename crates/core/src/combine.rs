@@ -8,18 +8,37 @@
 //! segmentation — the paper's "every other ceil(N/M)" selection, robust to
 //! non-divisible counts.
 
+use crate::error::RecoilError;
 use crate::metadata::RecoilMetadata;
 
-/// Returns metadata scaled down to at most `segments` parallel segments.
+/// Returns metadata scaled down to at most `segments` parallel segments,
+/// rejecting malformed requests instead of panicking.
 ///
 /// Dropping entries only merges neighbouring segments, so all decoder
 /// invariants are preserved; requesting more segments than available returns
-/// the metadata unchanged.
-pub fn combine_splits(meta: &RecoilMetadata, segments: u64) -> RecoilMetadata {
-    assert!(segments >= 1, "need at least one segment");
+/// the metadata unchanged. This is the entry point for request-reachable
+/// paths (the content server calls it with client-supplied capacities):
+///
+/// * `segments == 0` is reported as [`RecoilError::InvalidConfig`];
+/// * the combined metadata is re-validated **in every build profile** (the
+///   panicking wrapper only `debug_assert!`ed it), so corrupt input
+///   metadata surfaces as [`RecoilError::Decode`] rather than as undefined
+///   decoder behaviour downstream.
+pub fn try_combine_splits(
+    meta: &RecoilMetadata,
+    segments: u64,
+) -> Result<RecoilMetadata, RecoilError> {
+    if segments == 0 {
+        return Err(RecoilError::config(
+            "segments",
+            "cannot combine splits down to zero segments",
+        ));
+    }
     let available = meta.num_segments();
     if segments >= available {
-        return meta.clone();
+        let same = meta.clone();
+        same.validate()?;
+        return Ok(same);
     }
     let k = meta.splits.len() as u64;
     let mut keep = Vec::with_capacity((segments - 1) as usize);
@@ -39,8 +58,24 @@ pub fn combine_splits(meta: &RecoilMetadata, segments: u64) -> RecoilMetadata {
         splits,
         ..meta.clone()
     };
-    debug_assert!(combined.validate().is_ok());
-    combined
+    combined.validate()?;
+    Ok(combined)
+}
+
+/// Returns metadata scaled down to at most `segments` parallel segments.
+///
+/// Thin wrapper over [`try_combine_splits`] for callers that control their
+/// inputs (benches, examples, tests).
+///
+/// # Panics
+///
+/// If `segments == 0` or `meta` violates a decoder invariant. Paths fed by
+/// untrusted requests should call [`try_combine_splits`] instead.
+pub fn combine_splits(meta: &RecoilMetadata, segments: u64) -> RecoilMetadata {
+    match try_combine_splits(meta, segments) {
+        Ok(combined) => combined,
+        Err(e) => panic!("combine_splits: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +166,46 @@ mod tests {
         let via16 = combine_splits(&combine_splits(&meta, 16), 4);
         let direct = combine_splits(&meta, 4);
         assert_eq!(via16, direct);
+    }
+
+    #[test]
+    fn zero_segments_is_config_error_not_panic() {
+        let meta = synthetic_meta(7, 4);
+        assert!(matches!(
+            try_combine_splits(&meta, 0),
+            Err(RecoilError::InvalidConfig {
+                field: "segments",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn one_segment_and_overshoot_succeed_fallibly() {
+        let meta = synthetic_meta(31, 4);
+        let one = try_combine_splits(&meta, 1).unwrap();
+        assert_eq!(one.num_segments(), 1);
+        assert!(one.splits.is_empty());
+        // More segments than available: identity, not an error.
+        let same = try_combine_splits(&meta, 10_000).unwrap();
+        assert_eq!(same, meta);
+    }
+
+    #[test]
+    fn corrupt_metadata_is_decode_error_in_release_too() {
+        // The panicking wrapper only debug_assert!ed validity; the fallible
+        // path must reject corrupt input in every build profile.
+        let mut meta = synthetic_meta(15, 4);
+        meta.splits[3].lanes[0].pos = 1; // sync start crosses earlier splits
+        assert!(matches!(
+            try_combine_splits(&meta, 8),
+            Err(RecoilError::Decode(_))
+        ));
+        // Identity requests validate too.
+        assert!(matches!(
+            try_combine_splits(&meta, 10_000),
+            Err(RecoilError::Decode(_))
+        ));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use codec::{
     Codec, CodecBuilder, CodecSymbol, DecodeBackend, DecodeRequest, Encoded, EncoderConfig,
     PooledBackend, ScalarBackend,
 };
-pub use combine::combine_splits;
+pub use combine::{combine_splits, try_combine_splits};
 pub use container::RecoilContainer;
 pub use decoder::{decode_split_count, sync_split_states};
 pub use error::RecoilError;

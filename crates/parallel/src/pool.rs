@@ -1,8 +1,12 @@
 //! The persistent worker pool.
 
 use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// A captured panic payload from a job closure.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
 /// Type-erased job: closure pointer plus the shared index counter.
 ///
@@ -24,6 +28,9 @@ struct State {
     epoch: u64,
     /// Workers still executing the current epoch's job.
     active: usize,
+    /// First panic any thread caught while running the current epoch's job;
+    /// re-thrown on the caller thread by [`ThreadPool::run`].
+    panic: Option<PanicPayload>,
     shutdown: bool,
 }
 
@@ -57,6 +64,7 @@ impl ThreadPool {
                 job: None,
                 epoch: 0,
                 active: 0,
+                panic: None,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -90,11 +98,21 @@ impl ThreadPool {
 
     /// Executes `f` for every index in `0..tasks`, returning when all calls
     /// completed. Indices are claimed dynamically, so uneven tasks balance.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics on any thread, the first caught panic is re-thrown here
+    /// on the caller thread once every worker has left the epoch — the pool
+    /// itself stays fully usable. Remaining unclaimed indices of the
+    /// panicked job are abandoned (which of them ran is indeterminate, as
+    /// with any panic mid-job).
     pub fn run<F: Fn(usize) + Sync>(&self, tasks: usize, f: F) {
         if tasks == 0 {
             return;
         }
         if self.handles.is_empty() || tasks == 1 {
+            // Inline execution: a panic unwinds directly through the caller
+            // with no shared state to clean up.
             for i in 0..tasks {
                 f(i);
             }
@@ -104,7 +122,9 @@ impl ThreadPool {
         let f_ref: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: the job pointer is only used by workers between this
         // publication and the `active == 0` handshake below, which `run`
-        // waits for before returning — `f` outlives every dereference.
+        // waits for before returning — even when unwinding, since caller
+        // panics are caught by `drive` and only re-thrown after the
+        // handshake — so `f` outlives every dereference.
         let job = Job {
             f: unsafe {
                 std::mem::transmute::<
@@ -117,6 +137,7 @@ impl ThreadPool {
         {
             let mut st = self.shared.state.lock();
             debug_assert!(st.job.is_none() && st.active == 0);
+            debug_assert!(st.panic.is_none());
             self.shared.next.store(0, Ordering::Relaxed);
             st.job = Some(job);
             st.epoch += 1;
@@ -124,19 +145,42 @@ impl ThreadPool {
             self.shared.work_cv.notify_all();
         }
         // The caller claims indices like any worker.
-        loop {
-            let i = self.shared.next.fetch_add(1, Ordering::Relaxed);
-            if i >= tasks {
-                break;
-            }
-            f(i);
-        }
+        drive(&self.shared, f_ref, tasks);
         // Wait for every worker to leave the epoch before dropping `f`.
         let mut st = self.shared.state.lock();
         while st.active > 0 {
             self.shared.done_cv.wait(&mut st);
         }
         st.job = None;
+        let panic = st.panic.take();
+        drop(st);
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Claims and executes indices of the current job until they are exhausted
+/// or the closure panics. A panic is caught (`AssertUnwindSafe` is sound
+/// here: the closure is not called again after a panic, and `run` keeps it
+/// alive until the epoch handshake completes), the first payload is parked
+/// in the shared state for `run` to re-throw, and the claim counter is
+/// fast-forwarded so every thread drains the epoch quickly instead of
+/// grinding through doomed work.
+fn drive(shared: &Shared, f: &(dyn Fn(usize) + Sync), tasks: usize) {
+    loop {
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= tasks {
+            return;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+            shared.next.store(tasks, Ordering::Relaxed);
+            let mut st = shared.state.lock();
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+            return;
+        }
     }
 }
 
@@ -171,13 +215,10 @@ fn worker_loop(shared: Arc<Shared>) {
         };
         // SAFETY: see `ThreadPool::run` — the closure outlives this epoch.
         let f = unsafe { &*job.f };
-        loop {
-            let i = shared.next.fetch_add(1, Ordering::Relaxed);
-            if i >= job.tasks {
-                break;
-            }
-            f(i);
-        }
+        // `drive` catches job panics, so this decrement always runs: a
+        // worker unwinding past it would leave `active` stuck above zero
+        // and `run` waiting on `done_cv` forever.
+        drive(&shared, f, job.tasks);
         let mut st = shared.state.lock();
         st.active -= 1;
         if st.active == 0 {
@@ -279,5 +320,75 @@ mod tests {
         let pool = ThreadPool::new(4);
         pool.run(8, |_| {});
         drop(pool); // must not hang
+    }
+
+    /// Runs `f` expecting a panic, returning the payload string if any.
+    fn expect_panic(f: impl FnOnce()) -> Option<String> {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the backtrace spam
+        let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+        std::panic::set_hook(prev);
+        result.err().map(|p| {
+            p.downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_default()
+        })
+    }
+
+    #[test]
+    fn panicking_job_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        for k in [0usize, 1, 63, 127] {
+            let msg = expect_panic(|| {
+                pool.run(128, |i| {
+                    if i == k {
+                        panic!("job failed at {i}");
+                    }
+                });
+            });
+            assert_eq!(msg.as_deref(), Some(format!("job failed at {k}").as_str()));
+            // The regression this guards: before the catch_unwind hardening,
+            // the next `run` (or the panicking one) hung forever because the
+            // unwound worker never decremented `State::active`.
+            let done = AtomicUsize::new(0);
+            pool.run(64, |_| {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(done.load(Ordering::Relaxed), 64);
+        }
+    }
+
+    #[test]
+    fn every_thread_panicking_still_terminates() {
+        let pool = ThreadPool::new(3);
+        let msg = expect_panic(|| pool.run(100, |_| panic!("all fail")));
+        assert_eq!(msg.as_deref(), Some("all fail"));
+        let total = AtomicUsize::new(0);
+        pool.run(10, |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn inline_path_panics_propagate_too() {
+        // Zero-worker pools run inline; the panic must still surface and the
+        // pool must stay usable.
+        let pool = ThreadPool::new(0);
+        let msg = expect_panic(|| pool.run(5, |i| assert!(i != 3, "inline boom")));
+        assert!(msg.unwrap().contains("inline boom"));
+        let total = AtomicUsize::new(0);
+        pool.run(5, |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn drop_after_panic_joins_workers() {
+        let pool = ThreadPool::new(4);
+        let _ = expect_panic(|| pool.run(32, |_| panic!("boom")));
+        drop(pool); // workers must still shut down cleanly
     }
 }

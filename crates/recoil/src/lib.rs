@@ -112,8 +112,8 @@ pub mod prelude {
         PooledBackend, ScalarBackend,
     };
     pub use recoil_core::{
-        combine_splits, metadata_from_bytes, metadata_to_bytes, Heuristic, PlannerConfig,
-        RecoilContainer, RecoilError, RecoilMetadata, SplitPlanner,
+        combine_splits, metadata_from_bytes, metadata_to_bytes, try_combine_splits, Heuristic,
+        PlannerConfig, RecoilContainer, RecoilError, RecoilMetadata, SplitPlanner,
     };
     pub use recoil_models::{
         CdfTable, GaussianScaleBank, Histogram, LatentModelProvider, LatentSpec, ModelProvider,

@@ -52,7 +52,7 @@ impl Client {
                 backend: self.backend.name(),
             });
         }
-        let metadata = metadata_from_bytes(&transmission.metadata_bytes)?;
+        let metadata = metadata_from_bytes(transmission.metadata_bytes())?;
         let mut out = vec![0u8; stream.num_symbols as usize];
         let req = DecodeRequest {
             stream,
@@ -75,7 +75,7 @@ mod tests {
         let data: Vec<u8> = (0..500_000u32)
             .map(|i| (i.wrapping_mul(2654435761) >> 23) as u8)
             .collect();
-        let mut server = ContentServer::new();
+        let server = ContentServer::new();
         let config = EncoderConfig {
             max_segments: 256,
             ..EncoderConfig::default()

@@ -1,4 +1,4 @@
-//! Content-delivery simulation (paper §1, §3.3).
+//! Content-delivery service (paper §1, §3.3).
 //!
 //! "We consider the use case where the client requests content, and also
 //! attaches its parallel capacity inside the request header; the server
@@ -9,11 +9,48 @@
 //! The server encodes each item **once**, at the maximum parallelism it
 //! intends to support (the Large variation). Every client request is served
 //! from that single artifact: the bitstream bytes never change, only the
-//! metadata is filtered — a microseconds-scale, allocation-light operation
-//! measured and exposed per request.
+//! metadata is filtered.
+//!
+//! ## Concurrency model
+//!
+//! [`ContentServer`] is built to be shared across request threads — every
+//! method takes `&self`:
+//!
+//! * the item store is split over `N` shards (default 16), each an
+//!   independent `RwLock<HashMap>` keyed by a hash of the content name.
+//!   Requests take a shard read lock for the duration of one `HashMap`
+//!   lookup; publishing encodes **outside** any lock and write-locks only
+//!   the owning shard for the final insert, so a slow publish never stalls
+//!   reads — not even of other names on the same shard;
+//! * [`ContentServer::request_batch`] resolves many `(name, capacity)`
+//!   pairs over one persistent [`recoil_parallel::ThreadPool`] created with
+//!   the server and reused for every batch.
+//!
+//! ## Shrunk-metadata caching and capacity tiers
+//!
+//! Real-world capacities cluster into a handful of device classes, so each
+//! published item carries a small LRU cache (default 8 entries) of the
+//! metadata tiers it has actually served: the combined [`RecoilMetadata`]
+//! **and** its serialized wire bytes, behind one `Arc` shared by every
+//! response.
+//!
+//! The cache key is the **post-clamp segment count** — the tier actually
+//! served, not the capacity the client asked for. Content encoded with 128
+//! segments serves a 10 000-segment request and a 128-segment request from
+//! the same entry. A hit costs two atomic counter bumps and an `Arc` clone;
+//! only a miss pays the real-time combine + serialize, and its
+//! [`Transmission::combine_nanos`] records exactly that cost (hits report
+//! zero). Hit/miss/eviction counters are exposed as a [`ServerStats`]
+//! snapshot via [`ContentServer::stats`].
+//!
+//! [`RecoilMetadata`]: recoil_core::RecoilMetadata
 
+mod cache;
 mod client;
 mod server;
+mod stats;
 
+pub use cache::ShrunkTier;
 pub use client::Client;
-pub use server::{ContentServer, StoredContent, Transmission};
+pub use server::{ContentServer, ServerConfig, StoredContent, Transmission};
+pub use stats::ServerStats;

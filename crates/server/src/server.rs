@@ -1,17 +1,23 @@
 //! The encode-once, combine-per-request server.
 
+use crate::cache::{ShrunkTier, TierCache};
+use crate::stats::{bump, ServerStats, StatsCounters};
+use parking_lot::{Mutex, RwLock};
 use recoil_core::codec::{Codec, EncoderConfig};
 use recoil_core::{
-    combine_splits, metadata_to_bytes, RecoilContainer, RecoilError, RecoilMetadata,
+    metadata_to_bytes, try_combine_splits, RecoilContainer, RecoilError, RecoilMetadata,
 };
 use recoil_models::StaticModelProvider;
+use recoil_parallel::ThreadPool;
 use recoil_rans::EncodedStream;
-use std::collections::hash_map::Entry;
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// One published content item: the Large-variation artifact.
+#[derive(Debug)]
 pub struct StoredContent {
     /// The single encoded bitstream (shared by every response).
     pub stream: Arc<EncodedStream>,
@@ -21,114 +27,289 @@ pub struct StoredContent {
     /// size is identical across variations so the paper's size tables
     /// exclude it).
     pub model: Arc<StaticModelProvider>,
+    /// Shrunk-metadata tiers this item has served (LRU).
+    cache: TierCache,
+}
+
+impl StoredContent {
+    /// The maximum parallelism this item was encoded for; requests beyond
+    /// it are clamped to this tier.
+    pub fn max_segments(&self) -> u64 {
+        self.metadata.num_segments()
+    }
 }
 
 /// What the server puts on the wire for one request.
+#[derive(Debug, Clone)]
 pub struct Transmission {
     /// Shared bitstream payload bytes.
     pub stream_bytes: u64,
-    /// Serialized metadata for the client's capability.
-    pub metadata_bytes: Vec<u8>,
-    /// Parsed form (for in-process clients).
-    pub metadata: RecoilMetadata,
-    /// Wall-clock nanoseconds the real-time combine + serialize took.
+    /// The served metadata tier, shared with the item's cache (and with
+    /// every other response for the same tier).
+    pub tier: Arc<ShrunkTier>,
+    /// Wall-clock nanoseconds the real-time combine + serialize took
+    /// (zero when the tier came out of the cache).
     pub combine_nanos: u128,
+    /// Whether this response was served from the tier cache.
+    pub cache_hit: bool,
 }
 
 impl Transmission {
+    /// Parsed metadata for the client's capability (for in-process clients).
+    pub fn metadata(&self) -> &RecoilMetadata {
+        &self.tier.metadata
+    }
+
+    /// Serialized metadata bytes, what a remote client would wire-parse.
+    pub fn metadata_bytes(&self) -> &[u8] {
+        &self.tier.metadata_bytes
+    }
+
     /// Total bytes transferred for this response.
     pub fn total_bytes(&self) -> u64 {
-        self.stream_bytes + self.metadata_bytes.len() as u64
+        self.stream_bytes + self.tier.metadata_bytes.len() as u64
+    }
+}
+
+/// Construction knobs for [`ContentServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Store shards (each an independent `RwLock<HashMap>`); publishes only
+    /// write-lock one shard, so reads elsewhere never block. Minimum 1.
+    pub shards: usize,
+    /// Shrunk-metadata tiers cached per published item (LRU). Minimum 1.
+    pub tier_cache_capacity: usize,
+    /// Worker threads of the pool backing [`ContentServer::request_batch`]
+    /// (the calling thread participates too). The pool is created once per
+    /// server and reused by every batch — no per-call thread churn.
+    pub batch_workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Self {
+            shards: 16,
+            tier_cache_capacity: 8,
+            batch_workers: cpus.saturating_sub(1),
+        }
     }
 }
 
 /// In-memory content server with decoder-adaptive responses.
-#[derive(Default)]
+///
+/// All methods take `&self`: the store is sharded under reader-writer
+/// locks, the tier caches and counters use interior mutability, so one
+/// server instance is shared freely across request threads.
 pub struct ContentServer {
-    items: HashMap<String, StoredContent>,
+    shards: Vec<RwLock<HashMap<String, Arc<StoredContent>>>>,
+    /// Persistent pool for [`ContentServer::request_batch`].
+    pool: ThreadPool,
+    stats: StatsCounters,
+    tier_cache_capacity: usize,
+}
+
+impl Default for ContentServer {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ContentServer {
-    /// Empty server.
+    /// Empty server with the default configuration (16 shards, 8 cached
+    /// tiers per item, machine-sized batch pool).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(ServerConfig::default())
+    }
+
+    /// Empty server with explicit sharding/caching/pool sizes.
+    pub fn with_config(config: ServerConfig) -> Self {
+        let shards = config.shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            pool: ThreadPool::new(config.batch_workers),
+            stats: StatsCounters::default(),
+            tier_cache_capacity: config.tier_cache_capacity.max(1),
+        }
+    }
+
+    /// The shard owning `name`.
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Arc<StoredContent>>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[h.finish() as usize % self.shards.len()]
     }
 
     /// Encodes `data` once under `config` (lane width, split budget,
     /// quantization) and publishes it as `name`.
+    ///
+    /// Encoding happens outside any lock — a slow publish never stalls
+    /// requests, not even for other names on the same shard.
     ///
     /// Publishing over an existing name is rejected with
     /// [`RecoilError::AlreadyPublished`] — republishing would silently
     /// invalidate bitstreams clients may still be downloading. Use
     /// [`ContentServer::unpublish`] first to replace content.
     pub fn publish(
-        &mut self,
+        &self,
         name: &str,
         data: &[u8],
         config: &EncoderConfig,
-    ) -> Result<&StoredContent, RecoilError> {
-        let entry = match self.items.entry(name.to_string()) {
-            Entry::Occupied(_) => {
-                return Err(RecoilError::AlreadyPublished {
-                    name: name.to_string(),
-                })
-            }
-            Entry::Vacant(v) => v,
+    ) -> Result<Arc<StoredContent>, RecoilError> {
+        let taken = || RecoilError::AlreadyPublished {
+            name: name.to_string(),
         };
+        // Fast-fail before the expensive encode; racy, so re-checked below.
+        if self.shard(name).read().contains_key(name) {
+            return Err(taken());
+        }
         let codec = Codec::from_config(config.clone())?;
         let encoded = codec.encode(data)?;
         let RecoilContainer { stream, metadata } = encoded.container;
-        Ok(entry.insert(StoredContent {
+        let content = Arc::new(StoredContent {
             stream: Arc::new(stream),
             metadata,
             model: Arc::new(encoded.model),
-        }))
+            cache: TierCache::new(self.tier_cache_capacity),
+        });
+        match self.shard(name).write().entry(name.to_string()) {
+            // A concurrent publish won the race while we were encoding.
+            Entry::Occupied(_) => Err(taken()),
+            Entry::Vacant(v) => {
+                v.insert(Arc::clone(&content));
+                bump(&self.stats.publishes);
+                Ok(content)
+            }
+        }
     }
 
-    /// Removes published content, returning whether it existed.
-    pub fn unpublish(&mut self, name: &str) -> bool {
-        self.items.remove(name).is_some()
+    /// Removes published content, returning whether it existed. In-flight
+    /// responses keep their `Arc`s; the bitstream outlives the unpublish.
+    pub fn unpublish(&self, name: &str) -> bool {
+        self.shard(name).write().remove(name).is_some()
     }
 
     /// Published item lookup.
-    pub fn get(&self, name: &str) -> Option<&StoredContent> {
-        self.items.get(name)
+    pub fn get(&self, name: &str) -> Option<Arc<StoredContent>> {
+        self.shard(name).read().get(name).cloned()
+    }
+
+    /// Number of published items across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Snapshot of the serving counters (cache hits/misses/evictions,
+    /// publishes, requests).
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Threads a [`ContentServer::request_batch`] call fans out over.
+    pub fn batch_threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// Serves `name` for a client that can decode `parallel_segments`
-    /// segments in parallel: combines splits in real time, never touching
-    /// the bitstream.
+    /// segments in parallel: resolves the capacity to a tier (clamped to
+    /// the item's encoded maximum) and serves it from the item's LRU cache,
+    /// combining splits in real time only on a miss — never touching the
+    /// bitstream either way.
     ///
     /// `parallel_segments` is validated at this API boundary: a request for
     /// zero segments is a malformed client header, reported as
     /// [`RecoilError::InvalidConfig`] rather than silently clamped deep in
     /// the combine path.
     pub fn request(&self, name: &str, parallel_segments: u64) -> Result<Transmission, RecoilError> {
+        bump(&self.stats.requests);
         if parallel_segments == 0 {
             return Err(RecoilError::config(
                 "parallel_segments",
                 "a client must request at least one decode segment",
             ));
         }
-        let item = self.items.get(name).ok_or_else(|| RecoilError::NotFound {
+        let item = self.get(name).ok_or_else(|| RecoilError::NotFound {
             name: name.to_string(),
         })?;
+        let stream_bytes = item.stream.payload_bytes();
+        // Cache by the tier actually served: a request beyond capacity and
+        // an exact maximum-capacity request share one entry.
+        let segments = parallel_segments.min(item.max_segments());
+        if let Some(tier) = item.cache.get(segments) {
+            bump(&self.stats.cache_hits);
+            return Ok(Transmission {
+                stream_bytes,
+                tier,
+                combine_nanos: 0,
+                cache_hit: true,
+            });
+        }
         let t0 = Instant::now();
-        let metadata = combine_splits(&item.metadata, parallel_segments);
+        let metadata = try_combine_splits(&item.metadata, segments)?;
         let metadata_bytes = metadata_to_bytes(&metadata);
         let combine_nanos = t0.elapsed().as_nanos();
+        // Counted only after the combine succeeds, keeping
+        // `cache_hits + cache_misses` equal to successfully served requests
+        // even if stored metadata ever fails validation.
+        bump(&self.stats.cache_misses);
+        let tier = item.cache.insert(
+            Arc::new(ShrunkTier {
+                segments,
+                metadata,
+                metadata_bytes,
+            }),
+            &self.stats,
+        );
         Ok(Transmission {
-            stream_bytes: item.stream.payload_bytes(),
-            metadata_bytes,
-            metadata,
+            stream_bytes,
+            tier,
             combine_nanos,
+            cache_hit: false,
         })
+    }
+
+    /// Resolves many `(name, capacity)` pairs concurrently over the
+    /// server's persistent thread pool, returning one result per request in
+    /// input order. Failures are per-entry — one unknown name does not poison
+    /// the batch.
+    pub fn request_batch<N: AsRef<str> + Sync>(
+        &self,
+        requests: &[(N, u64)],
+    ) -> Vec<Result<Transmission, RecoilError>> {
+        let slots: Vec<Mutex<Option<Result<Transmission, RecoilError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        self.pool.run(requests.len(), |i| {
+            let (name, capacity) = &requests[i];
+            *slots[i].lock() = Some(self.request(name.as_ref(), *capacity));
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("pool fills every batch slot"))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ContentServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContentServer")
+            .field("items", &self.len())
+            .field("shards", &self.shards.len())
+            .field("tier_cache_capacity", &self.tier_cache_capacity)
+            .field("batch_threads", &self.pool.threads())
+            .field("stats", &self.stats.snapshot())
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn sample(len: usize) -> Vec<u8> {
         (0..len as u32)
@@ -143,31 +324,89 @@ mod tests {
         }
     }
 
+    /// Small server config so tests don't spin up machine-sized pools.
+    fn small_server() -> ContentServer {
+        ContentServer::with_config(ServerConfig {
+            shards: 4,
+            tier_cache_capacity: 8,
+            batch_workers: 3,
+        })
+    }
+
     #[test]
     fn publish_then_request_scales_metadata() {
         let data = sample(400_000);
-        let mut server = ContentServer::new();
+        let server = small_server();
         server.publish("movie", &data, &config(128)).unwrap();
         let big = server.request("movie", 128).unwrap();
         let small = server.request("movie", 4).unwrap();
         assert_eq!(big.stream_bytes, small.stream_bytes, "bitstream is shared");
-        assert!(big.metadata_bytes.len() > 10 * small.metadata_bytes.len());
-        assert_eq!(small.metadata.num_segments(), 4);
+        assert!(big.metadata_bytes().len() > 10 * small.metadata_bytes().len());
+        assert_eq!(small.metadata().num_segments(), 4);
     }
 
     #[test]
-    fn request_beyond_capacity_serves_max() {
+    fn request_beyond_capacity_serves_max_and_shares_cache_tier() {
         let data = sample(100_000);
-        let mut server = ContentServer::new();
+        let server = small_server();
         server.publish("x", &data, &config(16)).unwrap();
         let t = server.request("x", 10_000).unwrap();
-        assert_eq!(t.metadata.num_segments(), 16);
+        assert_eq!(t.metadata().num_segments(), 16);
+        assert!(!t.cache_hit);
+        // The cache key is the post-clamp tier: an exact 16-segment request
+        // (and another absurd one) hit the same entry, no re-shrink.
+        let exact = server.request("x", 16).unwrap();
+        let huge = server.request("x", u64::MAX).unwrap();
+        assert!(exact.cache_hit && huge.cache_hit);
+        assert!(Arc::ptr_eq(&t.tier, &exact.tier));
+        assert!(Arc::ptr_eq(&t.tier, &huge.tier));
+        let s = server.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (2, 1));
+    }
+
+    #[test]
+    fn repeated_capacity_hits_the_lru() {
+        let data = sample(200_000);
+        let server = small_server();
+        server.publish("movie", &data, &config(64)).unwrap();
+        let first = server.request("movie", 8).unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.combine_nanos > 0);
+        let second = server.request("movie", 8).unwrap();
+        assert!(second.cache_hit, "repeated capacity must hit the LRU");
+        assert_eq!(second.combine_nanos, 0, "no re-shrink on a hit");
+        assert!(Arc::ptr_eq(&first.tier, &second.tier), "tiers are shared");
+        let s = server.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.requests, 2);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tier_cache_evicts_and_counts() {
+        let data = sample(150_000);
+        let server = ContentServer::with_config(ServerConfig {
+            shards: 2,
+            tier_cache_capacity: 2,
+            batch_workers: 0,
+        });
+        server.publish("x", &data, &config(64)).unwrap();
+        for tier in [2u64, 4, 8, 16] {
+            server.request("x", tier).unwrap();
+        }
+        let s = server.stats();
+        assert_eq!(s.cache_misses, 4);
+        assert_eq!(s.cache_evictions, 2, "capacity 2, four distinct tiers");
+        // Tier 2 was evicted; re-requesting it is a miss again.
+        let again = server.request("x", 2).unwrap();
+        assert!(!again.cache_hit);
     }
 
     #[test]
     fn duplicate_publish_is_rejected_and_preserves_original() {
         let data = sample(50_000);
-        let mut server = ContentServer::new();
+        let server = small_server();
         server.publish("x", &data, &config(16)).unwrap();
         let before = server.get("x").unwrap().metadata.num_segments();
         let err = match server.publish("x", &data, &config(4)) {
@@ -176,15 +415,17 @@ mod tests {
         };
         assert!(matches!(err, RecoilError::AlreadyPublished { ref name } if name == "x"));
         assert_eq!(server.get("x").unwrap().metadata.num_segments(), before);
+        assert_eq!(server.stats().publishes, 1, "failed publish not counted");
         // After unpublishing, the name is free again.
         assert!(server.unpublish("x"));
         server.publish("x", &data, &config(4)).unwrap();
+        assert_eq!(server.len(), 1);
     }
 
     #[test]
     fn invalid_publish_config_is_rejected() {
         let data = sample(10_000);
-        let mut server = ContentServer::new();
+        let server = small_server();
         let bad = EncoderConfig {
             ways: 0,
             ..EncoderConfig::default()
@@ -194,12 +435,13 @@ mod tests {
             Err(RecoilError::InvalidConfig { field: "ways", .. })
         ));
         assert!(server.get("x").is_none());
+        assert!(server.is_empty());
     }
 
     #[test]
     fn zero_segment_request_is_invalid() {
         let data = sample(10_000);
-        let mut server = ContentServer::new();
+        let server = small_server();
         server.publish("x", &data, &config(8)).unwrap();
         assert!(matches!(
             server.request("x", 0),
@@ -215,7 +457,7 @@ mod tests {
         // §3.3: "this process is very lightweight ... can be done in real
         // time by the content delivery server before data transmission".
         let data = sample(2_000_000);
-        let mut server = ContentServer::new();
+        let server = small_server();
         server.publish("big", &data, &config(2176)).unwrap();
         let t = server.request("big", 16).unwrap();
         assert!(
@@ -227,10 +469,112 @@ mod tests {
 
     #[test]
     fn unknown_content_is_not_found() {
-        let server = ContentServer::new();
+        let server = small_server();
         assert!(matches!(
             server.request("nope", 4),
             Err(RecoilError::NotFound { ref name }) if name == "nope"
         ));
+    }
+
+    #[test]
+    fn request_batch_preserves_order_and_isolates_failures() {
+        let data = sample(120_000);
+        let server = small_server();
+        server.publish("a", &data, &config(32)).unwrap();
+        server.publish("b", &data, &config(8)).unwrap();
+        let batch = [
+            ("a", 4u64),
+            ("missing", 4),
+            ("b", 1_000),
+            ("a", 4),
+            ("b", 0),
+        ];
+        let results = server.request_batch(&batch);
+        assert_eq!(results.len(), batch.len());
+        assert_eq!(results[0].as_ref().unwrap().metadata().num_segments(), 4);
+        assert!(matches!(
+            results[1],
+            Err(RecoilError::NotFound { ref name }) if name == "missing"
+        ));
+        assert_eq!(results[2].as_ref().unwrap().metadata().num_segments(), 8);
+        assert_eq!(results[3].as_ref().unwrap().metadata().num_segments(), 4);
+        assert!(matches!(results[4], Err(RecoilError::InvalidConfig { .. })));
+        // ("a", 4) appears twice: one miss, one hit, whatever the order.
+        let s = server.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.requests, 5);
+    }
+
+    #[test]
+    fn concurrent_publish_and_request_stress() {
+        let data = sample(60_000);
+        let server = ContentServer::with_config(ServerConfig {
+            shards: 8,
+            tier_cache_capacity: 4,
+            batch_workers: 2,
+        });
+        for i in 0..3 {
+            server
+                .publish(&format!("seed{i}"), &data, &config(32))
+                .unwrap();
+        }
+        let ok_count = AtomicU64::new(0);
+        let issued = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            // Publishers: new names (some raced duplicates) mid-traffic.
+            for p in 0..2 {
+                let server = &server;
+                let data = &data;
+                s.spawn(move || {
+                    for i in 0..3 {
+                        // Both publishers try "shared{i}": exactly one wins.
+                        let _ = server.publish(&format!("shared{i}"), data, &config(16));
+                        server
+                            .publish(&format!("pub{p}_{i}"), data, &config(16))
+                            .unwrap();
+                    }
+                });
+            }
+            // Readers: skewed tier mix across seeded + appearing items.
+            for r in 0..4usize {
+                let server = &server;
+                let ok_count = &ok_count;
+                let issued = &issued;
+                s.spawn(move || {
+                    let tiers = [8u64, 8, 8, 4, 16, 1, 500];
+                    for i in 0..120 {
+                        let name = match (r + i) % 5 {
+                            0 => "seed0".to_string(),
+                            1 => "seed1".to_string(),
+                            2 => "seed2".to_string(),
+                            3 => format!("shared{}", i % 3),
+                            _ => format!("pub{}_{}", r % 2, i % 3),
+                        };
+                        issued.fetch_add(1, Ordering::Relaxed);
+                        match server.request(&name, tiers[i % tiers.len()]) {
+                            Ok(t) => {
+                                assert!(t.metadata().num_segments() <= 32);
+                                ok_count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(RecoilError::NotFound { .. }) => {} // not yet published
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let s = server.stats();
+        let ok = ok_count.load(Ordering::Relaxed);
+        assert_eq!(s.requests, issued.load(Ordering::Relaxed));
+        assert_eq!(
+            s.cache_hits + s.cache_misses,
+            ok,
+            "every served request is exactly one hit or one miss"
+        );
+        assert!(s.cache_hits > 0, "skewed mix must produce hits");
+        // 3 seeds + 3 shared (single winner each) + 2×3 per-publisher names.
+        assert_eq!(s.publishes, 12);
+        assert_eq!(server.len(), 12);
     }
 }

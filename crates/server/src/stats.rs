@@ -1,0 +1,95 @@
+//! Serving-layer observability: lock-free counters and their snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal counter block; every field is bumped with relaxed atomics on
+/// the hot path (no lock, no contention beyond the cache line).
+#[derive(Debug, Default)]
+pub(crate) struct StatsCounters {
+    pub publishes: AtomicU64,
+    pub requests: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub cache_evictions: AtomicU64,
+}
+
+impl StatsCounters {
+    /// Point-in-time copy of every counter.
+    ///
+    /// Counters are read individually with relaxed ordering: under load the
+    /// snapshot is not a single global instant, but each value is exact and
+    /// monotone, and once the server quiesces the arithmetic invariants
+    /// hold exactly (`cache_hits + cache_misses` = successfully served
+    /// requests).
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            publishes: self.publishes.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bumps one counter by one.
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A snapshot of the server's serving counters
+/// (see [`crate::ContentServer::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Successful content publications.
+    pub publishes: u64,
+    /// Total `request` calls, including ones that returned an error.
+    pub requests: u64,
+    /// Requests served straight from a content item's tier cache.
+    pub cache_hits: u64,
+    /// Requests that had to combine (and serialize) metadata on demand.
+    pub cache_misses: u64,
+    /// Cached tiers dropped to make room for newly served ones.
+    pub cache_evictions: u64,
+}
+
+impl ServerStats {
+    /// Fraction of served requests answered from the tier cache
+    /// (`0.0` when nothing has been served yet).
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.cache_hits + self.cache_misses;
+        if served == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / served as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        assert_eq!(ServerStats::default().hit_rate(), 0.0);
+        let s = ServerStats {
+            cache_hits: 9,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let c = StatsCounters::default();
+        bump(&c.requests);
+        bump(&c.requests);
+        bump(&c.cache_hits);
+        let s = c.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.publishes, 0);
+    }
+}

@@ -3,7 +3,9 @@
 //!
 //! The server encodes each item once under an [`EncoderConfig`] at maximum
 //! parallelism. Each client attaches its capacity to the request; the
-//! server shrinks the metadata in real time. Compare with the conventional
+//! server resolves it to a capacity tier and serves the shrunk metadata —
+//! combined in real time on the first request for a tier, straight from the
+//! per-content LRU cache afterwards. Compare with the conventional
 //! approach, where the server must either store one encoding per capacity
 //! tier or ship everyone the massively-parallel (largest) file.
 //!
@@ -26,7 +28,7 @@ fn main() -> Result<(), RecoilError> {
         quant_bits: 11,
         ..EncoderConfig::default()
     };
-    let mut server = ContentServer::new();
+    let server = ContentServer::new();
     server.publish("rand_500", &data, &config)?;
     let item = server.get("rand_500").expect("just published");
     let baseline = item.stream.payload_bytes();
@@ -45,30 +47,36 @@ fn main() -> Result<(), RecoilError> {
         conv_large - baseline
     );
 
+    // One client per device class, each created once — the decode pool
+    // inside a client's backend is reused across all of its requests.
+    let capacities = [1usize, 4, 16, 256, 2176];
+    let clients: Vec<Client> = capacities.iter().map(|&c| Client::new(c.min(32))).collect();
+
     println!(
-        "{:>8} | {:>12} | {:>14} | {:>12} | combine",
-        "client", "segments", "transfer (B)", "overhead"
+        "{:>8} | {:>12} | {:>14} | {:>12} | {:>9} | cache",
+        "client", "segments", "transfer (B)", "overhead", "combine"
     );
-    println!("{}", "-".repeat(70));
-    for &threads in &[1usize, 4, 16, 256, 2176] {
-        let client = Client::new(threads.min(32));
+    println!("{}", "-".repeat(78));
+    for (&threads, client) in capacities.iter().zip(&clients) {
         let item = server.get("rand_500").expect("published");
         let t = server.request("rand_500", threads as u64)?;
         // Verify the client actually decodes the response correctly.
         let decoded = client.decode(&item.stream, &t, &item.model)?;
         assert_eq!(decoded, data);
         println!(
-            "{:>8} | {:>12} | {:>14} | {:>12} | {:>7.2?}",
+            "{:>8} | {:>12} | {:>14} | {:>12} | {:>9.2?} | {}",
             format!("{threads}-way"),
-            t.metadata.num_segments(),
+            t.metadata().num_segments(),
             t.total_bytes(),
             format!("+{}", t.total_bytes() - baseline),
             std::time::Duration::from_nanos(t.combine_nanos as u64),
+            if t.cache_hit { "hit" } else { "miss" },
         );
     }
 
     // Headline numbers (§5.2): overhead saved vs serving Conventional Large.
     let small = server.request("rand_500", 16)?;
+    assert!(small.cache_hit, "16-way tier was served above");
     let saved = conv_large as f64 - small.total_bytes() as f64;
     println!(
         "\nserving a 16-way client: Recoil {} B vs Conventional-Large {} B",
@@ -78,6 +86,16 @@ fn main() -> Result<(), RecoilError> {
     println!(
         "=> compression-rate overhead reduced by {:.2}% of the baseline size",
         -100.0 * saved / baseline as f64
+    );
+
+    let stats = server.stats();
+    println!(
+        "\nserver stats: {} requests, {} hits / {} misses (hit rate {:.0}%), {} evictions",
+        stats.requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        100.0 * stats.hit_rate(),
+        stats.cache_evictions
     );
     Ok(())
 }

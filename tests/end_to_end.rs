@@ -111,7 +111,7 @@ fn tans_multians_agrees_with_rans_content() {
 #[test]
 fn server_scales_per_client_and_all_clients_agree() {
     let data = exponential_bytes(1_500_000, 50.0, 6);
-    let mut server = ContentServer::new();
+    let server = ContentServer::new();
     let config = EncoderConfig {
         max_segments: 512,
         ..EncoderConfig::default()
@@ -129,6 +129,22 @@ fn server_scales_per_client_and_all_clients_agree() {
     }
     // Transfer size is monotone in requested parallelism.
     assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "{sizes:?}");
+
+    // The same capacities again: every tier is now cached, and batched
+    // resolution agrees with the serial responses.
+    let batch: Vec<(String, u64)> = [1u64, 2, 8, 24]
+        .iter()
+        .map(|&c| ("item".to_string(), c))
+        .collect();
+    let results = server.request_batch(&batch);
+    for (r, expect) in results.iter().zip(&sizes) {
+        let t = r.as_ref().unwrap();
+        assert!(t.cache_hit);
+        assert_eq!(t.total_bytes(), *expect);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 4);
+    assert_eq!(stats.cache_misses, 4);
 }
 
 #[test]
