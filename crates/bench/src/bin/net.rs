@@ -1,0 +1,266 @@
+//! Loopback load generator for the framed TCP transport: requests/sec,
+//! latency percentiles, and bytes served through a real socket.
+//!
+//! Publishes items over the wire, then hammers the [`NetServer`] from N
+//! concurrent [`NetClient`]s with a skewed capacity mix. Each timed request
+//! is a full `REQUEST` → `TRANSMIT` + chunks exchange including the
+//! client-side CRC and structural validation (decode is verified once
+//! outside the timed loop). Reports to stdout and `BENCH_net.json`.
+//!
+//! ```sh
+//! cargo run --release -p recoil-bench --bin net
+//! cargo run --release -p recoil-bench --bin net -- --smoke          # CI
+//! cargo run --release -p recoil-bench --bin net -- --clients 16 --requests 2000
+//! ```
+
+use recoil::net::{NetClient, NetConfig, NetServer};
+use recoil::prelude::*;
+use recoil::server::ContentServer;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Capacity mix, most popular first (same device-class skew as the serve
+/// bench); the last tier exceeds every item's maximum.
+const TIERS: [u64; 8] = [16, 4, 64, 1, 8, 32, 256, 100_000];
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    items: usize,
+    bytes: usize,
+    max_segments: u64,
+    smoke: bool,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().collect();
+        let mut a = Self {
+            clients: 8,
+            requests: 400,
+            items: 3,
+            bytes: 1_000_000,
+            max_segments: 256,
+            smoke: false,
+        };
+        let mut i = 1;
+        while i < argv.len() {
+            let next = |i: &mut usize| {
+                *i += 1;
+                argv[*i].parse().expect("numeric argument")
+            };
+            match argv[i].as_str() {
+                "--clients" => a.clients = next(&mut i),
+                "--requests" => a.requests = next(&mut i),
+                "--items" => a.items = next(&mut i),
+                "--bytes" => a.bytes = next(&mut i),
+                "--max-segments" => a.max_segments = next(&mut i) as u64,
+                "--smoke" => a.smoke = true,
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        if a.smoke {
+            a.clients = a.clients.min(4);
+            a.requests = a.requests.min(60);
+            a.items = a.items.min(2);
+            a.bytes = a.bytes.min(200_000);
+        }
+        a
+    }
+}
+
+/// SplitMix-style deterministic generator.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Cumulative 1000 × harmonic weights over [`TIERS`].
+const CUMULATIVE: [u64; TIERS.len()] = {
+    let mut c = [0u64; TIERS.len()];
+    let mut total = 0u64;
+    let mut rank = 0;
+    while rank < TIERS.len() {
+        total += 1000 / (rank as u64 + 1);
+        c[rank] = total;
+        rank += 1;
+    }
+    c
+};
+
+fn pick_tier(state: &mut u64) -> u64 {
+    let draw = next_u64(state) % CUMULATIVE[TIERS.len() - 1];
+    let rank = CUMULATIVE.iter().position(|&c| draw < c).unwrap();
+    TIERS[rank]
+}
+
+fn item_name(i: usize) -> String {
+    format!("item{i}")
+}
+
+fn percentile(sorted_nanos: &[u64], p: f64) -> u64 {
+    if sorted_nanos.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    sorted_nanos[idx]
+}
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "net bench: {} clients × {} requests over {} items ({} B each, \
+         max_segments {}){}",
+        args.clients,
+        args.requests,
+        args.items,
+        args.bytes,
+        args.max_segments,
+        if args.smoke { " [smoke]" } else { "" },
+    );
+
+    // Every client (plus the publisher) keeps one connection open, and a
+    // connection pins a worker for its lifetime.
+    let server = NetServer::bind(
+        Arc::new(ContentServer::new()),
+        "127.0.0.1:0",
+        NetConfig {
+            workers: args.clients + 2,
+            max_connections: args.clients + 8,
+            read_timeout: Duration::from_millis(100),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let config = EncoderConfig {
+        max_segments: args.max_segments,
+        ..EncoderConfig::default()
+    };
+    let publisher = NetClient::connect(addr).unwrap();
+    let datasets: Vec<Vec<u8>> = (0..args.items)
+        .map(|i| recoil::data::exponential_bytes(args.bytes, 80.0 + 60.0 * i as f64, i as u64))
+        .collect();
+    let t0 = Instant::now();
+    for (i, data) in datasets.iter().enumerate() {
+        // Published over the wire: the server encodes once per item.
+        publisher.publish(&item_name(i), data, &config).unwrap();
+    }
+    println!(
+        "published {} items over TCP in {:.2?} (encode-once)",
+        args.items,
+        t0.elapsed()
+    );
+
+    // Correctness outside the timed loop: remote fetch-and-decode is
+    // byte-identical at several capacities.
+    let mut verified = 0u64;
+    for (i, data) in datasets.iter().enumerate() {
+        for tier in [1u64, 16, 100_000] {
+            assert_eq!(
+                &publisher.fetch_and_decode(&item_name(i), tier).unwrap(),
+                data
+            );
+            verified += 1;
+        }
+    }
+
+    // Timed phase: every request is a full framed transfer + integrity
+    // check; per-request latency recorded client-side.
+    let t0 = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(args.clients * args.requests);
+    let mut bytes_transferred = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let client = NetClient::connect(addr).unwrap();
+                    let mut rng = 0x5eed ^ ((c as u64) << 32);
+                    let mut latencies = Vec::with_capacity(args.requests);
+                    let mut bytes = 0u64;
+                    for _ in 0..args.requests {
+                        let name = item_name(next_u64(&mut rng) as usize % args.items);
+                        let tier = pick_tier(&mut rng);
+                        let t = Instant::now();
+                        let content = client.request(&name, tier).unwrap();
+                        latencies.push(t.elapsed().as_nanos() as u64);
+                        bytes += content.total_bytes();
+                    }
+                    (latencies, bytes)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (latencies, bytes) = h.join().unwrap();
+            all_latencies.extend(latencies);
+            bytes_transferred += bytes;
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let total = all_latencies.len();
+    let rps = total as f64 / wall;
+    all_latencies.sort_unstable();
+    let p50 = percentile(&all_latencies, 0.50);
+    let p99 = percentile(&all_latencies, 0.99);
+
+    let stats = publisher.stats().unwrap();
+    println!(
+        "{total} requests on {} client threads in {wall:.3}s => {rps:.0} req/s",
+        args.clients
+    );
+    println!(
+        "latency p50 {:.3} ms, p99 {:.3} ms; {:.1} MiB transferred",
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        bytes_transferred as f64 / (1 << 20) as f64
+    );
+    println!(
+        "server: {} B served, cache {} hits / {} misses (hit rate {:.4}), \
+         {} active connections at snapshot",
+        stats.stats.bytes_served,
+        stats.stats.cache_hits,
+        stats.stats.cache_misses,
+        stats.stats.hit_rate(),
+        stats.stats.active_connections
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"net\",\n  \"smoke\": {},\n  \"clients\": {},\n  \
+         \"requests_per_client\": {},\n  \"items\": {},\n  \"bytes_per_item\": {},\n  \
+         \"max_segments\": {},\n  \"total_requests\": {},\n  \"wall_seconds\": {:.6},\n  \
+         \"requests_per_sec\": {:.1},\n  \"latency_p50_us\": {:.1},\n  \
+         \"latency_p99_us\": {:.1},\n  \"bytes_transferred\": {},\n  \
+         \"server_bytes_served\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"cache_hit_rate\": {:.6},\n  \"verified_decodes\": {}\n}}\n",
+        args.smoke,
+        args.clients,
+        args.requests,
+        args.items,
+        args.bytes,
+        args.max_segments,
+        total,
+        wall,
+        rps,
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3,
+        bytes_transferred,
+        stats.stats.bytes_served,
+        stats.stats.cache_hits,
+        stats.stats.cache_misses,
+        stats.stats.hit_rate(),
+        verified,
+    );
+    let path = "BENCH_net.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+    println!("[results written to {path}]");
+
+    server.shutdown();
+}

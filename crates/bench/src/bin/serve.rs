@@ -149,9 +149,9 @@ fn main() {
     let mut verified = 0u64;
     for (i, data) in datasets.iter().enumerate() {
         let name = item_name(i);
-        let item = server.get(&name).unwrap();
         for tier in [1u64, 16, 100_000] {
-            let t = server.request(&name, tier).unwrap();
+            // `fetch` resolves name → (transmission, content) atomically.
+            let (t, item) = server.fetch(&name, tier).unwrap();
             assert_eq!(
                 &verifier.decode(&item.stream, &t, &item.model).unwrap(),
                 data

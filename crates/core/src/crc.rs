@@ -1,0 +1,89 @@
+//! CRC-32 (IEEE 802.3) — the integrity footer of every versioned wire
+//! format in the workspace.
+//!
+//! The metadata wire format, the container file format, and the network
+//! transport all append a little-endian CRC-32 of the preceding bytes, so
+//! a flipped bit anywhere in a frame is rejected as [`Wire`] corruption
+//! before any of it is structurally interpreted — never decoded into
+//! garbage symbols.
+//!
+//! [`Wire`]: crate::RecoilError::Wire
+
+/// The reflected IEEE polynomial, the same one Ethernet, gzip and PNG use.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final xor, reflected — the
+/// standard "crc32" everyone means).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    update_crc32(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feeds `bytes` into a running raw register value.
+///
+/// Start from `0xFFFF_FFFF`, feed chunks in order, and xor the result with
+/// `0xFFFF_FFFF` at the end; `crc32` is exactly that for one chunk. The
+/// transport uses this to checksum a chunked payload without buffering it
+/// twice.
+pub fn update_crc32(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let whole = crc32(&data);
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(17) {
+            state = update_crc32(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, whole);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        let reference = crc32(&data);
+        for at in [0usize, 1, 100, 255] {
+            let mut corrupt = data.clone();
+            corrupt[at] ^= 0x01;
+            assert_ne!(crc32(&corrupt), reference, "flip at {at} undetected");
+        }
+    }
+}

@@ -43,6 +43,13 @@ pub enum RecoilError {
         /// The unknown content name.
         name: String,
     },
+    /// A transport-layer failure: socket I/O, protocol violations, version
+    /// mismatches, or a remote error that has no richer local
+    /// reconstruction.
+    Net {
+        /// What went wrong on the connection.
+        detail: String,
+    },
 }
 
 impl RecoilError {
@@ -57,6 +64,13 @@ impl RecoilError {
     pub fn config(field: &'static str, detail: impl Into<String>) -> Self {
         Self::InvalidConfig {
             field,
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for transport failures.
+    pub fn net(detail: impl Into<String>) -> Self {
+        Self::Net {
             detail: detail.into(),
         }
     }
@@ -77,6 +91,7 @@ impl fmt::Display for RecoilError {
                 write!(f, "content `{name}` is already published")
             }
             Self::NotFound { name } => write!(f, "content `{name}` is not published"),
+            Self::Net { detail } => write!(f, "transport failed: {detail}"),
         }
     }
 }
@@ -109,6 +124,9 @@ mod tests {
             .contains("bad magic"));
         let c = RecoilError::config("ways", "must be >= 1");
         assert!(c.to_string().contains("ways"));
+        assert!(RecoilError::net("connection reset")
+            .to_string()
+            .contains("connection reset"));
         assert!(RecoilError::BackendUnavailable { backend: "avx512" }
             .to_string()
             .contains("avx512"));

@@ -13,8 +13,14 @@
 //! ways × u32       final states
 //! num_words × u16  bitstream words
 //! u32 metadata_len | metadata bytes (§4.3 format)
+//! u32 crc32        little-endian CRC-32 of every preceding byte (v2+)
 //! ```
+//!
+//! Version 2 appends the CRC-32 footer; the parser checks it before
+//! interpreting any field, so corrupt files fail as [`RecoilError::Wire`]
+//! instead of decoding garbage. Version 1 files (no footer) still parse.
 
+use crate::crc::crc32;
 use crate::error::RecoilError;
 use crate::metadata::RecoilMetadata;
 use crate::wire::{metadata_from_bytes, metadata_to_bytes};
@@ -23,7 +29,10 @@ use recoil_models::{CdfTable, StaticModelProvider};
 use recoil_rans::EncodedStream;
 
 const MAGIC: &[u8; 4] = b"RCLF";
-const VERSION: u8 = 1;
+/// Current format: CRC-32 footer after the metadata section.
+const VERSION: u8 = 2;
+/// First format: identical layout, no integrity footer.
+const LEGACY_VERSION: u8 = 1;
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -94,6 +103,8 @@ pub fn container_to_bytes(container: &RecoilContainer, model: &CdfTable) -> Vec<
     let meta = metadata_to_bytes(&container.metadata);
     put_u32(&mut out, meta.len() as u32);
     out.extend_from_slice(&meta);
+    let footer = crc32(&out);
+    put_u32(&mut out, footer);
     out
 }
 
@@ -106,9 +117,23 @@ pub fn container_from_bytes(
     if c.take(4)? != MAGIC {
         return Err(RecoilError::wire("bad magic"));
     }
-    if c.u8()? != VERSION {
-        return Err(RecoilError::wire("unsupported version"));
-    }
+    let bytes = match c.u8()? {
+        LEGACY_VERSION => bytes,
+        VERSION => {
+            // Verify the integrity footer before interpreting any field.
+            if bytes.len() < 5 + 4 {
+                return Err(RecoilError::wire("truncated file"));
+            }
+            let (body, footer) = bytes.split_at(bytes.len() - 4);
+            let expected = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
+            if crc32(body) != expected {
+                return Err(RecoilError::wire("file checksum mismatch"));
+            }
+            body
+        }
+        _ => return Err(RecoilError::wire("unsupported version")),
+    };
+    let mut c = Cursor { bytes, at: 5 };
     let n = c.u8()? as u32;
     if !(1..=16).contains(&n) {
         return Err(RecoilError::wire(format!("bad quantization level {n}")));
@@ -199,6 +224,14 @@ mod tests {
             .collect()
     }
 
+    /// Recomputes the v2 CRC footer after a test deliberately corrupts the
+    /// body — so the structural check under test fires, not the checksum.
+    fn patch_crc(bytes: &mut [u8]) {
+        let at = bytes.len() - 4;
+        let footer = crc32(&bytes[..at]);
+        bytes[at..].copy_from_slice(&footer.to_le_bytes());
+    }
+
     #[test]
     fn file_round_trip_and_decode() {
         let data = sample(120_000);
@@ -230,6 +263,7 @@ mod tests {
         let mut bytes = container_to_bytes(&container, model.table());
         // num_symbols lives at offset 12..20 of the header.
         bytes[12..20].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        patch_crc(&mut bytes);
         let err = match container_from_bytes(&bytes) {
             Err(e) => e,
             Ok(_) => panic!("absurd symbol count must be rejected"),
@@ -257,8 +291,28 @@ mod tests {
         bytes[0] ^= 1;
         assert!(container_from_bytes(&bytes).is_err());
         bytes[0] ^= 1;
-        // Break a model frequency: the sum check must fire.
+        // Break a model frequency without fixing the CRC: the checksum
+        // rejects the file before the model is even read.
         bytes[28] ^= 0xFF;
-        assert!(container_from_bytes(&bytes).is_err());
+        let err = container_from_bytes(&bytes).expect_err("corruption undetected");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // With a freshly patched CRC the structural sum check fires instead.
+        patch_crc(&mut bytes);
+        let err = container_from_bytes(&bytes).expect_err("bad model accepted");
+        assert!(err.to_string().contains("sum"), "{err}");
+    }
+
+    #[test]
+    fn legacy_version1_files_still_parse() {
+        let data = sample(20_000);
+        let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        let container = encode_with_splits(&data, &model, 32, 8);
+        let mut bytes = container_to_bytes(&container, model.table());
+        // A v1 file is the same layout minus the footer, tagged version 1.
+        bytes.truncate(bytes.len() - 4);
+        bytes[4] = 1;
+        let (back, _) = container_from_bytes(&bytes).unwrap();
+        assert_eq!(back.stream, container.stream);
+        assert_eq!(back.metadata, container.metadata);
     }
 }

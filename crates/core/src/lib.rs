@@ -32,6 +32,7 @@
 pub mod codec;
 mod combine;
 mod container;
+mod crc;
 mod decoder;
 mod error;
 mod file;
@@ -45,6 +46,7 @@ pub use codec::{
 };
 pub use combine::{combine_splits, try_combine_splits};
 pub use container::RecoilContainer;
+pub use crc::{crc32, update_crc32};
 pub use decoder::{decode_split_count, sync_split_states};
 pub use error::RecoilError;
 pub use file::{container_from_bytes, container_to_bytes};

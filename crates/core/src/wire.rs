@@ -16,13 +16,23 @@
 //! stores `max_bits - 1` (zeros still take one bit, paper footnote 1) in
 //! 4 bits for the unsigned 16-bit-max series and 5 bits for the signed
 //! 32-bit-max series; signed values carry an extra sign bit each.
+//!
+//! Version 2 of the format appends a little-endian CRC-32 footer over all
+//! preceding bytes; the parser verifies it before interpreting anything
+//! else, so corrupt frames are rejected as [`RecoilError::Wire`] instead of
+//! reconstructing garbage split points. Version 1 bytes (no footer) still
+//! parse.
 
+use crate::crc::crc32;
 use crate::error::RecoilError;
 use crate::metadata::{LaneInit, RecoilMetadata, SplitPoint};
 use recoil_bitio::{BitReader, BitWriter};
 
 const MAGIC: u64 = 0x5243_4C31; // "RCL1"
-const VERSION: u64 = 1;
+/// Current format: CRC-32 footer after the bit-packed body.
+const VERSION: u64 = 2;
+/// First format: identical body, no integrity footer.
+const LEGACY_VERSION: u64 = 1;
 
 /// Bits needed for unsigned `v`, counting zero as one bit.
 fn bits_for(v: u64) -> u32 {
@@ -96,12 +106,19 @@ fn read_signed_series(
         .collect()
 }
 
-/// Serializes metadata to its compact byte form.
+/// Serializes metadata to its compact byte form (current version, with the
+/// CRC-32 integrity footer).
 pub fn metadata_to_bytes(meta: &RecoilMetadata) -> Vec<u8> {
+    metadata_to_bytes_versioned(meta, VERSION)
+}
+
+/// Serializes at an explicit format version — `LEGACY_VERSION` exists only
+/// so tests can prove old bytes still parse.
+fn metadata_to_bytes_versioned(meta: &RecoilMetadata, version: u64) -> Vec<u8> {
     debug_assert!(meta.validate().is_ok());
     let mut w = BitWriter::new();
     w.write(MAGIC, 32);
-    w.write(VERSION, 8);
+    w.write(version, 8);
     w.write(meta.ways as u64, 16);
     w.write(meta.quant_bits as u64, 8);
     w.write(meta.num_symbols, 64);
@@ -143,19 +160,39 @@ pub fn metadata_to_bytes(meta: &RecoilMetadata) -> Vec<u8> {
             write_unsigned_series(&mut w, &diffs, 4);
         }
     }
-    w.into_bytes()
+    let mut bytes = w.into_bytes();
+    if version >= VERSION {
+        let footer = crc32(&bytes);
+        bytes.extend_from_slice(&footer.to_le_bytes());
+    }
+    bytes
 }
 
-/// Parses metadata back from its byte form.
+/// Parses metadata back from its byte form (version 1 or 2).
 pub fn metadata_from_bytes(bytes: &[u8]) -> Result<RecoilMetadata, RecoilError> {
     let bad = |msg: &str| RecoilError::wire(msg);
-    let mut r = BitReader::new(bytes);
-    if r.read(32) != Some(MAGIC) {
+    let mut peek = BitReader::new(bytes);
+    if peek.read(32) != Some(MAGIC) {
         return Err(bad("bad magic"));
     }
-    if r.read(8) != Some(VERSION) {
-        return Err(bad("unsupported version"));
-    }
+    let body = match peek.read(8) {
+        Some(LEGACY_VERSION) => bytes,
+        Some(VERSION) => {
+            // Verify the integrity footer before interpreting anything: a
+            // corrupt frame must never reconstruct garbage split points.
+            let (body, footer) = bytes.split_at(bytes.len() - 4);
+            let expected = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
+            if crc32(body) != expected {
+                return Err(bad("metadata checksum mismatch"));
+            }
+            body
+        }
+        Some(_) => return Err(bad("unsupported version")),
+        None => return Err(bad("truncated header")),
+    };
+    let mut r = BitReader::new(body);
+    r.read(32).expect("magic re-read");
+    r.read(8).expect("version re-read");
     let ways = r.read(16).ok_or_else(|| bad("truncated header"))? as u32;
     let quant_bits = r.read(8).ok_or_else(|| bad("truncated header"))? as u32;
     let num_symbols = r.read(64).ok_or_else(|| bad("truncated header"))?;
@@ -288,8 +325,8 @@ mod tests {
         let bytes = metadata_to_bytes(&meta);
         assert_eq!(
             bytes.len(),
-            28,
-            "header-only metadata is the 224-bit header"
+            32,
+            "header-only metadata is the 224-bit header plus the CRC footer"
         );
         assert_eq!(metadata_from_bytes(&bytes).unwrap(), meta);
     }
@@ -338,7 +375,7 @@ mod tests {
             .collect();
         let meta = meta_with(splits, ways, 400_000, 120_000);
         let bytes = metadata_to_bytes(&meta);
-        let per_split = (bytes.len() as f64 - 28.0) / 100.0;
+        let per_split = (bytes.len() as f64 - 32.0) / 100.0;
         assert!(
             (64.0..90.0).contains(&per_split),
             "per-split metadata cost {per_split} bytes out of expected range"
@@ -363,6 +400,30 @@ mod tests {
         let mut bytes = metadata_to_bytes(&meta);
         bytes[0] ^= 0xFF;
         assert!(metadata_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn legacy_version1_bytes_still_parse() {
+        let meta = figure6_meta();
+        let v1 = metadata_to_bytes_versioned(&meta, LEGACY_VERSION);
+        let v2 = metadata_to_bytes(&meta);
+        assert_eq!(v1.len() + 4, v2.len(), "v2 adds exactly the CRC footer");
+        assert_eq!(metadata_from_bytes(&v1).unwrap(), meta);
+        assert_eq!(metadata_from_bytes(&v2).unwrap(), meta);
+    }
+
+    #[test]
+    fn corrupt_body_is_caught_by_checksum() {
+        let meta = figure6_meta();
+        let bytes = metadata_to_bytes(&meta);
+        // Flip one bit in every body byte after the version field: the CRC
+        // footer must reject each one before structural interpretation.
+        for at in 5..bytes.len() - 4 {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x10;
+            let err = metadata_from_bytes(&corrupt).expect_err("corruption undetected");
+            assert!(err.to_string().contains("checksum"), "byte {at}: {err}");
+        }
     }
 
     #[test]

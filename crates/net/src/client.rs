@@ -1,0 +1,526 @@
+//! The pooling TCP client: remote publish / request / stats, and a
+//! one-call remote fetch-and-decode through the [`DecodeBackend`]
+//! machinery.
+
+use crate::frame::{
+    decode_error, io_err, read_frame, write_frame, FrameType, ReadOutcome, CAP_CHUNKED,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use crate::proto::{encode_publish, ContentRequest, Hello, PublishOk, StatsReply, TransmitHeader};
+use parking_lot::Mutex;
+use recoil_core::codec::{DecodeBackend, DecodeRequest, EncoderConfig};
+use recoil_core::{metadata_from_bytes, update_crc32, RecoilError, RecoilMetadata};
+use recoil_models::{CdfTable, StaticModelProvider};
+use recoil_rans::EncodedStream;
+use recoil_simd::AutoBackend;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Construction knobs for [`NetClient`].
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// Idle connections kept for reuse (checkout prefers these; overflow
+    /// connections are simply closed on check-in).
+    pub max_pool: usize,
+    /// Socket read timeout per attempt (idle poll granularity).
+    pub read_timeout: Duration,
+    /// Total time to wait for a response to one request — covers the
+    /// server's encode on a PUBLISH, so it is generous.
+    pub response_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        Self {
+            max_pool: 4,
+            read_timeout: Duration::from_millis(250),
+            response_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// How one remote operation failed — the distinction drives connection
+/// reuse.
+enum OpError {
+    /// The server reported a typed error **in-band** (an ERROR frame): the
+    /// framing is still synchronized, so the connection goes back to the
+    /// pool and there is nothing to retry.
+    Remote(RecoilError),
+    /// The transport or protocol state is broken (I/O failure, unexpected
+    /// frame, corrupt payload): the connection is dropped, and idempotent
+    /// operations retry once on a fresh dial.
+    Transport(RecoilError),
+}
+
+impl OpError {
+    fn into_inner(self) -> RecoilError {
+        match self {
+            Self::Remote(e) | Self::Transport(e) => e,
+        }
+    }
+}
+
+/// A remote content fetch, fully received and integrity-checked: the
+/// client-side mirror of what [`recoil_server::Transmission`] plus the
+/// stored content provide in-process.
+#[derive(Debug)]
+pub struct RemoteContent {
+    /// The reassembled bitstream.
+    pub stream: EncodedStream,
+    /// Parsed shrunk metadata for this client's capacity.
+    pub metadata: RecoilMetadata,
+    /// The raw metadata bytes as they crossed the wire.
+    pub metadata_bytes: Vec<u8>,
+    /// The static model rebuilt from the transmitted frequencies.
+    pub model: StaticModelProvider,
+    /// Post-clamp segment count the server actually served.
+    pub segments: u64,
+    /// Whether the server answered from its shrunk-metadata cache.
+    pub cache_hit: bool,
+    /// Server-side combine cost in nanoseconds (zero on a cache hit).
+    pub combine_nanos: u64,
+}
+
+impl RemoteContent {
+    /// Transfer size: bitstream payload plus metadata, as the paper counts
+    /// it (the model is excluded, §5.2).
+    pub fn total_bytes(&self) -> u64 {
+        self.stream.payload_bytes() + self.metadata_bytes.len() as u64
+    }
+
+    /// Decodes through an explicit backend.
+    pub fn decode_with(&self, backend: &dyn DecodeBackend) -> Result<Vec<u8>, RecoilError> {
+        if !backend.is_available() {
+            return Err(RecoilError::BackendUnavailable {
+                backend: backend.name(),
+            });
+        }
+        let mut out = vec![0u8; self.stream.num_symbols as usize];
+        let req = DecodeRequest {
+            stream: &self.stream,
+            metadata: &self.metadata,
+            model: &self.model,
+        };
+        backend.decode_u8(&req, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// A client for one [`crate::NetServer`] address, holding a small pool of
+/// reusable connections and a decode backend for one-call remote decodes.
+pub struct NetClient {
+    addr: SocketAddr,
+    config: NetClientConfig,
+    pool: Mutex<Vec<TcpStream>>,
+    backend: Box<dyn DecodeBackend>,
+}
+
+impl NetClient {
+    /// Connects to `addr` with default config: dials one connection and
+    /// completes the HELLO negotiation to fail fast on a bad address or an
+    /// incompatible server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, RecoilError> {
+        Self::connect_with(addr, NetClientConfig::default())
+    }
+
+    /// [`NetClient::connect`] with explicit knobs.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: NetClientConfig,
+    ) -> Result<Self, RecoilError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| io_err("resolve", e))?
+            .next()
+            .ok_or_else(|| RecoilError::net("address resolved to nothing"))?;
+        let client = Self {
+            addr,
+            config,
+            pool: Mutex::new(Vec::new()),
+            backend: Box::new(AutoBackend::with_threads(
+                std::thread::available_parallelism().map_or(1, |p| p.get()),
+            )),
+        };
+        let probe = client.dial()?;
+        client.checkin(probe);
+        Ok(client)
+    }
+
+    /// Replaces the decode backend used by
+    /// [`NetClient::fetch_and_decode`].
+    pub fn with_backend(mut self, backend: impl DecodeBackend + 'static) -> Self {
+        self.backend = Box::new(backend);
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The backend remote fetches decode with.
+    pub fn backend(&self) -> &dyn DecodeBackend {
+        self.backend.as_ref()
+    }
+
+    /// Dials and HELLO-negotiates a fresh connection.
+    fn dial(&self) -> Result<TcpStream, RecoilError> {
+        let conn = TcpStream::connect(self.addr).map_err(|e| io_err("connect", e))?;
+        let _ = conn.set_nodelay(true);
+        conn.set_read_timeout(Some(self.config.read_timeout))
+            .map_err(|e| io_err("set_read_timeout", e))?;
+        conn.set_write_timeout(Some(self.config.write_timeout))
+            .map_err(|e| io_err("set_write_timeout", e))?;
+        let mut conn = conn;
+        write_frame(&mut conn, FrameType::Hello, &Hello::ours().encode())?;
+        let (ty, payload) = self.await_frame(&mut conn).map_err(OpError::into_inner)?;
+        if ty != FrameType::Hello {
+            return Err(RecoilError::net(format!(
+                "expected HELLO reply, got {ty:?}"
+            )));
+        }
+        let hello = Hello::decode(&payload)?;
+        if hello.version != PROTOCOL_VERSION {
+            return Err(RecoilError::net(format!(
+                "server speaks protocol version {}, this client speaks {PROTOCOL_VERSION}",
+                hello.version
+            )));
+        }
+        if hello.capabilities & CAP_CHUNKED == 0 {
+            return Err(RecoilError::net(
+                "server did not negotiate the chunked-streaming capability",
+            ));
+        }
+        Ok(conn)
+    }
+
+    fn checkout(&self) -> Result<(TcpStream, bool), RecoilError> {
+        if let Some(conn) = self.pool.lock().pop() {
+            return Ok((conn, true));
+        }
+        Ok((self.dial()?, false))
+    }
+
+    fn checkin(&self, conn: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < self.config.max_pool {
+            pool.push(conn);
+        }
+    }
+
+    /// Idle connections currently pooled.
+    pub fn pooled_connections(&self) -> usize {
+        self.pool.lock().len()
+    }
+
+    /// Runs `op` on a pooled (or fresh) connection.
+    ///
+    /// In-band server errors ([`OpError::Remote`]) leave the connection
+    /// synchronized: it goes straight back to the pool. Transport failures
+    /// on a **pooled** connection — typically a server-side close while
+    /// the connection idled — are retried once on a fresh dial when the
+    /// operation is idempotent.
+    fn with_conn<T>(
+        &self,
+        idempotent: bool,
+        op: impl Fn(&Self, &mut TcpStream) -> Result<T, OpError>,
+    ) -> Result<T, RecoilError> {
+        let (mut conn, from_pool) = self.checkout()?;
+        match op(self, &mut conn) {
+            Ok(v) => {
+                self.checkin(conn);
+                Ok(v)
+            }
+            Err(OpError::Remote(e)) => {
+                self.checkin(conn); // the ERROR frame was a complete response
+                Err(e)
+            }
+            Err(OpError::Transport(e)) => {
+                drop(conn); // never pool a connection in an unknown state
+                if from_pool && idempotent {
+                    let mut fresh = self.dial()?;
+                    match op(self, &mut fresh) {
+                        Ok(v) => {
+                            self.checkin(fresh);
+                            Ok(v)
+                        }
+                        Err(OpError::Remote(e)) => {
+                            self.checkin(fresh);
+                            Err(e)
+                        }
+                        Err(OpError::Transport(e)) => Err(e),
+                    }
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Blocks until a non-idle frame arrives (bounded by
+    /// `response_timeout`); `Error` frames come back as
+    /// [`OpError::Remote`] carrying the decoded [`RecoilError`], anything
+    /// that breaks the transport as [`OpError::Transport`].
+    fn await_frame(&self, conn: &mut TcpStream) -> Result<(FrameType, Vec<u8>), OpError> {
+        let start = Instant::now();
+        loop {
+            match read_frame(conn).map_err(OpError::Transport)? {
+                ReadOutcome::Frame(FrameType::Error, payload) => {
+                    return Err(OpError::Remote(decode_error(&payload)))
+                }
+                ReadOutcome::Frame(ty, payload) => return Ok((ty, payload)),
+                ReadOutcome::Eof => {
+                    return Err(OpError::Transport(RecoilError::net(
+                        "server closed the connection",
+                    )))
+                }
+                ReadOutcome::Idle => {
+                    if start.elapsed() > self.config.response_timeout {
+                        return Err(OpError::Transport(RecoilError::net(
+                            "timed out waiting for server response",
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rejects names the u16 length prefix cannot carry, before any bytes
+    /// hit the wire.
+    fn check_name(name: &str) -> Result<(), RecoilError> {
+        if name.len() > u16::MAX as usize {
+            return Err(RecoilError::config(
+                "name",
+                format!(
+                    "content name is {} bytes; the wire format caps it at {}",
+                    name.len(),
+                    u16::MAX
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Publishes `data` under `name` on the remote server (the server
+    /// encodes). Not retried: a publish is not idempotent.
+    pub fn publish(
+        &self,
+        name: &str,
+        data: &[u8],
+        config: &EncoderConfig,
+    ) -> Result<PublishOk, RecoilError> {
+        Self::check_name(name)?;
+        // One payload buffer, encoded straight from the borrowed slices.
+        let payload = encode_publish(
+            name,
+            config.ways,
+            config.max_segments,
+            config.quant_bits,
+            data,
+        );
+        if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+            return Err(RecoilError::config(
+                "data",
+                format!(
+                    "publish payload is {} bytes; one frame carries at most {MAX_FRAME_LEN}",
+                    payload.len()
+                ),
+            ));
+        }
+        self.with_conn(false, move |client, conn| {
+            write_frame(conn, FrameType::Publish, &payload).map_err(OpError::Transport)?;
+            let (ty, reply) = client.await_frame(conn)?;
+            if ty != FrameType::PublishOk {
+                return Err(OpError::Transport(RecoilError::net(format!(
+                    "expected PUBLISH_OK, got {ty:?}"
+                ))));
+            }
+            PublishOk::decode(&reply).map_err(OpError::Transport)
+        })
+    }
+
+    /// Requests `name` for a decoder with `parallel_segments` capacity and
+    /// receives the full chunked response.
+    pub fn request(
+        &self,
+        name: &str,
+        parallel_segments: u64,
+    ) -> Result<RemoteContent, RecoilError> {
+        Self::check_name(name)?;
+        let msg = ContentRequest {
+            name: name.to_string(),
+            parallel_segments,
+        };
+        self.with_conn(true, move |client, conn| {
+            write_frame(conn, FrameType::Request, &msg.encode()).map_err(OpError::Transport)?;
+            let (ty, payload) = client.await_frame(conn)?;
+            if ty != FrameType::Transmit {
+                return Err(OpError::Transport(RecoilError::net(format!(
+                    "expected TRANSMIT, got {ty:?}"
+                ))));
+            }
+            let header = TransmitHeader::decode(&payload).map_err(OpError::Transport)?;
+            client.receive_content(conn, header)
+        })
+    }
+
+    /// One call from name to decoded bytes: remote request, integrity
+    /// check, then a local parallel decode through the configured backend.
+    pub fn fetch_and_decode(
+        &self,
+        name: &str,
+        parallel_segments: u64,
+    ) -> Result<Vec<u8>, RecoilError> {
+        self.request(name, parallel_segments)?
+            .decode_with(self.backend.as_ref())
+    }
+
+    /// Remote serving counters.
+    pub fn stats(&self) -> Result<StatsReply, RecoilError> {
+        self.with_conn(true, |client, conn| {
+            write_frame(conn, FrameType::Stats, &[]).map_err(OpError::Transport)?;
+            let (ty, payload) = client.await_frame(conn)?;
+            if ty != FrameType::StatsReply {
+                return Err(OpError::Transport(RecoilError::net(format!(
+                    "expected STATS_REPLY, got {ty:?}"
+                ))));
+            }
+            StatsReply::decode(&payload).map_err(OpError::Transport)
+        })
+    }
+
+    /// Drains the chunked word payload and rebuilds validated decode
+    /// inputs. Any failure here is a transport error: frames were consumed
+    /// or corrupt, so the connection is not reusable.
+    fn receive_content(
+        &self,
+        conn: &mut TcpStream,
+        header: TransmitHeader,
+    ) -> Result<RemoteContent, OpError> {
+        self.receive_content_inner(conn, header)
+            .map_err(|e| match e {
+                // A mid-stream ERROR frame still means desynchronized
+                // framing for this op (some chunks may remain unread).
+                OpError::Remote(e) | OpError::Transport(e) => OpError::Transport(e),
+            })
+    }
+
+    fn receive_content_inner(
+        &self,
+        conn: &mut TcpStream,
+        header: TransmitHeader,
+    ) -> Result<RemoteContent, OpError> {
+        let bad = |msg: String| OpError::Transport(RecoilError::net(msg));
+        if !header.word_bytes.is_multiple_of(2) {
+            return Err(bad("odd bitstream byte count".into()));
+        }
+        // The same information-capacity bound the file parser applies: a
+        // hostile header must not drive the decode-side allocation.
+        let n = header.quant_bits;
+        if n == 0 || n > 16 {
+            return Err(bad(format!("bad quantization level {n}")));
+        }
+        let min_bits = ((1u64 << n) as f64).log2() - ((1u64 << n) as f64 - 1.0).log2();
+        let capacity_bits = 8.0 * header.word_bytes as f64 + 16.0 * header.ways as f64;
+        if header.num_symbols as f64 * min_bits > capacity_bits * 1.001 + 64.0 {
+            return Err(bad(format!(
+                "symbol count {} impossible for {} bitstream bytes",
+                header.num_symbols, header.word_bytes
+            )));
+        }
+
+        // The reservation is capped: `word_bytes` is attacker-controlled,
+        // so growth beyond 1 MiB only happens as real chunk bytes arrive
+        // (each bounded by the frame cap and the declared total).
+        let mut word_le = Vec::with_capacity((header.word_bytes as usize).min(1 << 20));
+        let mut crc_state = 0xFFFF_FFFFu32;
+        for seq in 0..header.chunk_count {
+            let (ty, payload) = self.await_frame(conn)?;
+            if ty != FrameType::Chunk {
+                return Err(bad(format!("expected CHUNK, got {ty:?}")));
+            }
+            if payload.len() < 4 {
+                return Err(bad("chunk frame too short".into()));
+            }
+            let got_seq = u32::from_le_bytes(payload[..4].try_into().expect("4"));
+            if got_seq != seq {
+                return Err(bad(format!(
+                    "chunk sequence mismatch: expected {seq}, got {got_seq}"
+                )));
+            }
+            let body = &payload[4..];
+            if word_le.len() + body.len() > header.word_bytes as usize {
+                return Err(bad("chunked payload overruns declared size".into()));
+            }
+            crc_state = update_crc32(crc_state, body);
+            word_le.extend_from_slice(body);
+        }
+        if word_le.len() != header.word_bytes as usize {
+            return Err(bad(format!(
+                "chunked payload short: {} of {} bytes",
+                word_le.len(),
+                header.word_bytes
+            )));
+        }
+        if crc_state ^ 0xFFFF_FFFF != header.payload_crc {
+            return Err(bad("bitstream payload checksum mismatch".into()));
+        }
+
+        // Model reconstruction with the container parser's invariants.
+        let freqs: Vec<u32> = header.freqs.iter().map(|&f| f as u32).collect();
+        if freqs.is_empty() {
+            return Err(bad("empty model frequency table".into()));
+        }
+        let sum: u64 = freqs.iter().map(|&f| f as u64).sum();
+        if sum != 1 << n {
+            return Err(bad(format!(
+                "model frequencies sum to {sum}, expected 2^{n}"
+            )));
+        }
+        if freqs.iter().any(|&f| (f as u64) >= (1u64 << n)) {
+            return Err(bad("model frequency reaches 2^n".into()));
+        }
+        let model = StaticModelProvider::new(CdfTable::from_freqs(freqs, n));
+
+        let stream = EncodedStream {
+            words: word_le
+                .chunks_exact(2)
+                .map(|b| u16::from_le_bytes(b.try_into().expect("2")))
+                .collect(),
+            final_states: header.final_states.clone(),
+            num_symbols: header.num_symbols,
+            ways: header.ways,
+        };
+        stream
+            .validate()
+            .map_err(|e| bad(format!("received stream is inconsistent: {e}")))?;
+        // Metadata bytes carry their own CRC footer; this parses + checks.
+        let metadata = metadata_from_bytes(&header.metadata).map_err(OpError::Transport)?;
+        metadata
+            .validate_against(&stream)
+            .map_err(|e| bad(format!("received metadata is inconsistent: {e}")))?;
+
+        Ok(RemoteContent {
+            stream,
+            metadata,
+            metadata_bytes: header.metadata,
+            model,
+            segments: header.segments,
+            cache_hit: header.cache_hit,
+            combine_nanos: header.combine_nanos,
+        })
+    }
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("addr", &self.addr)
+            .field("pooled", &self.pooled_connections())
+            .field("backend", &self.backend.name())
+            .finish()
+    }
+}

@@ -1,0 +1,429 @@
+//! The length-prefixed binary framing layer.
+//!
+//! Every frame on a connection is `[type: u8][len: u32 LE][payload]`. The
+//! type byte must be a known [`FrameType`] and `len` must not exceed
+//! [`MAX_FRAME_LEN`] — both are checked *before* the payload is read, so a
+//! garbage or hostile header can never drive an allocation.
+//!
+//! Reads are timeout-aware: a timeout before the first header byte is an
+//! [`ReadOutcome::Idle`] tick (the caller checks its shutdown flag and
+//! retries), while a timeout *mid-frame* is retried a bounded number of
+//! times and then reported as a stalled peer.
+
+use recoil_core::RecoilError;
+use std::io::{ErrorKind, Read, Write};
+
+/// Protocol version spoken by this build; [`Hello`] frames negotiate it.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Magic opening every [`Hello`] payload: `"RNET"`.
+pub const HELLO_MAGIC: u32 = 0x524E_4554;
+
+/// Capability bit: the peer streams large bitstreams as [`FrameType::Chunk`]
+/// frames after a [`FrameType::Transmit`] header.
+pub const CAP_CHUNKED: u32 = 1;
+
+/// Every capability this build implements.
+pub const SUPPORTED_CAPS: u32 = CAP_CHUNKED;
+
+/// Hard ceiling on one frame's payload (64 MiB): bigger payloads must be
+/// chunked. Checked before allocating.
+pub const MAX_FRAME_LEN: u32 = 1 << 26;
+
+/// How many consecutive read timeouts mid-frame count as a stalled peer.
+const MID_FRAME_TIMEOUT_RETRIES: u32 = 120;
+
+/// The frame vocabulary. One byte on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Version + capability negotiation; first frame in each direction.
+    Hello = 0x01,
+    /// Client → server: encode-and-publish a payload under a name.
+    Publish = 0x02,
+    /// Server → client: the publish succeeded.
+    PublishOk = 0x03,
+    /// Client → server: content name + the client's parallel capacity.
+    Request = 0x04,
+    /// Server → client: shrunk metadata, model, stream geometry; the
+    /// bitstream words follow as `Chunk` frames.
+    Transmit = 0x05,
+    /// One slice of a chunked bitstream payload.
+    Chunk = 0x06,
+    /// Client → server: ask for the serving counters.
+    Stats = 0x07,
+    /// Server → client: the counter snapshot.
+    StatsReply = 0x08,
+    /// Either direction: a typed error (maps onto [`RecoilError`]).
+    Error = 0x0E,
+}
+
+impl FrameType {
+    /// Parses a wire byte, rejecting unknown types.
+    pub fn from_u8(b: u8) -> Result<Self, RecoilError> {
+        Ok(match b {
+            0x01 => Self::Hello,
+            0x02 => Self::Publish,
+            0x03 => Self::PublishOk,
+            0x04 => Self::Request,
+            0x05 => Self::Transmit,
+            0x06 => Self::Chunk,
+            0x07 => Self::Stats,
+            0x08 => Self::StatsReply,
+            0x0E => Self::Error,
+            other => {
+                return Err(RecoilError::net(format!(
+                    "unknown frame type 0x{other:02X}"
+                )))
+            }
+        })
+    }
+}
+
+/// What one blocking read attempt produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete frame.
+    Frame(FrameType, Vec<u8>),
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The read timed out before any header byte arrived — the connection
+    /// is idle, not broken. Callers poll their shutdown flag and retry.
+    Idle,
+}
+
+/// True for the error kinds a socket read timeout produces.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Maps an I/O failure into the workspace error type.
+pub fn io_err(context: &str, e: std::io::Error) -> RecoilError {
+    RecoilError::net(format!("{context}: {e}"))
+}
+
+/// Fills `buf`, retrying bounded-many read timeouts (the frame has started,
+/// so the bytes are owed; a peer that stalls forever is an error).
+fn read_exact_patient(r: &mut impl Read, buf: &mut [u8]) -> Result<(), RecoilError> {
+    let mut filled = 0;
+    let mut stalls = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(RecoilError::net("connection closed mid-frame")),
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MID_FRAME_TIMEOUT_RETRIES {
+                    return Err(RecoilError::net("peer stalled mid-frame"));
+                }
+            }
+            Err(e) => return Err(io_err("frame read", e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, distinguishing idle timeouts and clean EOF from data.
+///
+/// The type byte and length are validated before the payload allocation:
+/// unknown types and oversized lengths fail without reading further.
+pub fn read_frame(r: &mut impl Read) -> Result<ReadOutcome, RecoilError> {
+    let mut ty = [0u8; 1];
+    loop {
+        match r.read(&mut ty) {
+            Ok(0) => return Ok(ReadOutcome::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Idle),
+            Err(e) => return Err(io_err("frame header read", e)),
+        }
+    }
+    let ty = FrameType::from_u8(ty[0])?;
+    let mut len = [0u8; 4];
+    read_exact_patient(r, &mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(RecoilError::net(format!(
+            "oversized frame: {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_patient(r, &mut payload)?;
+    Ok(ReadOutcome::Frame(ty, payload))
+}
+
+/// Writes one frame (header + payload) and flushes nothing — TCP buffering
+/// plus `TCP_NODELAY` on both ends keeps latency flat.
+///
+/// Oversized payloads are rejected here, in release builds too: the peer
+/// would kill the connection on the length check anyway, so failing before
+/// any bytes move gives the caller a useful error instead of a hangup.
+pub fn write_frame(w: &mut impl Write, ty: FrameType, payload: &[u8]) -> Result<(), RecoilError> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(RecoilError::net(format!(
+            "refusing to send an oversized frame: {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; 5];
+    header[0] = ty as u8;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header).map_err(|e| io_err("frame write", e))?;
+    w.write_all(payload).map_err(|e| io_err("frame write", e))
+}
+
+// ---------------------------------------------------------------------------
+// Payload (de)serialization.
+// ---------------------------------------------------------------------------
+
+/// Little-endian appenders for payload construction.
+pub struct PayloadWriter(pub Vec<u8>);
+
+impl PayloadWriter {
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    pub fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Length-prefixed (u32) byte blob.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
+    /// Length-prefixed (u16) UTF-8 string. Callers validate the length at
+    /// the API boundary (`NetClient` rejects names over 65535 bytes); a
+    /// longer name here would desync the length prefix.
+    pub fn name(&mut self, v: &str) {
+        debug_assert!(
+            v.len() <= u16::MAX as usize,
+            "name length must be pre-validated"
+        );
+        self.u16(v.len() as u16);
+        self.0.extend_from_slice(v.as_bytes());
+    }
+}
+
+impl Default for PayloadWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Checked little-endian cursor over a received payload.
+pub struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RecoilError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| RecoilError::net("truncated frame payload"))?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, RecoilError> {
+        Ok(self.take(1)?[0])
+    }
+    pub fn u16(&mut self) -> Result<u16, RecoilError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+    pub fn u32(&mut self) -> Result<u32, RecoilError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    pub fn u64(&mut self) -> Result<u64, RecoilError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Length-prefixed (u32) byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8], RecoilError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Length-prefixed (u16) UTF-8 string.
+    pub fn name(&mut self) -> Result<String, RecoilError> {
+        let len = self.u16()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| RecoilError::net("frame name is not valid UTF-8"))
+    }
+
+    /// Fails unless the whole payload was consumed — trailing garbage is a
+    /// protocol violation, not padding.
+    pub fn finish(self) -> Result<(), RecoilError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(RecoilError::net(format!(
+                "{} unexpected trailing bytes in frame payload",
+                self.bytes.len() - self.at
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed error frames.
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`RecoilError`] as an `Error` frame payload: `u16 code` plus a
+/// length-prefixed detail string. `NotFound` / `AlreadyPublished` carry the
+/// content name so the receiving side reconstructs the exact variant.
+pub fn encode_error(e: &RecoilError) -> Vec<u8> {
+    let (code, detail): (u16, String) = match e {
+        RecoilError::NotFound { name } => (1, name.clone()),
+        RecoilError::AlreadyPublished { name } => (2, name.clone()),
+        RecoilError::InvalidConfig { .. } => (3, e.to_string()),
+        RecoilError::BackendUnavailable { .. } => (4, e.to_string()),
+        RecoilError::Decode(_) => (5, e.to_string()),
+        RecoilError::Wire { detail } => (6, detail.clone()),
+        RecoilError::Net { detail } => (7, detail.clone()),
+    };
+    let mut w = PayloadWriter::with_capacity(2 + 4 + detail.len());
+    w.u16(code);
+    w.bytes(detail.as_bytes());
+    w.0
+}
+
+/// Decodes an `Error` frame payload back into a [`RecoilError`].
+///
+/// Variants with structured fields that cannot round-trip over a string
+/// (`InvalidConfig`'s static field name, `Decode`'s `RansError`) come back
+/// as [`RecoilError::Net`] carrying the remote display text.
+pub fn decode_error(payload: &[u8]) -> RecoilError {
+    let mut r = PayloadReader::new(payload);
+    let parsed = (|| -> Result<RecoilError, RecoilError> {
+        let code = r.u16()?;
+        let detail = String::from_utf8_lossy(r.bytes()?).into_owned();
+        Ok(match code {
+            1 => RecoilError::NotFound { name: detail },
+            2 => RecoilError::AlreadyPublished { name: detail },
+            6 => RecoilError::Wire { detail },
+            7 => RecoilError::Net { detail },
+            _ => RecoilError::net(format!("remote error: {detail}")),
+        })
+    })();
+    parsed.unwrap_or_else(|_| RecoilError::net("malformed error frame"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recoil_rans::RansError;
+
+    #[test]
+    fn frame_round_trips_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Stats, b"").unwrap();
+        write_frame(&mut buf, FrameType::Chunk, b"hello world").unwrap();
+        let mut r = &buf[..];
+        match read_frame(&mut r).unwrap() {
+            ReadOutcome::Frame(FrameType::Stats, p) => assert!(p.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        match read_frame(&mut r).unwrap() {
+            ReadOutcome::Frame(FrameType::Chunk, p) => assert_eq!(p, b"hello world"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_frame(&mut r).unwrap(), ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn unknown_type_and_oversized_length_are_rejected() {
+        let mut garbage: &[u8] = &[0xAB, 1, 0, 0, 0, 0];
+        assert!(read_frame(&mut garbage)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown frame type"));
+
+        let mut huge = vec![FrameType::Publish as u8];
+        huge.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r)
+            .unwrap_err()
+            .to_string()
+            .contains("oversized frame"));
+    }
+
+    #[test]
+    fn truncated_frame_is_a_clean_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Request, b"some payload").unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(
+                read_frame(&mut r).is_err(),
+                "cut {cut} should fail mid-frame"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_reader_checks_bounds_and_trailing_bytes() {
+        let mut w = PayloadWriter::new();
+        w.name("movie");
+        w.u64(42);
+        let bytes = w.0;
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.name().unwrap(), "movie");
+        assert_eq!(r.u64().unwrap(), 42);
+        r.finish().unwrap();
+
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.name().unwrap(), "movie");
+        assert!(r.finish().is_err(), "trailing bytes must be rejected");
+
+        let mut r = PayloadReader::new(&bytes[..3]);
+        assert!(r.name().is_err(), "truncated name must be rejected");
+    }
+
+    #[test]
+    fn error_frames_reconstruct_the_variants_that_can() {
+        let nf = RecoilError::NotFound {
+            name: "movie".into(),
+        };
+        assert_eq!(decode_error(&encode_error(&nf)), nf);
+        let ap = RecoilError::AlreadyPublished { name: "x".into() };
+        assert_eq!(decode_error(&encode_error(&ap)), ap);
+        let wire = RecoilError::wire("metadata checksum mismatch");
+        assert_eq!(decode_error(&encode_error(&wire)), wire);
+        // Structured variants degrade to Net with the display text.
+        let cfg = RecoilError::config("parallel_segments", "must be >= 1");
+        match decode_error(&encode_error(&cfg)) {
+            RecoilError::Net { detail } => assert!(detail.contains("parallel_segments")),
+            other => panic!("{other:?}"),
+        }
+        let dec = RecoilError::Decode(RansError::BitstreamUnderflow { pos: 3 });
+        match decode_error(&encode_error(&dec)) {
+            RecoilError::Net { detail } => assert!(detail.contains("position 3")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Framed TCP transport for the content-delivery service (paper §1, §3.3).
+//!
+//! The paper's use case is inherently remote: "the client requests content,
+//! and also attaches its parallel capacity inside the request header; the
+//! server receives the request, shrinks down the metadata in real-time, and
+//! serves the bitstream and the shrunk metadata to the decoder." This crate
+//! puts that exchange on a real socket: a length-prefixed binary protocol
+//! over `std::net` TCP, a threaded [`NetServer`] wrapping the sharded
+//! in-process [`ContentServer`], and a pooling [`NetClient`] whose
+//! [`NetClient::fetch_and_decode`] turns a remote fetch into one call that
+//! ends in decoded bytes.
+//!
+//! ## Wire protocol
+//!
+//! Every frame is `[type: u8][len: u32 LE][payload]`; unknown types and
+//! payloads over 64 MiB are rejected before allocation. A connection opens
+//! with a HELLO exchange (version + capability negotiation), then carries
+//! any number of requests:
+//!
+//! | Frame | Dir | Payload |
+//! |---|---|---|
+//! | `HELLO` (0x01) | both | magic, protocol version, capability bits |
+//! | `PUBLISH` (0x02) | C→S | name, encoder knobs, raw data to encode |
+//! | `PUBLISH_OK` (0x03) | S→C | planned segments, bitstream bytes |
+//! | `REQUEST` (0x04) | C→S | name, client's `parallel_segments` |
+//! | `TRANSMIT` (0x05) | S→C | shrunk metadata, model, stream geometry, payload CRC-32, chunk count |
+//! | `CHUNK` (0x06) | S→C | sequence number + one bitstream slice |
+//! | `STATS` (0x07) | C→S | *(empty)* |
+//! | `STATS_REPLY` (0x08) | S→C | counter snapshot + item count |
+//! | `ERROR` (0x0E) | both | error code + detail, maps onto [`RecoilError`] |
+//!
+//! Large bitstreams are **chunked**: `TRANSMIT` carries everything except
+//! the words, which follow as ordered `CHUNK` frames; the client verifies a
+//! CRC-32 over the reassembled payload (metadata bytes carry their own
+//! footer from the core wire format). Typed `ERROR` frames round-trip
+//! [`RecoilError`]: `NotFound`/`AlreadyPublished` reconstruct exactly, the
+//! rest degrade to [`RecoilError::Net`] with the remote display text.
+//!
+//! ## Server concurrency model
+//!
+//! [`NetServer::bind`] starts an accept thread feeding a bounded queue
+//! drained by handler workers on a [`recoil_parallel::ThreadPool`] — one
+//! long-lived worker per pool thread, claimed through a single `run` epoch
+//! spanning the server's lifetime. `max_connections` caps handled + queued
+//! connections (excess accepts get a typed busy error); read/write
+//! timeouts bound stalled peers; shutdown is graceful — an atomic flag plus
+//! a loopback wake connection stop accepting while in-flight requests
+//! finish and their responses are fully written.
+//!
+//! Handlers resolve requests through [`ContentServer::fetch`], the atomic
+//! name→(transmission, content) lookup, and the server's
+//! `bytes_served` / `active_connections` counters surface through the
+//! `STATS` frame.
+//!
+//! ## Client
+//!
+//! [`NetClient`] keeps a small pool of negotiated connections (idempotent
+//! operations retry once on a fresh dial when a pooled connection turns out
+//! dead) and decodes through any [`DecodeBackend`] — AVX-512 → AVX2 →
+//! scalar auto-dispatch by default, so a remote fetch-and-decode is:
+//!
+//! ```no_run
+//! use recoil_net::NetClient;
+//! let client = NetClient::connect("127.0.0.1:4870")?;
+//! let bytes = client.fetch_and_decode("movie", 16)?;
+//! # Ok::<(), recoil_core::RecoilError>(())
+//! ```
+//!
+//! [`ContentServer`]: recoil_server::ContentServer
+//! [`ContentServer::fetch`]: recoil_server::ContentServer::fetch
+//! [`RecoilError`]: recoil_core::RecoilError
+//! [`RecoilError::Net`]: recoil_core::RecoilError::Net
+//! [`DecodeBackend`]: recoil_core::codec::DecodeBackend
+
+mod client;
+mod frame;
+mod proto;
+mod server;
+
+pub use client::{NetClient, NetClientConfig, RemoteContent};
+pub use frame::{
+    FrameType, CAP_CHUNKED, HELLO_MAGIC, MAX_FRAME_LEN, PROTOCOL_VERSION, SUPPORTED_CAPS,
+};
+pub use proto::{ContentRequest, Hello, PublishOk, PublishRequest, StatsReply, TransmitHeader};
+pub use server::{NetConfig, NetServer, NetServerHandle};
+
+// Framing internals the integration tests poke at (sending deliberately
+// malformed frames requires the raw read/write entry points).
+#[doc(hidden)]
+pub mod raw {
+    pub use crate::frame::{
+        decode_error, encode_error, read_frame, write_frame, PayloadReader, PayloadWriter,
+        ReadOutcome,
+    };
+}

@@ -1,0 +1,408 @@
+//! Typed payloads for each frame in the protocol.
+//!
+//! Every message has a symmetric `encode` / `decode` pair over the
+//! [`PayloadWriter`] / [`PayloadReader`] cursors; `decode` consumes the
+//! whole payload (trailing bytes are protocol violations).
+
+use crate::frame::{PayloadReader, PayloadWriter, HELLO_MAGIC, PROTOCOL_VERSION, SUPPORTED_CAPS};
+use recoil_core::RecoilError;
+use recoil_server::ServerStats;
+
+/// Version + capability negotiation, first frame in each direction.
+///
+/// The connection initiator sends its version and capability bits; the
+/// acceptor answers with its own version and the **intersection** of
+/// capabilities. A version mismatch is rejected with a typed error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version the sender speaks.
+    pub version: u16,
+    /// Capability bitset ([`crate::frame::CAP_CHUNKED`], …).
+    pub capabilities: u32,
+}
+
+impl Hello {
+    /// The hello this build sends.
+    pub fn ours() -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            capabilities: SUPPORTED_CAPS,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(10);
+        w.u32(HELLO_MAGIC);
+        w.u16(self.version);
+        w.u32(self.capabilities);
+        w.0
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, RecoilError> {
+        let mut r = PayloadReader::new(payload);
+        if r.u32()? != HELLO_MAGIC {
+            return Err(RecoilError::net("bad hello magic"));
+        }
+        let hello = Self {
+            version: r.u16()?,
+            capabilities: r.u32()?,
+        };
+        r.finish()?;
+        Ok(hello)
+    }
+}
+
+/// Client → server: encode `data` under `name` with the given knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishRequest {
+    pub name: String,
+    pub ways: u32,
+    pub max_segments: u64,
+    pub quant_bits: u32,
+    pub data: Vec<u8>,
+}
+
+/// Encodes a publish payload straight from borrowed parts — one buffer,
+/// no intermediate copy of `data` (it can be tens of MiB).
+pub fn encode_publish(
+    name: &str,
+    ways: u32,
+    max_segments: u64,
+    quant_bits: u32,
+    data: &[u8],
+) -> Vec<u8> {
+    let mut w = PayloadWriter::with_capacity(data.len() + name.len() + 32);
+    w.name(name);
+    w.u32(ways);
+    w.u64(max_segments);
+    w.u32(quant_bits);
+    w.bytes(data);
+    w.0
+}
+
+impl PublishRequest {
+    pub fn encode(&self) -> Vec<u8> {
+        encode_publish(
+            &self.name,
+            self.ways,
+            self.max_segments,
+            self.quant_bits,
+            &self.data,
+        )
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, RecoilError> {
+        let mut r = PayloadReader::new(payload);
+        let msg = Self {
+            name: r.name()?,
+            ways: r.u32()?,
+            max_segments: r.u64()?,
+            quant_bits: r.u32()?,
+            data: r.bytes()?.to_vec(),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Server → client: the publish landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishOk {
+    /// Parallel segments the planner actually placed (best-effort ≤ max).
+    pub segments: u64,
+    /// Bitstream payload bytes the item will serve.
+    pub stream_bytes: u64,
+}
+
+impl PublishOk {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(16);
+        w.u64(self.segments);
+        w.u64(self.stream_bytes);
+        w.0
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, RecoilError> {
+        let mut r = PayloadReader::new(payload);
+        let msg = Self {
+            segments: r.u64()?,
+            stream_bytes: r.u64()?,
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Client → server: serve `name` for a decoder with this much parallelism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentRequest {
+    pub name: String,
+    /// The client's parallel capacity, straight from the paper's request
+    /// header (§3.3).
+    pub parallel_segments: u64,
+}
+
+impl ContentRequest {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(self.name.len() + 10);
+        w.name(&self.name);
+        w.u64(self.parallel_segments);
+        w.0
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, RecoilError> {
+        let mut r = PayloadReader::new(payload);
+        let msg = Self {
+            name: r.name()?,
+            parallel_segments: r.u64()?,
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Server → client: everything a remote decoder needs except the bitstream
+/// words, which follow as `chunk_count` ordered `Chunk` frames.
+///
+/// The words' little-endian byte image is protected by `payload_crc`
+/// (CRC-32), checked client-side after reassembly; metadata bytes carry
+/// their own CRC footer from the core wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransmitHeader {
+    /// Post-clamp segment count actually served.
+    pub segments: u64,
+    /// Whether the shrunk tier came from the server's LRU cache.
+    pub cache_hit: bool,
+    /// Server-side real-time combine cost (zero on a cache hit).
+    pub combine_nanos: u64,
+    /// Serialized shrunk metadata (§4.3 wire format, CRC-footered).
+    pub metadata: Vec<u8>,
+    /// Model quantization level `n`.
+    pub quant_bits: u32,
+    /// Quantized model frequencies (alphabet size is the length).
+    pub freqs: Vec<u16>,
+    /// Interleave width `W`.
+    pub ways: u32,
+    /// Symbol count `N`.
+    pub num_symbols: u64,
+    /// Per-lane final states (read first when decoding).
+    pub final_states: Vec<u32>,
+    /// Total bitstream bytes that will arrive chunked (2 × word count).
+    pub word_bytes: u64,
+    /// CRC-32 of the reassembled word bytes.
+    pub payload_crc: u32,
+    /// Number of `Chunk` frames that follow.
+    pub chunk_count: u32,
+}
+
+impl TransmitHeader {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(
+            64 + self.metadata.len() + self.freqs.len() * 2 + self.final_states.len() * 4,
+        );
+        w.u64(self.segments);
+        w.u8(self.cache_hit as u8);
+        w.u64(self.combine_nanos);
+        w.bytes(&self.metadata);
+        w.u32(self.quant_bits);
+        w.u32(self.freqs.len() as u32);
+        for &f in &self.freqs {
+            w.u16(f);
+        }
+        w.u32(self.ways);
+        w.u64(self.num_symbols);
+        for &s in &self.final_states {
+            w.u32(s);
+        }
+        w.u64(self.word_bytes);
+        w.u32(self.payload_crc);
+        w.u32(self.chunk_count);
+        w.0
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, RecoilError> {
+        let mut r = PayloadReader::new(payload);
+        let segments = r.u64()?;
+        let cache_hit = r.u8()? != 0;
+        let combine_nanos = r.u64()?;
+        let metadata = r.bytes()?.to_vec();
+        let quant_bits = r.u32()?;
+        let alphabet = r.u32()? as usize;
+        if alphabet > 1 << 16 {
+            return Err(RecoilError::net(format!("bad alphabet size {alphabet}")));
+        }
+        let mut freqs = Vec::with_capacity(alphabet);
+        for _ in 0..alphabet {
+            freqs.push(r.u16()?);
+        }
+        let ways = r.u32()?;
+        if ways == 0 || ways > u16::MAX as u32 {
+            return Err(RecoilError::net(format!("bad lane count {ways}")));
+        }
+        let num_symbols = r.u64()?;
+        let mut final_states = Vec::with_capacity(ways as usize);
+        for _ in 0..ways {
+            final_states.push(r.u32()?);
+        }
+        let msg = Self {
+            segments,
+            cache_hit,
+            combine_nanos,
+            metadata,
+            quant_bits,
+            freqs,
+            ways,
+            num_symbols,
+            final_states,
+            word_bytes: r.u64()?,
+            payload_crc: r.u32()?,
+            chunk_count: r.u32()?,
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Server → client: counter snapshot plus the published item count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    pub stats: ServerStats,
+    /// Items currently published.
+    pub items: u64,
+}
+
+impl StatsReply {
+    pub fn encode(&self) -> Vec<u8> {
+        let s = &self.stats;
+        let mut w = PayloadWriter::with_capacity(64);
+        for v in [
+            s.publishes,
+            s.requests,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_evictions,
+            s.bytes_served,
+            s.active_connections,
+            self.items,
+        ] {
+            w.u64(v);
+        }
+        w.0
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, RecoilError> {
+        let mut r = PayloadReader::new(payload);
+        let msg = Self {
+            stats: ServerStats {
+                publishes: r.u64()?,
+                requests: r.u64()?,
+                cache_hits: r.u64()?,
+                cache_misses: r.u64()?,
+                cache_evictions: r.u64()?,
+                bytes_served: r.u64()?,
+                active_connections: r.u64()?,
+            },
+            items: r.u64()?,
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_round_trips() {
+        let hello = Hello::ours();
+        assert_eq!(Hello::decode(&hello.encode()).unwrap(), hello);
+
+        let publish = PublishRequest {
+            name: "movie".into(),
+            ways: 32,
+            max_segments: 256,
+            quant_bits: 11,
+            data: (0..1000u32).map(|i| i as u8).collect(),
+        };
+        assert_eq!(PublishRequest::decode(&publish.encode()).unwrap(), publish);
+
+        let ok = PublishOk {
+            segments: 200,
+            stream_bytes: 123_456,
+        };
+        assert_eq!(PublishOk::decode(&ok.encode()).unwrap(), ok);
+
+        let req = ContentRequest {
+            name: "movie".into(),
+            parallel_segments: 16,
+        };
+        assert_eq!(ContentRequest::decode(&req.encode()).unwrap(), req);
+
+        let transmit = TransmitHeader {
+            segments: 16,
+            cache_hit: true,
+            combine_nanos: 12_345,
+            metadata: vec![1, 2, 3, 4],
+            quant_bits: 11,
+            freqs: (0..256u32).map(|i| i as u16).collect(),
+            ways: 32,
+            num_symbols: 1_000_000,
+            final_states: (0..32u32).map(|i| 65_536 + i).collect(),
+            word_bytes: 400_000,
+            payload_crc: 0xDEAD_BEEF,
+            chunk_count: 2,
+        };
+        assert_eq!(
+            TransmitHeader::decode(&transmit.encode()).unwrap(),
+            transmit
+        );
+
+        let stats = StatsReply {
+            stats: ServerStats {
+                publishes: 1,
+                requests: 2,
+                cache_hits: 3,
+                cache_misses: 4,
+                cache_evictions: 5,
+                bytes_served: 6,
+                active_connections: 7,
+            },
+            items: 8,
+        };
+        assert_eq!(StatsReply::decode(&stats.encode()).unwrap(), stats);
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(Hello::decode(b"xx").is_err());
+        // Wrong magic.
+        let mut bad = Hello::ours().encode();
+        bad[0] ^= 0xFF;
+        assert!(Hello::decode(&bad).is_err());
+        // Trailing garbage.
+        let mut long = Hello::ours().encode();
+        long.push(0);
+        assert!(Hello::decode(&long).is_err());
+        // Hostile lane count would otherwise drive a huge allocation.
+        let transmit = TransmitHeader {
+            segments: 1,
+            cache_hit: false,
+            combine_nanos: 0,
+            metadata: vec![],
+            quant_bits: 11,
+            freqs: vec![],
+            ways: 1,
+            num_symbols: 0,
+            final_states: vec![65_536],
+            word_bytes: 0,
+            payload_crc: 0,
+            chunk_count: 0,
+        };
+        let mut bytes = transmit.encode();
+        // `ways` sits right after segments(8) + hit(1) + nanos(8) +
+        // metadata(4) + quant(4) + alphabet count(4) = offset 29.
+        bytes[29..33].copy_from_slice(&0u32.to_le_bytes());
+        assert!(TransmitHeader::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,516 @@
+//! The threaded TCP front end over [`ContentServer`].
+//!
+//! One `NetServer` owns an accept loop (its own thread) feeding a bounded
+//! connection queue drained by handler workers running on a
+//! [`recoil_parallel::ThreadPool`] — one long-lived worker per pool thread,
+//! claimed through a single `run` epoch that lasts for the server's
+//! lifetime. Each worker handles one connection at a time, frame by frame,
+//! so `max_connections` plus the worker count bound every resource.
+//!
+//! Graceful shutdown: [`NetServerHandle::shutdown`] flips an atomic flag,
+//! wakes the accept loop with a loopback connection, and wakes queue
+//! waiters. Workers finish the request they are serving (responses are
+//! fully written), then close; read timeouts bound how long an idle
+//! keep-alive connection can delay the exit.
+
+use crate::frame::{
+    encode_error, io_err, read_frame, write_frame, FrameType, ReadOutcome, CAP_CHUNKED,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use crate::proto::{ContentRequest, Hello, PublishOk, PublishRequest, StatsReply, TransmitHeader};
+use parking_lot::{Condvar, Mutex};
+use recoil_core::codec::EncoderConfig;
+use recoil_core::{update_crc32, RecoilError};
+use recoil_parallel::ThreadPool;
+use recoil_server::{ContentServer, StoredContent, Transmission};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Construction knobs for [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Connection-handler threads (pool workers + the driving thread).
+    ///
+    /// A connection occupies one worker for its whole lifetime (the
+    /// handler loops on the socket between requests), so size this to the
+    /// number of **concurrently open** connections to serve, not requests
+    /// per second; further accepted connections queue until a worker
+    /// frees up.
+    pub workers: usize,
+    /// Hard cap on connections being handled plus queued; excess accepts
+    /// are rejected with a typed busy error.
+    pub max_connections: usize,
+    /// Socket read timeout: bounds shutdown latency and stalled-peer
+    /// detection, **not** how long a connection may stay idle (idle
+    /// timeouts just re-poll).
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Bitstream bytes per [`FrameType::Chunk`] frame.
+    pub chunk_bytes: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Self {
+            workers: cpus.clamp(2, 8),
+            max_connections: 64,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(10),
+            chunk_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Chunk size clamped to what one frame can carry (minus the sequence
+    /// number) and to whole words.
+    fn effective_chunk_words(&self) -> usize {
+        (self.chunk_bytes.clamp(2, MAX_FRAME_LEN as usize - 4)) / 2
+    }
+}
+
+struct Inner {
+    content: Arc<ContentServer>,
+    config: NetConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    /// Connections currently inside a handler (the queue holds the rest).
+    active: AtomicUsize,
+}
+
+impl Inner {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// The framed TCP server. Constructed via [`NetServer::bind`], which
+/// returns the owning [`NetServerHandle`].
+pub struct NetServer;
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `content` in background threads. The returned handle owns the
+    /// server; dropping it shuts the server down.
+    pub fn bind(
+        content: Arc<ContentServer>,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<NetServerHandle, RecoilError> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
+        let addr = listener.local_addr().map_err(|e| io_err("local_addr", e))?;
+        let inner = Arc::new(Inner {
+            content,
+            config,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            active: AtomicUsize::new(0),
+        });
+        let serve_inner = Arc::clone(&inner);
+        let thread = std::thread::Builder::new()
+            .name("recoil-net-serve".into())
+            .spawn(move || serve(&serve_inner, listener))
+            .map_err(|e| io_err("spawn serve thread", e))?;
+        Ok(NetServerHandle {
+            addr,
+            inner,
+            serve_thread: Some(thread),
+        })
+    }
+}
+
+/// Owner of a running [`NetServer`]; shuts it down when dropped.
+pub struct NetServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    serve_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetServerHandle {
+    /// The bound address (with the resolved port for ephemeral binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The content store this server fronts.
+    pub fn content(&self) -> &Arc<ContentServer> {
+        &self.inner.content
+    }
+
+    /// Connections currently inside a handler.
+    pub fn active_connections(&self) -> usize {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, lets in-flight requests finish, and joins every
+    /// server thread. Idempotent (also runs on drop).
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if !self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            // Wake the accept loop with a loopback connection; the flag is
+            // already visible, so the accepted socket is dropped at once.
+            let _ = TcpStream::connect(self.addr);
+            // Wake queue waiters without losing the notification: taking
+            // the queue lock orders this notify after any in-progress
+            // check-then-wait.
+            drop(self.inner.queue.lock());
+            self.inner.queue_cv.notify_all();
+        }
+        if let Some(t) = self.serve_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for NetServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServerHandle")
+            .field("addr", &self.addr)
+            .field("active", &self.active_connections())
+            .finish()
+    }
+}
+
+/// The serve thread: runs the accept loop beside one pool epoch whose
+/// tasks are the long-lived connection workers.
+fn serve(inner: &Arc<Inner>, listener: TcpListener) {
+    let workers = inner.config.workers.max(1);
+    let pool = ThreadPool::new(workers - 1);
+    let accept_inner = Arc::clone(inner);
+    let accept = std::thread::Builder::new()
+        .name("recoil-net-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_inner))
+        .expect("spawn accept thread");
+    // Each pool thread claims exactly one index and stays in its worker
+    // loop until shutdown, so this single epoch spans the server lifetime.
+    pool.run(workers, |_| connection_worker(inner));
+    let _ = accept.join();
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Inner) {
+    loop {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                if inner.shutting_down() {
+                    return; // `conn` (usually the wake connection) drops
+                }
+                let mut queue = inner.queue.lock();
+                if inner.active.load(Ordering::Relaxed) + queue.len()
+                    >= inner.config.max_connections
+                {
+                    drop(queue);
+                    reject_busy(conn, inner);
+                    continue;
+                }
+                queue.push_back(conn);
+                drop(queue);
+                inner.queue_cv.notify_one();
+            }
+            Err(_) => {
+                if inner.shutting_down() {
+                    return;
+                }
+                // Transient accept failure (e.g. fd exhaustion): back off.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Tells an over-cap client why it is being dropped (best effort).
+///
+/// Runs on a short-lived detached thread: the graceful-close drain can take
+/// up to ~250 ms against a slow peer, and the accept loop must not stall
+/// behind rejected connections.
+fn reject_busy(conn: TcpStream, inner: &Inner) {
+    let write_timeout = inner.config.write_timeout;
+    let max_connections = inner.config.max_connections;
+    let spawned = std::thread::Builder::new()
+        .name("recoil-net-reject".into())
+        .spawn(move || {
+            let mut conn = conn;
+            let _ = conn.set_write_timeout(Some(write_timeout));
+            let e = RecoilError::net(format!("server at connection capacity ({max_connections})"));
+            let _ = write_frame(&mut conn, FrameType::Error, &encode_error(&e));
+            close_gracefully(conn);
+        });
+    // If the spawn itself fails (fd/thread exhaustion), the connection
+    // just drops without the courtesy frame.
+    drop(spawned);
+}
+
+/// Half-closes and briefly drains the socket so a final frame (usually an
+/// ERROR) actually reaches the peer: dropping a socket with unread inbound
+/// data sends RST, which discards our own queued outbound bytes.
+fn close_gracefully(mut conn: TcpStream) {
+    let _ = conn.shutdown(Shutdown::Write);
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
+    let deadline = Instant::now() + Duration::from_millis(250);
+    let mut sink = [0u8; 4096];
+    while Instant::now() < deadline {
+        match conn.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// One long-lived worker: pops connections and handles each to completion.
+fn connection_worker(inner: &Inner) {
+    loop {
+        let mut conn = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if let Some(c) = queue.pop_front() {
+                    break c;
+                }
+                if inner.shutting_down() {
+                    return;
+                }
+                inner.queue_cv.wait(&mut queue);
+            }
+        };
+        if inner.shutting_down() {
+            continue; // drop unhandled queued connections, then drain out
+        }
+        inner.active.fetch_add(1, Ordering::Relaxed);
+        inner.content.connection_opened();
+        let _ = handle_connection(&mut conn, inner);
+        close_gracefully(conn);
+        inner.content.connection_closed();
+        inner.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Sends a typed error frame; failures just end the connection.
+fn send_error(conn: &mut TcpStream, e: &RecoilError) {
+    let _ = write_frame(conn, FrameType::Error, &encode_error(e));
+}
+
+fn handle_connection(conn: &mut TcpStream, inner: &Inner) -> Result<(), RecoilError> {
+    let _ = conn.set_nodelay(true);
+    conn.set_read_timeout(Some(inner.config.read_timeout))
+        .map_err(|e| io_err("set_read_timeout", e))?;
+    conn.set_write_timeout(Some(inner.config.write_timeout))
+        .map_err(|e| io_err("set_write_timeout", e))?;
+
+    // The first frame must be HELLO; negotiate version and capabilities.
+    let hello = loop {
+        match read_frame(conn) {
+            Ok(ReadOutcome::Frame(FrameType::Hello, payload)) => match Hello::decode(&payload) {
+                Ok(h) => break h,
+                Err(e) => {
+                    send_error(conn, &e);
+                    return Err(e);
+                }
+            },
+            Ok(ReadOutcome::Frame(ty, _)) => {
+                let e = RecoilError::net(format!("expected HELLO, got {ty:?}"));
+                send_error(conn, &e);
+                return Err(e);
+            }
+            Ok(ReadOutcome::Eof) => return Ok(()),
+            Ok(ReadOutcome::Idle) => {
+                if inner.shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) => {
+                send_error(conn, &e);
+                return Err(e);
+            }
+        }
+    };
+    if hello.version != PROTOCOL_VERSION {
+        let e = RecoilError::net(format!(
+            "unsupported protocol version {} (server speaks {PROTOCOL_VERSION})",
+            hello.version
+        ));
+        send_error(conn, &e);
+        return Err(e);
+    }
+    let negotiated = Hello {
+        version: PROTOCOL_VERSION,
+        capabilities: hello.capabilities & crate::frame::SUPPORTED_CAPS,
+    };
+    if negotiated.capabilities & CAP_CHUNKED == 0 {
+        let e = RecoilError::net("peer lacks the chunked-streaming capability");
+        send_error(conn, &e);
+        return Err(e);
+    }
+    write_frame(conn, FrameType::Hello, &negotiated.encode())?;
+
+    // Request loop: one frame in, one response (possibly chunked) out.
+    loop {
+        match read_frame(conn) {
+            Ok(ReadOutcome::Frame(ty, payload)) => match ty {
+                FrameType::Publish => handle_publish(conn, inner, &payload)?,
+                FrameType::Request => handle_request(conn, inner, &payload)?,
+                FrameType::Stats => handle_stats(conn, inner)?,
+                other => {
+                    let e = RecoilError::net(format!("unexpected {other:?} frame from client"));
+                    send_error(conn, &e);
+                    return Err(e);
+                }
+            },
+            Ok(ReadOutcome::Eof) => return Ok(()),
+            Ok(ReadOutcome::Idle) => {}
+            Err(e) => {
+                // Framing violations (garbage type, oversized length) are
+                // unrecoverable: report and drop the connection.
+                send_error(conn, &e);
+                return Err(e);
+            }
+        }
+        if inner.shutting_down() {
+            return Ok(()); // the in-flight response above was fully written
+        }
+    }
+}
+
+/// PUBLISH: encode-and-store. Application failures (duplicate name, bad
+/// config) are reported in-band; the connection stays usable.
+fn handle_publish(conn: &mut TcpStream, inner: &Inner, payload: &[u8]) -> Result<(), RecoilError> {
+    let msg = match PublishRequest::decode(payload) {
+        Ok(m) => m,
+        Err(e) => {
+            send_error(conn, &e);
+            return Err(e); // malformed frame: protocol violation
+        }
+    };
+    let config = EncoderConfig {
+        ways: msg.ways,
+        max_segments: msg.max_segments,
+        quant_bits: msg.quant_bits,
+        ..EncoderConfig::default()
+    };
+    match inner.content.publish(&msg.name, &msg.data, &config) {
+        Ok(item) => write_frame(
+            conn,
+            FrameType::PublishOk,
+            &PublishOk {
+                segments: item.metadata.num_segments(),
+                stream_bytes: item.stream.payload_bytes(),
+            }
+            .encode(),
+        ),
+        Err(e) => {
+            send_error(conn, &e);
+            Ok(())
+        }
+    }
+}
+
+/// REQUEST: resolve atomically via [`ContentServer::fetch`] and stream the
+/// response.
+fn handle_request(conn: &mut TcpStream, inner: &Inner, payload: &[u8]) -> Result<(), RecoilError> {
+    let msg = match ContentRequest::decode(payload) {
+        Ok(m) => m,
+        Err(e) => {
+            send_error(conn, &e);
+            return Err(e);
+        }
+    };
+    match inner.content.fetch(&msg.name, msg.parallel_segments) {
+        Ok((transmission, item)) => send_transmission(
+            conn,
+            &transmission,
+            &item,
+            inner.config.effective_chunk_words(),
+        ),
+        Err(e) => {
+            send_error(conn, &e);
+            Ok(())
+        }
+    }
+}
+
+fn handle_stats(conn: &mut TcpStream, inner: &Inner) -> Result<(), RecoilError> {
+    let reply = StatsReply {
+        stats: inner.content.stats(),
+        items: inner.content.len() as u64,
+    };
+    write_frame(conn, FrameType::StatsReply, &reply.encode())
+}
+
+/// Writes one TRANSMIT header plus the chunked bitstream words.
+///
+/// The word payload is CRC-32'd in a first streaming pass (constant scratch
+/// memory — the bitstream is never duplicated), then sent chunk by chunk
+/// with sequence numbers.
+fn send_transmission(
+    conn: &mut TcpStream,
+    transmission: &Transmission,
+    item: &StoredContent,
+    chunk_words: usize,
+) -> Result<(), RecoilError> {
+    let stream = &item.stream;
+    let words = &stream.words;
+    let chunk_words = chunk_words.max(1);
+    let mut scratch = Vec::with_capacity(chunk_words * 2 + 4);
+
+    let mut crc_state = 0xFFFF_FFFFu32;
+    for chunk in words.chunks(chunk_words) {
+        scratch.clear();
+        for &w in chunk {
+            scratch.extend_from_slice(&w.to_le_bytes());
+        }
+        crc_state = update_crc32(crc_state, &scratch);
+    }
+    let payload_crc = crc_state ^ 0xFFFF_FFFF;
+
+    let table = item.model.table();
+    let header = TransmitHeader {
+        segments: transmission.tier.segments,
+        cache_hit: transmission.cache_hit,
+        combine_nanos: transmission.combine_nanos.min(u64::MAX as u128) as u64,
+        metadata: transmission.metadata_bytes().to_vec(),
+        quant_bits: table.quant_bits(),
+        // Quantizer invariant: every frequency is < 2^16, so u16 is exact.
+        freqs: (0..table.alphabet_size())
+            .map(|s| table.freq(s) as u16)
+            .collect(),
+        ways: stream.ways,
+        num_symbols: stream.num_symbols,
+        final_states: stream.final_states.clone(),
+        word_bytes: words.len() as u64 * 2,
+        payload_crc,
+        chunk_count: words.len().div_ceil(chunk_words) as u32,
+    };
+    write_frame(conn, FrameType::Transmit, &header.encode())?;
+
+    for (seq, chunk) in words.chunks(chunk_words).enumerate() {
+        scratch.clear();
+        scratch.extend_from_slice(&(seq as u32).to_le_bytes());
+        for &w in chunk {
+            scratch.extend_from_slice(&w.to_le_bytes());
+        }
+        write_frame(conn, FrameType::Chunk, &scratch)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,347 @@
+//! Loopback integration tests for the framed TCP transport: real sockets,
+//! real threads, byte-identical decodes.
+
+use recoil_core::codec::{EncoderConfig, ScalarBackend};
+use recoil_core::RecoilError;
+use recoil_net::raw::{read_frame, write_frame, ReadOutcome};
+use recoil_net::{FrameType, Hello, NetClient, NetConfig, NetServer, NetServerHandle};
+use recoil_server::ContentServer;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sample(len: usize, seed: u32) -> Vec<u8> {
+    (0..len as u32)
+        .map(|i| ((i.wrapping_add(seed).wrapping_mul(2654435761)) >> 23) as u8)
+        .collect()
+}
+
+fn config(max_segments: u64) -> EncoderConfig {
+    EncoderConfig {
+        max_segments,
+        ..EncoderConfig::default()
+    }
+}
+
+/// Server on an ephemeral loopback port with test-sized knobs.
+fn start_server(net: NetConfig) -> NetServerHandle {
+    NetServer::bind(Arc::new(ContentServer::new()), "127.0.0.1:0", net).unwrap()
+}
+
+fn small_net_config() -> NetConfig {
+    NetConfig {
+        workers: 3,
+        read_timeout: Duration::from_millis(50),
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn loopback_round_trip_at_multiple_capacities() {
+    let server = start_server(small_net_config());
+    let data = sample(300_000, 1);
+    let client = NetClient::connect(server.addr()).unwrap();
+
+    let ok = client.publish("movie", &data, &config(64)).unwrap();
+    assert_eq!(ok.segments, 64);
+    assert!(ok.stream_bytes > 0);
+
+    // Different capacities: byte-identical decode, scaled metadata.
+    let small = client.request("movie", 2).unwrap();
+    let large = client.request("movie", 64).unwrap();
+    assert_eq!(small.segments, 2);
+    assert_eq!(large.segments, 64);
+    assert_eq!(small.metadata.num_segments(), 2);
+    assert!(small.total_bytes() < large.total_bytes());
+    assert_eq!(small.decode_with(&ScalarBackend).unwrap(), data);
+    assert_eq!(client.fetch_and_decode("movie", 64).unwrap(), data);
+
+    // A repeated tier is served from the remote cache.
+    let again = client.request("movie", 2).unwrap();
+    assert!(again.cache_hit);
+    assert_eq!(again.combine_nanos, 0);
+
+    // Stats flow over the wire, including the new counters; the connection
+    // serving the stats query is itself active.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.items, 1);
+    assert_eq!(stats.stats.publishes, 1);
+    assert!(stats.stats.bytes_served >= small.total_bytes() + large.total_bytes());
+    assert!(stats.stats.active_connections >= 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn empty_payload_round_trips_over_the_wire() {
+    let server = start_server(small_net_config());
+    let client = NetClient::connect(server.addr()).unwrap();
+    client.publish("empty", &[], &config(4)).unwrap();
+    let content = client.request("empty", 4).unwrap();
+    assert_eq!(content.stream.num_symbols, 0);
+    assert!(client.fetch_and_decode("empty", 4).unwrap().is_empty());
+}
+
+#[test]
+fn remote_errors_come_back_typed() {
+    let server = start_server(small_net_config());
+    let client = NetClient::connect(server.addr()).unwrap();
+
+    assert!(matches!(
+        client.request("nope", 4),
+        Err(RecoilError::NotFound { ref name }) if name == "nope"
+    ));
+
+    let data = sample(50_000, 2);
+    client.publish("x", &data, &config(8)).unwrap();
+    assert!(matches!(
+        client.publish("x", &data, &config(8)),
+        Err(RecoilError::AlreadyPublished { ref name }) if name == "x"
+    ));
+
+    // InvalidConfig cannot reconstruct its static field name remotely; it
+    // degrades to a Net error carrying the detail.
+    match client.request("x", 0) {
+        Err(RecoilError::Net { detail }) => assert!(detail.contains("parallel_segments")),
+        other => panic!("expected Net error, got {other:?}"),
+    }
+
+    // In-band ERROR frames leave the connection synchronized: the pooled
+    // connection is reused, not dropped and re-dialed, across all of the
+    // error responses above.
+    assert_eq!(client.pooled_connections(), 1);
+    assert_eq!(client.fetch_and_decode("x", 8).unwrap(), data);
+    assert_eq!(client.pooled_connections(), 1);
+
+    // Oversized publishes and oversized names fail client-side with a
+    // typed config error before any bytes go out.
+    assert!(matches!(
+        client.publish(&"n".repeat(70_000), &data, &config(8)),
+        Err(RecoilError::InvalidConfig { field: "name", .. })
+    ));
+    assert!(matches!(
+        client.request(&"n".repeat(70_000), 4),
+        Err(RecoilError::InvalidConfig { field: "name", .. })
+    ));
+}
+
+/// Raw-socket HELLO exchange for protocol-violation tests.
+fn raw_hello(addr: std::net::SocketAddr) -> TcpStream {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write_frame(&mut conn, FrameType::Hello, &Hello::ours().encode()).unwrap();
+    match read_frame(&mut conn).unwrap() {
+        ReadOutcome::Frame(FrameType::Hello, _) => conn,
+        other => panic!("expected HELLO reply, got {other:?}"),
+    }
+}
+
+/// Reads frames until the server closes the connection, returning whether
+/// an ERROR frame was seen on the way out.
+fn drain_to_eof(conn: &mut TcpStream) -> bool {
+    let mut saw_error = false;
+    loop {
+        match read_frame(conn) {
+            Ok(ReadOutcome::Frame(FrameType::Error, _)) => saw_error = true,
+            Ok(ReadOutcome::Frame(..)) | Ok(ReadOutcome::Idle) => {}
+            Ok(ReadOutcome::Eof) | Err(_) => return saw_error,
+        }
+    }
+}
+
+#[test]
+fn malformed_frames_are_rejected_and_server_survives() {
+    let server = start_server(small_net_config());
+    let data = sample(40_000, 3);
+    let client = NetClient::connect(server.addr()).unwrap();
+    client.publish("x", &data, &config(4)).unwrap();
+
+    // Garbage frame type after a valid HELLO.
+    let mut conn = raw_hello(server.addr());
+    use std::io::Write;
+    conn.write_all(&[0xAB, 4, 0, 0, 0, 1, 2, 3, 4]).unwrap();
+    assert!(drain_to_eof(&mut conn), "garbage type must earn an ERROR");
+
+    // Oversized length prefix.
+    let mut conn = raw_hello(server.addr());
+    let mut bad = vec![FrameType::Request as u8];
+    bad.extend_from_slice(&(recoil_net::MAX_FRAME_LEN + 1).to_le_bytes());
+    conn.write_all(&bad).unwrap();
+    assert!(
+        drain_to_eof(&mut conn),
+        "oversized frame must earn an ERROR"
+    );
+
+    // Truncated frame: promise 100 payload bytes, send 3, hang up.
+    let mut conn = raw_hello(server.addr());
+    conn.write_all(&[FrameType::Request as u8, 100, 0, 0, 0, 1, 2, 3])
+        .unwrap();
+    drop(conn);
+
+    // A frame that parses but violates the protocol (client-sent CHUNK).
+    let mut conn = raw_hello(server.addr());
+    write_frame(&mut conn, FrameType::Chunk, &[0, 0, 0, 0]).unwrap();
+    assert!(
+        drain_to_eof(&mut conn),
+        "unexpected CHUNK must earn an ERROR"
+    );
+
+    // HELLO with an unsupported version is rejected with an ERROR frame.
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let future = Hello {
+        version: 99,
+        capabilities: recoil_net::SUPPORTED_CAPS,
+    };
+    write_frame(&mut conn, FrameType::Hello, &future.encode()).unwrap();
+    assert!(
+        drain_to_eof(&mut conn),
+        "version mismatch must earn an ERROR"
+    );
+
+    // After all that abuse, a well-behaved client still gets served.
+    assert_eq!(client.fetch_and_decode("x", 4).unwrap(), data);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_hammer_one_server() {
+    let server = start_server(NetConfig {
+        workers: 4,
+        read_timeout: Duration::from_millis(50),
+        ..NetConfig::default()
+    });
+    let datasets: Vec<Vec<u8>> = (0..2).map(|i| sample(120_000, 10 + i)).collect();
+    let publisher = NetClient::connect(server.addr()).unwrap();
+    for (i, data) in datasets.iter().enumerate() {
+        publisher
+            .publish(&format!("item{i}"), data, &config(32))
+            .unwrap();
+    }
+
+    let served = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..6usize {
+            let addr = server.addr();
+            let datasets = &datasets;
+            let served = &served;
+            s.spawn(move || {
+                let client = NetClient::connect(addr)
+                    .unwrap()
+                    .with_backend(ScalarBackend);
+                for r in 0..12 {
+                    let item = (t + r) % datasets.len();
+                    let tier = [1u64, 4, 16, 1000][(t + r) % 4];
+                    let got = client
+                        .fetch_and_decode(&format!("item{item}"), tier)
+                        .unwrap();
+                    assert_eq!(got, datasets[item], "thread {t} round {r}");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(served.load(Ordering::Relaxed), 6 * 12);
+
+    let stats = publisher.stats().unwrap();
+    assert_eq!(stats.stats.publishes, 2);
+    assert!(stats.stats.requests >= 6 * 12);
+    assert!(stats.stats.cache_hits > 0, "repeated tiers must hit");
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_busy_error() {
+    let server = start_server(NetConfig {
+        workers: 1,
+        max_connections: 1,
+        read_timeout: Duration::from_millis(50),
+        ..NetConfig::default()
+    });
+    // The first client parks one negotiated connection in its pool; the
+    // server worker stays on it, so the cap is reached.
+    let first = NetClient::connect(server.addr()).unwrap();
+    assert_eq!(first.pooled_connections(), 1);
+    match NetClient::connect(server.addr()) {
+        Err(RecoilError::Net { detail }) => {
+            assert!(detail.contains("capacity"), "{detail}")
+        }
+        other => panic!("expected busy rejection, got {other:?}"),
+    }
+    drop(first);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_finishes_inflight_requests() {
+    // One publisher + three hammering clients, each holding a keep-alive
+    // connection that pins a worker: size the pool for all of them.
+    let server = start_server(NetConfig {
+        workers: 6,
+        read_timeout: Duration::from_millis(50),
+        ..NetConfig::default()
+    });
+    let addr = server.addr();
+    let data = sample(400_000, 7);
+    let client = NetClient::connect(addr).unwrap();
+    client.publish("big", &data, &config(64)).unwrap();
+
+    let stop = AtomicBool::new(false);
+    let ok = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..3usize {
+            let addr = server.addr();
+            let data = &data;
+            let stop = &stop;
+            let ok = &ok;
+            let failed = &failed;
+            s.spawn(move || {
+                let client = NetClient::connect(addr)
+                    .unwrap()
+                    .with_backend(ScalarBackend);
+                while !stop.load(Ordering::Relaxed) {
+                    match client.fetch_and_decode("big", 1 + t as u64) {
+                        // Completed responses are complete: the CRC and
+                        // structural checks passed, and the bytes match.
+                        Ok(got) => {
+                            assert_eq!(got, *data);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Once shutdown lands, refusals are clean errors.
+                        Err(RecoilError::Net { .. }) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                }
+            });
+        }
+        // Let the hammering overlap the shutdown.
+        std::thread::sleep(Duration::from_millis(100));
+        server.shutdown(); // joins all server threads
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(
+        ok.load(Ordering::Relaxed) > 0,
+        "some requests must have completed before shutdown"
+    );
+    // After shutdown the port no longer accepts.
+    assert!(NetClient::connect(addr).is_err());
+}
+
+#[test]
+fn pooled_connection_survives_and_is_reused() {
+    let server = start_server(small_net_config());
+    let data = sample(60_000, 9);
+    let client = NetClient::connect(server.addr()).unwrap();
+    client.publish("x", &data, &config(8)).unwrap();
+    for _ in 0..5 {
+        assert_eq!(client.fetch_and_decode("x", 8).unwrap(), data);
+    }
+    // One probe connection, reused serially: the pool never grows past it.
+    assert_eq!(client.pooled_connections(), 1);
+    server.shutdown();
+}

@@ -87,12 +87,14 @@
 //! | [`parallel`] | persistent thread pool (also the "GPU-sim" substrate) |
 //! | [`data`] | Table 4 dataset generators |
 //! | [`server`] | encode-once / combine-per-request content delivery |
+//! | [`net`] | framed TCP transport: `NetServer` / pooling `NetClient` |
 
 pub use recoil_bitio as bitio;
 pub use recoil_conventional as conventional;
 pub use recoil_core as core;
 pub use recoil_data as data;
 pub use recoil_models as models;
+pub use recoil_net as net;
 pub use recoil_parallel as parallel;
 pub use recoil_rans as rans;
 pub use recoil_server as server;
@@ -119,6 +121,7 @@ pub mod prelude {
         CdfTable, GaussianScaleBank, Histogram, LatentModelProvider, LatentSpec, ModelProvider,
         StaticModelProvider, Symbol,
     };
+    pub use recoil_net::{NetClient, NetClientConfig, NetConfig, NetServer, NetServerHandle};
     pub use recoil_parallel::ThreadPool;
     pub use recoil_rans::{
         decode_interleaved, EncodedStream, InterleavedEncoder, NullSink, RansError, VecSink,

@@ -1,6 +1,6 @@
 //! The decoding client: a machine with a given parallel capacity.
 
-use crate::server::Transmission;
+use crate::server::{ContentServer, Transmission};
 use recoil_core::codec::{DecodeBackend, DecodeRequest};
 use recoil_core::{metadata_from_bytes, RecoilError};
 use recoil_models::StaticModelProvider;
@@ -35,6 +35,20 @@ impl Client {
     /// The backend this client decodes with.
     pub fn backend(&self) -> &dyn DecodeBackend {
         self.backend.as_ref()
+    }
+
+    /// Requests `name` at this client's capacity and decodes the response,
+    /// in one call.
+    ///
+    /// Uses [`ContentServer::fetch`], which resolves the name **once** —
+    /// the old `request` + `get` two-step raced concurrent unpublishes.
+    pub fn fetch_and_decode(
+        &self,
+        server: &ContentServer,
+        name: &str,
+    ) -> Result<Vec<u8>, RecoilError> {
+        let (transmission, item) = server.fetch(name, self.parallel_segments)?;
+        self.decode(&item.stream, &transmission, &item.model)
     }
 
     /// Decodes a served transmission against the shared bitstream.
@@ -82,20 +96,17 @@ mod tests {
         };
         server.publish("video", &data, &config).unwrap();
 
-        // A beefy client and a budget client request the same content.
+        // A beefy client and a budget client request the same content —
+        // one atomic fetch-and-decode each.
         for threads in [1usize, 2, 8] {
             let client = Client::new(threads);
-            let t = server.request("video", client.parallel_segments).unwrap();
-            let item = server.get("video").unwrap();
-            let decoded = client.decode(&item.stream, &t, &item.model).unwrap();
+            let decoded = client.fetch_and_decode(&server, "video").unwrap();
             assert_eq!(decoded, data, "threads={threads}");
         }
 
         // A forced-scalar client agrees bit for bit.
         let scalar = Client::new(1).with_backend(ScalarBackend);
-        let t = server.request("video", scalar.parallel_segments).unwrap();
-        let item = server.get("video").unwrap();
-        assert_eq!(scalar.decode(&item.stream, &t, &item.model).unwrap(), data);
+        assert_eq!(scalar.fetch_and_decode(&server, "video").unwrap(), data);
 
         // The budget client transferred fewer bytes than the beefy one.
         let small = server.request("video", 1).unwrap();

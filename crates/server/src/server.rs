@@ -1,7 +1,7 @@
 //! The encode-once, combine-per-request server.
 
 use crate::cache::{ShrunkTier, TierCache};
-use crate::stats::{bump, ServerStats, StatsCounters};
+use crate::stats::{add, bump, ServerStats, StatsCounters};
 use parking_lot::{Mutex, RwLock};
 use recoil_core::codec::{Codec, EncoderConfig};
 use recoil_core::{
@@ -226,6 +226,23 @@ impl ContentServer {
     /// [`RecoilError::InvalidConfig`] rather than silently clamped deep in
     /// the combine path.
     pub fn request(&self, name: &str, parallel_segments: u64) -> Result<Transmission, RecoilError> {
+        self.fetch(name, parallel_segments).map(|(t, _)| t)
+    }
+
+    /// Like [`ContentServer::request`], but also returns the
+    /// [`StoredContent`] handle the transmission was served from — in **one
+    /// atomic lookup**.
+    ///
+    /// `request` followed by a separate [`ContentServer::get`] is a TOCTOU
+    /// hazard: a concurrent [`ContentServer::unpublish`] between the two
+    /// calls hands the caller a `Transmission` with no content to decode
+    /// against. `fetch` resolves the name exactly once; the returned `Arc`s
+    /// stay valid however the store changes afterwards.
+    pub fn fetch(
+        &self,
+        name: &str,
+        parallel_segments: u64,
+    ) -> Result<(Transmission, Arc<StoredContent>), RecoilError> {
         bump(&self.stats.requests);
         if parallel_segments == 0 {
             return Err(RecoilError::config(
@@ -236,18 +253,30 @@ impl ContentServer {
         let item = self.get(name).ok_or_else(|| RecoilError::NotFound {
             name: name.to_string(),
         })?;
+        let transmission = self.serve_item(&item, parallel_segments)?;
+        Ok((transmission, item))
+    }
+
+    /// Serves one tier from an already-resolved item (the tail of `fetch`).
+    fn serve_item(
+        &self,
+        item: &Arc<StoredContent>,
+        parallel_segments: u64,
+    ) -> Result<Transmission, RecoilError> {
         let stream_bytes = item.stream.payload_bytes();
         // Cache by the tier actually served: a request beyond capacity and
         // an exact maximum-capacity request share one entry.
         let segments = parallel_segments.min(item.max_segments());
         if let Some(tier) = item.cache.get(segments) {
             bump(&self.stats.cache_hits);
-            return Ok(Transmission {
+            let transmission = Transmission {
                 stream_bytes,
                 tier,
                 combine_nanos: 0,
                 cache_hit: true,
-            });
+            };
+            add(&self.stats.bytes_served, transmission.total_bytes());
+            return Ok(transmission);
         }
         let t0 = Instant::now();
         let metadata = try_combine_splits(&item.metadata, segments)?;
@@ -265,12 +294,27 @@ impl ContentServer {
             }),
             &self.stats,
         );
-        Ok(Transmission {
+        let transmission = Transmission {
             stream_bytes,
             tier,
             combine_nanos,
             cache_hit: false,
-        })
+        };
+        add(&self.stats.bytes_served, transmission.total_bytes());
+        Ok(transmission)
+    }
+
+    /// Records a transport connection being accepted (bumps the
+    /// `active_connections` gauge). Called by `recoil-net`'s handlers.
+    pub fn connection_opened(&self) {
+        add(&self.stats.active_connections, 1);
+    }
+
+    /// Records a transport connection closing (decrements the gauge).
+    pub fn connection_closed(&self) {
+        self.stats
+            .active_connections
+            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Resolves many `(name, capacity)` pairs concurrently over the
@@ -504,6 +548,55 @@ mod tests {
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 2);
         assert_eq!(s.requests, 5);
+    }
+
+    #[test]
+    fn fetch_is_atomic_across_unpublish() {
+        let data = sample(80_000);
+        let server = small_server();
+        server.publish("x", &data, &config(16)).unwrap();
+        // The returned handles survive an unpublish that lands immediately
+        // after — the hazard the two-call request+get flow had.
+        let (t, item) = server.fetch("x", 4).unwrap();
+        assert!(server.unpublish("x"));
+        assert!(server.get("x").is_none(), "name is gone from the store");
+        assert_eq!(t.metadata().num_segments(), 4);
+        assert_eq!(item.max_segments(), 16);
+        assert_eq!(t.stream_bytes, item.stream.payload_bytes());
+        // And fetching the now-unpublished name is a clean NotFound.
+        assert!(matches!(
+            server.fetch("x", 4),
+            Err(RecoilError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn bytes_served_and_connection_gauge_are_tracked() {
+        let data = sample(90_000);
+        let server = small_server();
+        server.publish("x", &data, &config(8)).unwrap();
+        assert_eq!(server.stats().bytes_served, 0);
+        let a = server.request("x", 2).unwrap();
+        let b = server.request("x", 8).unwrap();
+        let c = server.request("x", 2).unwrap(); // cache hit counts too
+        assert!(c.cache_hit);
+        assert_eq!(
+            server.stats().bytes_served,
+            a.total_bytes() + b.total_bytes() + c.total_bytes()
+        );
+        // Failed requests serve no bytes.
+        let before = server.stats().bytes_served;
+        assert!(server.request("missing", 2).is_err());
+        assert_eq!(server.stats().bytes_served, before);
+
+        assert_eq!(server.stats().active_connections, 0);
+        server.connection_opened();
+        server.connection_opened();
+        assert_eq!(server.stats().active_connections, 2);
+        server.connection_closed();
+        assert_eq!(server.stats().active_connections, 1);
+        server.connection_closed();
+        assert_eq!(server.stats().active_connections, 0);
     }
 
     #[test]

@@ -11,6 +11,10 @@ pub(crate) struct StatsCounters {
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
     pub cache_evictions: AtomicU64,
+    pub bytes_served: AtomicU64,
+    /// Gauge, not a counter: transports increment on accept and decrement
+    /// on close, so the snapshot shows currently open connections.
+    pub active_connections: AtomicU64,
 }
 
 impl StatsCounters {
@@ -28,6 +32,8 @@ impl StatsCounters {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            bytes_served: self.bytes_served.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
         }
     }
 }
@@ -35,6 +41,11 @@ impl StatsCounters {
 /// Bumps one counter by one.
 pub(crate) fn bump(counter: &AtomicU64) {
     counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Adds `n` to one counter.
+pub(crate) fn add(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
 }
 
 /// A snapshot of the server's serving counters
@@ -51,6 +62,12 @@ pub struct ServerStats {
     pub cache_misses: u64,
     /// Cached tiers dropped to make room for newly served ones.
     pub cache_evictions: u64,
+    /// Total response bytes served (bitstream payload + shrunk metadata)
+    /// across every successful request, in-process or over a transport.
+    pub bytes_served: u64,
+    /// Currently open transport connections (zero for a purely in-process
+    /// server); maintained by `recoil-net`'s connection handlers.
+    pub active_connections: u64,
 }
 
 impl ServerStats {

@@ -58,8 +58,9 @@ fn main() -> Result<(), RecoilError> {
     );
     println!("{}", "-".repeat(78));
     for (&threads, client) in capacities.iter().zip(&clients) {
-        let item = server.get("rand_500").expect("published");
-        let t = server.request("rand_500", threads as u64)?;
+        // `fetch` resolves the name once: transmission and content handle
+        // come from the same store lookup (no request/get TOCTOU).
+        let (t, item) = server.fetch("rand_500", threads as u64)?;
         // Verify the client actually decodes the response correctly.
         let decoded = client.decode(&item.stream, &t, &item.model)?;
         assert_eq!(decoded, data);

@@ -117,12 +117,13 @@ fn server_scales_per_client_and_all_clients_agree() {
         ..EncoderConfig::default()
     };
     server.publish("item", &data, &config).unwrap();
-    let item = server.get("item").unwrap();
 
     let mut sizes = Vec::new();
     for threads in [1usize, 2, 8, 24] {
         let client = Client::new(threads);
-        let t = server.request("item", client.parallel_segments).unwrap();
+        // One atomic lookup: the transmission and the content it decodes
+        // against come from the same store resolution.
+        let (t, item) = server.fetch("item", client.parallel_segments).unwrap();
         let decoded = client.decode(&item.stream, &t, &item.model).unwrap();
         assert_eq!(decoded, data, "threads={threads}");
         sizes.push(t.total_bytes());
