@@ -7,9 +7,16 @@
 //! client-side CRC and structural validation (decode is verified once
 //! outside the timed loop). Reports to stdout and `BENCH_net.json`.
 //!
+//! With `--streaming`, the timed loop additionally drives
+//! [`NetClient::fetch_and_decode_streaming`] — the pipelined path that
+//! decodes segments while later chunks are still on the wire — and records
+//! **time-to-first-segment** beside total latency, plus a buffered
+//! comparison column, all written into `BENCH_net.json`.
+//!
 //! ```sh
 //! cargo run --release -p recoil-bench --bin net
 //! cargo run --release -p recoil-bench --bin net -- --smoke          # CI
+//! cargo run --release -p recoil-bench --bin net -- --smoke --streaming
 //! cargo run --release -p recoil-bench --bin net -- --clients 16 --requests 2000
 //! ```
 
@@ -31,6 +38,7 @@ struct Args {
     bytes: usize,
     max_segments: u64,
     smoke: bool,
+    streaming: bool,
 }
 
 impl Args {
@@ -43,6 +51,7 @@ impl Args {
             bytes: 1_000_000,
             max_segments: 256,
             smoke: false,
+            streaming: false,
         };
         let mut i = 1;
         while i < argv.len() {
@@ -57,6 +66,7 @@ impl Args {
                 "--bytes" => a.bytes = next(&mut i),
                 "--max-segments" => a.max_segments = next(&mut i) as u64,
                 "--smoke" => a.smoke = true,
+                "--streaming" => a.streaming = true,
                 other => panic!("unknown argument {other}"),
             }
             i += 1;
@@ -121,11 +131,18 @@ fn main() {
         args.items,
         args.bytes,
         args.max_segments,
-        if args.smoke { " [smoke]" } else { "" },
+        match (args.smoke, args.streaming) {
+            (true, true) => " [smoke, streaming]",
+            (true, false) => " [smoke]",
+            (false, true) => " [streaming]",
+            (false, false) => "",
+        },
     );
 
     // Every client (plus the publisher) keeps one connection open, and a
-    // connection pins a worker for its lifetime.
+    // connection pins a worker for its lifetime. This server keeps the
+    // default chunk size so the headline buffered metrics stay comparable
+    // across runs; the streaming phase gets its own server below.
     let server = NetServer::bind(
         Arc::new(ContentServer::new()),
         "127.0.0.1:0",
@@ -209,7 +226,100 @@ fn main() {
     let p50 = percentile(&all_latencies, 0.50);
     let p99 = percentile(&all_latencies, 0.99);
 
+    // The main-loop counters are snapshotted *before* the streaming phase
+    // so every headline JSON column describes the same workload.
     let stats = publisher.stats().unwrap();
+
+    // Streaming phase: its own server (so the small split-aligned chunks
+    // it needs never skew the headline metrics above), alternating
+    // pipelined and buffered fetches of the same items at a segment-rich
+    // tier, recording time-to-first-segment and total latency for the
+    // pipeline beside the buffered transfer time.
+    let mut stream_first: Vec<u64> = Vec::new();
+    let mut stream_total: Vec<u64> = Vec::new();
+    let mut buffered_transfer: Vec<u64> = Vec::new();
+    let mut buffered_total: Vec<u64> = Vec::new();
+    let mut stream_chunks = 0u64;
+    // Kept separate from `verified`, so the headline `verified_decodes`
+    // column is identical with and without --streaming.
+    let mut streaming_verified = 0u64;
+    let mut stream_server = None;
+    if args.streaming {
+        let rounds = (args.clients * args.requests).clamp(20, 200);
+        let tier = args.max_segments.min(64);
+        // Many split-aligned chunks per transfer — that is what the
+        // pipeline overlaps.
+        let srv = NetServer::bind(
+            Arc::new(ContentServer::new()),
+            "127.0.0.1:0",
+            NetConfig {
+                workers: 3,
+                read_timeout: Duration::from_millis(100),
+                chunk_bytes: (args.bytes / 64).max(2 * 1024),
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        // A tight in-flight budget keeps the pipeline responsive even on a
+        // single core: the receive loop hands off to the decoder every
+        // couple of chunks instead of buffering a long backlog first.
+        let client = NetClient::connect_with(
+            srv.addr(),
+            recoil::net::NetClientConfig {
+                streaming_inflight_chunks: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Byte-identity outside the timed loop.
+        for (i, data) in datasets.iter().enumerate() {
+            client.publish(&item_name(i), data, &config).unwrap();
+            let streamed = client
+                .fetch_and_decode_streaming(&item_name(i), tier)
+                .unwrap();
+            assert_eq!(&streamed.data, data, "streaming decode must be identical");
+            streaming_verified += 1;
+        }
+        for r in 0..rounds {
+            let name = item_name(r % args.items);
+            let streamed = client.fetch_and_decode_streaming(&name, tier).unwrap();
+            stream_first.push(streamed.first_segment_nanos);
+            stream_total.push(streamed.total_nanos);
+            stream_chunks += streamed.chunk_count as u64;
+
+            let t = Instant::now();
+            let content = client.request(&name, tier).unwrap();
+            buffered_transfer.push(t.elapsed().as_nanos() as u64);
+            let decoded = content.decode_with(client.backend()).unwrap();
+            buffered_total.push(t.elapsed().as_nanos() as u64);
+            assert_eq!(decoded.len(), streamed.data.len());
+        }
+        stream_server = Some(srv);
+        stream_first.sort_unstable();
+        stream_total.sort_unstable();
+        buffered_transfer.sort_unstable();
+        buffered_total.sort_unstable();
+        let first_p50 = percentile(&stream_first, 0.50);
+        let transfer_p50 = percentile(&buffered_transfer, 0.50);
+        println!(
+            "streaming: time-to-first-segment p50 {:.3} ms, total p50 {:.3} ms \
+             ({:.1} chunks/transfer)",
+            first_p50 as f64 / 1e6,
+            percentile(&stream_total, 0.50) as f64 / 1e6,
+            stream_chunks as f64 / rounds as f64
+        );
+        println!(
+            "buffered:  transfer p50 {:.3} ms, transfer+decode p50 {:.3} ms",
+            transfer_p50 as f64 / 1e6,
+            percentile(&buffered_total, 0.50) as f64 / 1e6
+        );
+        assert!(
+            first_p50 < transfer_p50,
+            "pipelining regressed: first segment at {first_p50} ns, \
+             buffered transfer alone takes {transfer_p50} ns"
+        );
+    }
+
     println!(
         "{total} requests on {} client threads in {wall:.3}s => {rps:.0} req/s",
         args.clients
@@ -230,6 +340,29 @@ fn main() {
         stats.stats.active_connections
     );
 
+    let streaming_json = if args.streaming {
+        format!(
+            ",\n  \"streaming\": true,\n  \
+             \"time_to_first_segment_us_p50\": {:.1},\n  \
+             \"time_to_first_segment_us_p99\": {:.1},\n  \
+             \"streaming_total_us_p50\": {:.1},\n  \
+             \"streaming_total_us_p99\": {:.1},\n  \
+             \"buffered_transfer_us_p50\": {:.1},\n  \
+             \"buffered_total_us_p50\": {:.1},\n  \
+             \"streaming_chunks_per_transfer\": {:.1},\n  \
+             \"streaming_verified_decodes\": {}",
+            percentile(&stream_first, 0.50) as f64 / 1e3,
+            percentile(&stream_first, 0.99) as f64 / 1e3,
+            percentile(&stream_total, 0.50) as f64 / 1e3,
+            percentile(&stream_total, 0.99) as f64 / 1e3,
+            percentile(&buffered_transfer, 0.50) as f64 / 1e3,
+            percentile(&buffered_total, 0.50) as f64 / 1e3,
+            stream_chunks as f64 / stream_first.len().max(1) as f64,
+            streaming_verified,
+        )
+    } else {
+        ",\n  \"streaming\": false".to_string()
+    };
     let json = format!(
         "{{\n  \"experiment\": \"net\",\n  \"smoke\": {},\n  \"clients\": {},\n  \
          \"requests_per_client\": {},\n  \"items\": {},\n  \"bytes_per_item\": {},\n  \
@@ -237,7 +370,7 @@ fn main() {
          \"requests_per_sec\": {:.1},\n  \"latency_p50_us\": {:.1},\n  \
          \"latency_p99_us\": {:.1},\n  \"bytes_transferred\": {},\n  \
          \"server_bytes_served\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
-         \"cache_hit_rate\": {:.6},\n  \"verified_decodes\": {}\n}}\n",
+         \"cache_hit_rate\": {:.6},\n  \"verified_decodes\": {}{}\n}}\n",
         args.smoke,
         args.clients,
         args.requests,
@@ -255,6 +388,7 @@ fn main() {
         stats.stats.cache_misses,
         stats.stats.hit_rate(),
         verified,
+        streaming_json,
     );
     let path = "BENCH_net.json";
     std::fs::File::create(path)
@@ -262,5 +396,8 @@ fn main() {
         .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
     println!("[results written to {path}]");
 
+    if let Some(srv) = stream_server {
+        srv.shutdown();
+    }
     server.shutdown();
 }

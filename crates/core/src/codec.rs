@@ -31,13 +31,14 @@
 //! decode loop.
 
 use crate::container::{encode_container, RecoilContainer};
-use crate::decoder::decode_into_impl;
+use crate::decoder::{decode_into_impl, decode_segments_impl};
 use crate::error::RecoilError;
 use crate::metadata::RecoilMetadata;
 use crate::planner::{Heuristic, PlannerConfig};
 use recoil_models::{CdfTable, ModelProvider, StaticModelProvider, Symbol, MAX_QUANT_BITS};
 use recoil_parallel::ThreadPool;
 use recoil_rans::EncodedStream;
+use std::ops::Range;
 
 /// Validated encoder configuration: everything the encode side of a
 /// [`Codec`] needs, and what [`crate::…`] server publications accept.
@@ -167,6 +168,38 @@ pub trait DecodeBackend: Send + Sync {
         provider: &dyn ModelProvider,
         out: &mut [u16],
     ) -> Result<(), RecoilError>;
+
+    /// Decodes only the metadata segments in `segments` (a contiguous
+    /// range), writing each segment's **absolutely indexed** region of
+    /// `out` (`bounds[m]..bounds[m+1]`) and leaving the rest untouched.
+    /// `out` must cover at least the requested segments' symbols; it may
+    /// be shorter than the full stream.
+    ///
+    /// This is the streaming building block: `req.stream.words` may be an
+    /// incomplete prefix of the declared stream, as long as it covers every
+    /// word the requested segments read (interior segment `m` needs
+    /// `splits[m].offset + 1` words; the final segment needs the complete
+    /// stream). See [`crate::validate_segment_decode`] for the exact
+    /// contract. Output must be bit-identical to the matching region of a
+    /// full decode.
+    fn decode_u8_segments(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [u8],
+    ) -> Result<(), RecoilError> {
+        decode_segments_pooled(req.stream, req.metadata, req.model, None, segments, out)
+    }
+
+    /// [`DecodeBackend::decode_u8_segments`] for 16-bit-symbol streams.
+    fn decode_u16_segments(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [u16],
+    ) -> Result<(), RecoilError> {
+        decode_segments_pooled(req.stream, req.metadata, req.model, None, segments, out)
+    }
 }
 
 /// Building block for [`DecodeBackend`] implementations: the scalar (or
@@ -179,6 +212,21 @@ pub fn decode_pooled<S: Symbol>(
     out: &mut [S],
 ) -> Result<(), RecoilError> {
     decode_into_impl(stream, metadata, provider, pool, out).map_err(RecoilError::from)
+}
+
+/// Building block for [`DecodeBackend::decode_u8_segments`] /
+/// [`DecodeBackend::decode_u16_segments`] implementations: the scalar (or
+/// thread-pooled) three-phase decode of a contiguous segment range, with
+/// `stream.words` allowed to be a prefix covering those segments.
+pub fn decode_segments_pooled<S: Symbol>(
+    stream: &EncodedStream,
+    metadata: &RecoilMetadata,
+    provider: &dyn ModelProvider,
+    pool: Option<&ThreadPool>,
+    segments: Range<u64>,
+    out: &mut [S],
+) -> Result<(), RecoilError> {
+    decode_segments_impl(stream, metadata, provider, pool, segments, out).map_err(RecoilError::from)
 }
 
 /// Serial reference backend: always available, no threads, no SIMD.
@@ -264,6 +312,38 @@ impl DecodeBackend for PooledBackend {
     ) -> Result<(), RecoilError> {
         decode_pooled(stream, metadata, provider, Some(&self.pool), out)
     }
+
+    fn decode_u8_segments(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [u8],
+    ) -> Result<(), RecoilError> {
+        decode_segments_pooled(
+            req.stream,
+            req.metadata,
+            req.model,
+            Some(&self.pool),
+            segments,
+            out,
+        )
+    }
+
+    fn decode_u16_segments(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [u16],
+    ) -> Result<(), RecoilError> {
+        decode_segments_pooled(
+            req.stream,
+            req.metadata,
+            req.model,
+            Some(&self.pool),
+            segments,
+            out,
+        )
+    }
 }
 
 mod sealed {
@@ -282,6 +362,15 @@ pub trait CodecSymbol: Symbol + sealed::Sealed {
         req: &DecodeRequest<'_>,
         out: &mut [Self],
     ) -> Result<(), RecoilError>;
+
+    /// Routes a segment-range decode to the width-matching backend entry
+    /// point (the streaming path).
+    fn run_backend_segments(
+        backend: &dyn DecodeBackend,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [Self],
+    ) -> Result<(), RecoilError>;
 }
 
 impl CodecSymbol for u8 {
@@ -292,6 +381,15 @@ impl CodecSymbol for u8 {
     ) -> Result<(), RecoilError> {
         backend.decode_u8(req, out)
     }
+
+    fn run_backend_segments(
+        backend: &dyn DecodeBackend,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [Self],
+    ) -> Result<(), RecoilError> {
+        backend.decode_u8_segments(req, segments, out)
+    }
 }
 
 impl CodecSymbol for u16 {
@@ -301,6 +399,15 @@ impl CodecSymbol for u16 {
         out: &mut [Self],
     ) -> Result<(), RecoilError> {
         backend.decode_u16(req, out)
+    }
+
+    fn run_backend_segments(
+        backend: &dyn DecodeBackend,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [Self],
+    ) -> Result<(), RecoilError> {
+        backend.decode_u16_segments(req, segments, out)
     }
 }
 

@@ -26,6 +26,7 @@ use recoil_models::{ModelProvider, Symbol};
 use recoil_parallel::ThreadPool;
 use recoil_rans::params::LOWER_BOUND;
 use recoil_rans::{decode_transform, renorm_read, EncodedStream, RansError};
+use std::ops::Range;
 
 /// Number of parallel decode tasks this metadata yields.
 pub fn decode_split_count(meta: &RecoilMetadata) -> usize {
@@ -79,8 +80,11 @@ pub(crate) fn decode_into_impl<S: Symbol, P: ModelProvider + ?Sized>(
     pool: Option<&ThreadPool>,
     out: &mut [S],
 ) -> Result<(), RansError> {
-    stream.validate()?;
-    meta.validate_against(stream)?;
+    // The classic whole-stream API keeps its exact-length contract (the
+    // segment-range engine only requires coverage); its remaining checks
+    // are subsumed by `validate_segment_decode` over the full range, which
+    // pins `words.len()` to exactly `num_words` once the final segment is
+    // included.
     if out.len() as u64 != stream.num_symbols {
         return Err(RansError::MalformedStream(format!(
             "output buffer holds {} symbols, stream has {}",
@@ -88,22 +92,119 @@ pub(crate) fn decode_into_impl<S: Symbol, P: ModelProvider + ?Sized>(
             stream.num_symbols
         )));
     }
+    decode_segments_impl(stream, meta, provider, pool, 0..meta.num_segments(), out)
+}
+
+/// Checks the invariants of a segment-range decode where `stream.words` may
+/// be an incomplete **prefix** of the stream `meta` describes.
+///
+/// This is the validation contract of the streaming path: segment `m`
+/// (interior) only reads words at offsets `<= splits[m].offset`, so a
+/// prefix of `splits[m].offset + 1` words makes it decodable before the
+/// rest of the bitstream has arrived. The final segment starts from the
+/// explicitly transmitted final states at the stream tail, so it requires
+/// the complete word stream.
+///
+/// The output buffer is indexed **absolutely** (segment `m` writes
+/// `bounds[m]..bounds[m+1]`), so it must cover at least the requested
+/// segments' symbols; it may be shorter than the full stream — a streaming
+/// receiver grows it as segments become resident, so a hostile header
+/// alone never drives a full-stream allocation.
+pub fn validate_segment_decode(
+    stream: &EncodedStream,
+    meta: &RecoilMetadata,
+    segments: &Range<u64>,
+    out_len: usize,
+) -> Result<(), RansError> {
+    stream.validate()?;
+    meta.validate()?;
+    if stream.ways != meta.ways
+        || stream.num_symbols != meta.num_symbols
+        || stream.words.len() as u64 > meta.num_words
+    {
+        return Err(RansError::MalformedMetadata(format!(
+            "metadata (W={}, N={}, B={}) does not describe stream prefix (W={}, N={}, B<={})",
+            meta.ways,
+            meta.num_symbols,
+            meta.num_words,
+            stream.ways,
+            stream.num_symbols,
+            stream.words.len()
+        )));
+    }
+    let nseg = meta.num_segments();
+    if segments.start > segments.end || segments.end > nseg {
+        return Err(RansError::MalformedMetadata(format!(
+            "segment range {}..{} invalid for {nseg} segments",
+            segments.start, segments.end
+        )));
+    }
+    let covered = if segments.end == nseg {
+        meta.num_symbols
+    } else if segments.end > 0 {
+        meta.splits[segments.end as usize - 1].sync_start()
+    } else {
+        0
+    };
+    if (out_len as u64) < covered {
+        return Err(RansError::MalformedStream(format!(
+            "output buffer holds {out_len} symbols, requested segments end at {covered}"
+        )));
+    }
+    let have = stream.words.len() as u64;
+    if segments.end == nseg {
+        if have != meta.num_words {
+            return Err(RansError::MalformedStream(format!(
+                "final segment needs the complete stream: {have} of {} words resident",
+                meta.num_words
+            )));
+        }
+    } else if segments.end > 0 {
+        let need = meta.splits[segments.end as usize - 1].offset + 1;
+        if have < need {
+            return Err(RansError::MalformedStream(format!(
+                "segment {} needs a {need}-word prefix, only {have} words resident",
+                segments.end - 1
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The segment-range decode engine: runs the three phases for every task in
+/// `segments`, writing each task's disjoint region of the full-stream
+/// output buffer. `stream.words` may be a prefix (see
+/// [`validate_segment_decode`]).
+pub(crate) fn decode_segments_impl<S: Symbol, P: ModelProvider + ?Sized>(
+    stream: &EncodedStream,
+    meta: &RecoilMetadata,
+    provider: &P,
+    pool: Option<&ThreadPool>,
+    segments: Range<u64>,
+    out: &mut [S],
+) -> Result<(), RansError> {
+    validate_segment_decode(stream, meta, &segments, out.len())?;
+    let (a, b) = (segments.start as usize, segments.end as usize);
+    let tasks = b - a;
+    if tasks == 0 {
+        return Ok(());
+    }
     let bounds = meta.segment_bounds();
-    let tasks = bounds.len() - 1;
 
     // Hand each task its disjoint output segment.
-    let mut segments: Vec<Mutex<&mut [S]>> = Vec::with_capacity(tasks);
-    let mut rest = out;
-    for m in 0..tasks {
-        let len = (bounds[m + 1] - bounds[m]) as usize;
+    let mut slices: Vec<Mutex<&mut [S]>> = Vec::with_capacity(tasks);
+    let mut rest = &mut out[bounds[a] as usize..bounds[b] as usize];
+    for t in 0..tasks {
+        let len = (bounds[a + t + 1] - bounds[a + t]) as usize;
         let (seg, tail) = rest.split_at_mut(len);
-        segments.push(Mutex::new(seg));
+        slices.push(Mutex::new(seg));
         rest = tail;
     }
 
     let first_error: Mutex<Option<RansError>> = Mutex::new(None);
-    let run_task = |m: usize| {
-        let mut seg = segments[m].lock();
+    let run_task = |t: usize| {
+        let m = a + t;
+        let mut seg = slices[t].lock();
         if let Err(e) = decode_task(m, stream, meta, provider, bounds[m], &mut seg) {
             let mut slot = first_error.lock();
             if slot.is_none() {

@@ -1,0 +1,601 @@
+//! Streaming decode: accept bitstream bytes as they arrive, decode segments
+//! the moment they are resident.
+//!
+//! Recoil's split metadata makes every segment independently decodable, and
+//! each interior segment only reads bitstream words at offsets up to its
+//! split's recorded offset. A receiver that gets the bitstream front-to-back
+//! (a network transfer, a file read) therefore never has to wait for the
+//! whole payload: segment `m` becomes decodable as soon as the first
+//! `splits[m].offset + 1` words have arrived. [`IncrementalDecoder`] tracks
+//! exactly that — push bytes in, ask which segments turned ready, and decode
+//! them through any [`DecodeBackend`] into their region of a caller-provided
+//! full-stream output buffer.
+//!
+//! ```
+//! use recoil_core::codec::{Codec, ScalarBackend};
+//! use recoil_core::IncrementalDecoder;
+//!
+//! let data: Vec<u8> = (0..80_000u32).map(|i| (i % 199) as u8).collect();
+//! let codec = Codec::builder().max_segments(16).build().unwrap();
+//! let enc = codec.encode(&data).unwrap();
+//!
+//! // Stream the bitstream bytes in arbitrary slices.
+//! let mut bytes = Vec::new();
+//! for w in &enc.container.stream.words {
+//!     bytes.extend_from_slice(&w.to_le_bytes());
+//! }
+//! let mut incr = IncrementalDecoder::new(
+//!     enc.container.metadata.clone(),
+//!     enc.container.stream.final_states.clone(),
+//!     enc.model.clone(),
+//! )
+//! .unwrap();
+//! let mut out = vec![0u8; data.len()];
+//! for piece in bytes.chunks(4097) {
+//!     incr.push_bytes(piece).unwrap();
+//!     incr.decode_ready_segments(&ScalarBackend, &mut out).unwrap();
+//! }
+//! assert!(incr.is_finished());
+//! assert_eq!(out, data);
+//! ```
+
+use crate::codec::{CodecSymbol, DecodeBackend, DecodeRequest};
+use crate::error::RecoilError;
+use crate::metadata::RecoilMetadata;
+use crate::planner::ChunkPlan;
+use recoil_models::{ModelProvider, StaticModelProvider};
+use recoil_rans::{EncodedStream, RansError};
+use std::ops::Range;
+
+/// Words reserved up front; beyond this the buffer grows only as real
+/// bytes arrive, so a hostile `num_words` cannot drive the allocation.
+const MAX_RESERVED_WORDS: usize = 1 << 19;
+
+/// Streaming segment decoder over split metadata (see the module docs).
+///
+/// The decoder owns a growing word buffer shaped like the final
+/// [`EncodedStream`]; [`IncrementalDecoder::push_bytes`] appends arriving
+/// bytes (handling odd-length slices), and
+/// [`IncrementalDecoder::decode_ready_segments`] decodes every
+/// newly-resident segment through a [`DecodeBackend`]. Segments become
+/// ready strictly in order, so the decoded region of the output buffer is
+/// always a prefix-aligned run of whole segments.
+#[derive(Debug)]
+pub struct IncrementalDecoder {
+    stream: EncodedStream,
+    metadata: RecoilMetadata,
+    model: StaticModelProvider,
+    bounds: Vec<u64>,
+    /// Odd trailing byte of the previous push, waiting for its partner.
+    carry: Option<u8>,
+    /// Segments already decoded (a prefix of `0..num_segments`).
+    decoded: u64,
+}
+
+impl IncrementalDecoder {
+    /// Decoder for the stream `metadata` describes, with the per-lane final
+    /// states from the transmission header and the static model to decode
+    /// with.
+    ///
+    /// Everything is validated up front: the metadata invariants, the
+    /// final-state count and range, and the model's quantization level
+    /// against the metadata's.
+    pub fn new(
+        metadata: RecoilMetadata,
+        final_states: Vec<u32>,
+        model: StaticModelProvider,
+    ) -> Result<Self, RecoilError> {
+        metadata.validate()?;
+        if model.quant_bits() != metadata.quant_bits {
+            return Err(RecoilError::Decode(RansError::MalformedMetadata(format!(
+                "model quantizes to 2^{} but the metadata records 2^{}",
+                model.quant_bits(),
+                metadata.quant_bits
+            ))));
+        }
+        // Information-capacity bound, per readiness prefix: the symbols a
+        // word prefix is claimed to carry must fit in its bits (plus the
+        // per-lane state slack). Without this, hostile metadata could mark
+        // a near-empty prefix as a giant ready segment and drive the
+        // receiver's output allocation from a handful of received bytes —
+        // the streaming analogue of the transmit-header capacity check.
+        let n = metadata.quant_bits;
+        let min_bits = ((1u64 << n) as f64).log2() - ((1u64 << n) as f64 - 1.0).log2();
+        let slack_bits = 48.0 * metadata.ways as f64 + 64.0;
+        let fits = |symbols: u64, words: u64| {
+            symbols as f64 * min_bits <= (16.0 * words as f64 + slack_bits) * 1.001
+        };
+        if !fits(metadata.num_symbols, metadata.num_words) {
+            return Err(RecoilError::Decode(RansError::MalformedMetadata(format!(
+                "symbol count {} impossible for {} bitstream words",
+                metadata.num_symbols, metadata.num_words
+            ))));
+        }
+        for (k, s) in metadata.splits.iter().enumerate() {
+            if !fits(s.sync_start(), s.offset + 1) {
+                return Err(RecoilError::Decode(RansError::MalformedMetadata(format!(
+                    "split {k}: {} symbols claimed decodable from a {}-word prefix",
+                    s.sync_start(),
+                    s.offset + 1
+                ))));
+            }
+        }
+        let stream = EncodedStream {
+            words: Vec::with_capacity((metadata.num_words as usize).min(MAX_RESERVED_WORDS)),
+            final_states,
+            num_symbols: metadata.num_symbols,
+            ways: metadata.ways,
+        };
+        stream.validate()?;
+        let bounds = metadata.segment_bounds();
+        Ok(Self {
+            stream,
+            metadata,
+            model,
+            bounds,
+            carry: None,
+            decoded: 0,
+        })
+    }
+
+    /// [`IncrementalDecoder::new`], additionally checking that `plan` is a
+    /// faithful transmission schedule for the metadata (contiguous word
+    /// ranges, segment ranges without overlap or gaps, completions reported
+    /// in the right chunk). A sender and receiver agreeing on a malformed
+    /// plan would decode segments whose words have not arrived; the plan is
+    /// rejected here with [`RecoilError::Decode`].
+    pub fn with_plan(
+        metadata: RecoilMetadata,
+        final_states: Vec<u32>,
+        model: StaticModelProvider,
+        plan: &ChunkPlan,
+    ) -> Result<Self, RecoilError> {
+        plan.validate_against(&metadata)?;
+        Self::new(metadata, final_states, model)
+    }
+
+    /// The metadata this decoder streams against.
+    pub fn metadata(&self) -> &RecoilMetadata {
+        &self.metadata
+    }
+
+    /// Total bitstream bytes the stream declares (2 per word).
+    pub fn bytes_expected(&self) -> u64 {
+        self.metadata.num_words * 2
+    }
+
+    /// Bitstream bytes received so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.stream.words.len() as u64 * 2 + self.carry.is_some() as u64
+    }
+
+    /// True once the complete bitstream has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.stream.words.len() as u64 == self.metadata.num_words && self.carry.is_none()
+    }
+
+    /// Total number of segments in the metadata.
+    pub fn num_segments(&self) -> u64 {
+        self.metadata.num_segments()
+    }
+
+    /// Segments already decoded by [`IncrementalDecoder::decode_ready_segments`].
+    pub fn decoded_segments(&self) -> u64 {
+        self.decoded
+    }
+
+    /// True once every segment has been decoded.
+    pub fn is_finished(&self) -> bool {
+        self.decoded == self.num_segments()
+    }
+
+    /// Number of fully resident (decodable) segments — always a prefix of
+    /// the segment sequence, because segment `m` needs the word prefix up
+    /// to `splits[m].offset` and offsets ascend with `m`.
+    pub fn ready_segments(&self) -> u64 {
+        if self.is_complete() {
+            return self.num_segments();
+        }
+        let have = self.stream.words.len() as u64;
+        self.metadata.splits.partition_point(|s| s.offset < have) as u64
+    }
+
+    /// Output symbol range `bounds[m] .. bounds[m+1]` of segment `m`.
+    pub fn segment_symbols(&self, m: u64) -> Range<usize> {
+        self.bounds[m as usize] as usize..self.bounds[m as usize + 1] as usize
+    }
+
+    /// Symbols covered by the currently ready segments — the minimum
+    /// output-buffer length the next [`IncrementalDecoder::decode_ready_segments`]
+    /// call needs. Receivers size their output from this (which grows only
+    /// as real bytes arrive) rather than from the declared total.
+    pub fn ready_symbols(&self) -> usize {
+        self.bounds[self.ready_segments() as usize] as usize
+    }
+
+    /// Appends arriving bitstream bytes (any length, including odd slices;
+    /// the dangling byte is held until its partner arrives). Bytes beyond
+    /// the declared stream size are rejected with [`RecoilError::Decode`].
+    pub fn push_bytes(&mut self, mut bytes: &[u8]) -> Result<(), RecoilError> {
+        if self.bytes_received() + bytes.len() as u64 > self.bytes_expected() {
+            return Err(RecoilError::Decode(RansError::MalformedStream(format!(
+                "stream overrun: {} bytes pushed into a {}-byte bitstream",
+                self.bytes_received() + bytes.len() as u64,
+                self.bytes_expected()
+            ))));
+        }
+        if let Some(lo) = self.carry.take() {
+            match bytes.split_first() {
+                Some((&hi, rest)) => {
+                    self.stream.words.push(u16::from_le_bytes([lo, hi]));
+                    bytes = rest;
+                }
+                None => {
+                    self.carry = Some(lo);
+                    return Ok(());
+                }
+            }
+        }
+        let mut pairs = bytes.chunks_exact(2);
+        for pair in &mut pairs {
+            self.stream
+                .words
+                .push(u16::from_le_bytes([pair[0], pair[1]]));
+        }
+        self.carry = pairs.remainder().first().copied();
+        Ok(())
+    }
+
+    /// Decodes every segment that became resident since the last call,
+    /// through `backend`, into the matching (absolutely indexed) region of
+    /// `out`. The buffer must hold at least
+    /// [`IncrementalDecoder::ready_symbols`] entries — a full
+    /// `num_symbols` buffer always works, but a receiver may grow it with
+    /// readiness instead. Returns the symbol range newly written — empty
+    /// when nothing new is ready.
+    ///
+    /// The backend's segment-range entry point receives the current word
+    /// prefix; outputs are bit-identical to a buffered full decode of the
+    /// complete stream.
+    pub fn decode_ready_segments<S: CodecSymbol>(
+        &mut self,
+        backend: &dyn DecodeBackend,
+        out: &mut [S],
+    ) -> Result<Range<usize>, RecoilError> {
+        if !backend.is_available() {
+            return Err(RecoilError::BackendUnavailable {
+                backend: backend.name(),
+            });
+        }
+        let ready = self.ready_segments();
+        if ready <= self.decoded {
+            let at = self.bounds[self.decoded as usize] as usize;
+            return Ok(at..at);
+        }
+        let req = DecodeRequest {
+            stream: &self.stream,
+            metadata: &self.metadata,
+            model: &self.model,
+        };
+        S::run_backend_segments(backend, &req, self.decoded..ready, out)?;
+        let range =
+            self.bounds[self.decoded as usize] as usize..self.bounds[ready as usize] as usize;
+        self.decoded = ready;
+        Ok(range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{Codec, Encoded, PooledBackend, ScalarBackend};
+    use crate::combine::try_combine_splits;
+    use crate::planner::{plan_chunks, ChunkPlan, PlannedChunk};
+
+    fn sample(len: usize, seed: u32) -> Vec<u8> {
+        (0..len as u32)
+            .map(|i| ((i.wrapping_add(seed).wrapping_mul(2654435761)) >> 23) as u8)
+            .collect()
+    }
+
+    fn encode(data: &[u8], segments: u64) -> Encoded {
+        Codec::builder()
+            .max_segments(segments)
+            .build()
+            .unwrap()
+            .encode(data)
+            .unwrap()
+    }
+
+    fn stream_bytes(enc: &Encoded) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(enc.container.stream.words.len() * 2);
+        for w in &enc.container.stream.words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        bytes
+    }
+
+    fn incr_for(enc: &Encoded, meta: &RecoilMetadata) -> IncrementalDecoder {
+        IncrementalDecoder::new(
+            meta.clone(),
+            enc.container.stream.final_states.clone(),
+            enc.model.clone(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streamed_decode_matches_buffered_at_any_granularity() {
+        let data = sample(120_000, 1);
+        let enc = encode(&data, 16);
+        let bytes = stream_bytes(&enc);
+        for piece in [1usize, 3, 997, 8192, bytes.len().max(1)] {
+            let mut incr = incr_for(&enc, &enc.container.metadata);
+            let mut out = vec![0u8; data.len()];
+            let mut covered = 0usize;
+            for chunk in bytes.chunks(piece) {
+                incr.push_bytes(chunk).unwrap();
+                let r = incr
+                    .decode_ready_segments(&ScalarBackend, &mut out)
+                    .unwrap();
+                assert_eq!(r.start, covered, "ranges are contiguous");
+                covered = r.end;
+                // Already-decoded symbols are final and correct.
+                assert_eq!(&out[..covered], &data[..covered], "piece {piece}");
+            }
+            assert!(incr.is_complete() && incr.is_finished());
+            assert_eq!(out, data, "piece {piece}");
+        }
+    }
+
+    #[test]
+    fn readiness_follows_split_offsets() {
+        let data = sample(200_000, 2);
+        let enc = encode(&data, 8);
+        let meta = &enc.container.metadata;
+        let mut incr = incr_for(&enc, meta);
+        assert_eq!(incr.ready_segments(), 0);
+        let bytes = stream_bytes(&enc);
+        // One byte short of the first split's words: nothing ready.
+        let first_need = (meta.splits[0].offset as usize + 1) * 2;
+        incr.push_bytes(&bytes[..first_need - 1]).unwrap();
+        assert_eq!(incr.ready_segments(), 0);
+        incr.push_bytes(&bytes[first_need - 1..first_need]).unwrap();
+        assert_eq!(incr.ready_segments(), 1);
+        // Everything but the last byte: all interior segments, not the final.
+        incr.push_bytes(&bytes[first_need..bytes.len() - 1])
+            .unwrap();
+        assert_eq!(incr.ready_segments(), meta.num_segments() - 1);
+        incr.push_bytes(&bytes[bytes.len() - 1..]).unwrap();
+        assert_eq!(incr.ready_segments(), meta.num_segments());
+    }
+
+    #[test]
+    fn combined_tier_streams_identically() {
+        let data = sample(150_000, 3);
+        let enc = encode(&data, 64);
+        let small = try_combine_splits(&enc.container.metadata, 5).unwrap();
+        let bytes = stream_bytes(&enc);
+        let mut incr = incr_for(&enc, &small);
+        let mut out = vec![0u8; data.len()];
+        for chunk in bytes.chunks(4096) {
+            incr.push_bytes(chunk).unwrap();
+            incr.decode_ready_segments(&PooledBackend::new(3), &mut out)
+                .unwrap();
+        }
+        assert!(incr.is_finished());
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_streams_finish() {
+        for len in [0usize, 1, 2, 33] {
+            let data = sample(len, 4);
+            let enc = encode(&data, 4);
+            let bytes = stream_bytes(&enc);
+            let mut incr = incr_for(&enc, &enc.container.metadata);
+            let mut out = vec![0u8; len];
+            incr.push_bytes(&bytes).unwrap();
+            incr.decode_ready_segments(&ScalarBackend, &mut out)
+                .unwrap();
+            assert!(incr.is_finished(), "len {len}");
+            assert_eq!(out, data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn overrun_is_a_typed_decode_error() {
+        let data = sample(10_000, 5);
+        let enc = encode(&data, 4);
+        let bytes = stream_bytes(&enc);
+        let mut incr = incr_for(&enc, &enc.container.metadata);
+        incr.push_bytes(&bytes).unwrap();
+        assert!(matches!(incr.push_bytes(&[0]), Err(RecoilError::Decode(_))));
+    }
+
+    #[test]
+    fn malformed_chunk_plans_are_rejected() {
+        let data = sample(100_000, 6);
+        let enc = encode(&data, 8);
+        let meta = &enc.container.metadata;
+        let good = plan_chunks(meta, 4096);
+        assert!(good.validate_against(meta).is_ok());
+        IncrementalDecoder::with_plan(
+            meta.clone(),
+            enc.container.stream.final_states.clone(),
+            enc.model.clone(),
+            &good,
+        )
+        .unwrap();
+
+        let reject = |plan: &ChunkPlan, what: &str| {
+            let got = IncrementalDecoder::with_plan(
+                meta.clone(),
+                enc.container.stream.final_states.clone(),
+                enc.model.clone(),
+                plan,
+            );
+            assert!(
+                matches!(got, Err(RecoilError::Decode(_))),
+                "{what}: expected RecoilError::Decode, got {got:?}"
+            );
+        };
+
+        // Overlapping segment ranges.
+        let mut overlap = good.clone();
+        overlap.chunks.last_mut().unwrap().segments.start = 0;
+        reject(&overlap, "overlapping segments");
+
+        // A gap in the segment coverage.
+        let mut gap = good.clone();
+        let last = gap.chunks.last_mut().unwrap();
+        last.segments.end -= 1;
+        reject(&gap, "segment gap");
+
+        // Word ranges that skip bytes.
+        let mut skip = good.clone();
+        skip.chunks.first_mut().unwrap().words.end -= 1;
+        reject(&skip, "word gap");
+
+        // A segment reported complete before its words arrived.
+        let mut early = good.clone();
+        let (head, tail) = (early.chunks[0].clone(), early.chunks.len());
+        if tail > 1 {
+            early.chunks[0] = PlannedChunk {
+                words: head.words.clone(),
+                segments: head.segments.start..meta.num_segments(),
+            };
+            early.chunks.truncate(1);
+            early.chunks.push(PlannedChunk {
+                words: head.words.end..meta.num_words,
+                segments: meta.num_segments()..meta.num_segments(),
+            });
+            reject(&early, "premature completion");
+        }
+
+        // An empty plan.
+        reject(&ChunkPlan { chunks: Vec::new() }, "empty plan");
+    }
+
+    #[test]
+    fn plan_chunks_aligns_to_split_boundaries() {
+        let data = sample(300_000, 7);
+        let enc = encode(&data, 32);
+        let meta = &enc.container.metadata;
+        let plan = plan_chunks(meta, 8 * 1024);
+        plan.validate_against(meta).unwrap();
+        assert!(
+            plan.len() > 4,
+            "expected several chunks, got {}",
+            plan.len()
+        );
+        // Most chunks end exactly at a segment-completion boundary.
+        let aligned = plan
+            .chunks
+            .iter()
+            .filter(|c| !c.segments.is_empty())
+            .count();
+        assert!(
+            aligned * 2 > plan.len(),
+            "{aligned} of {} aligned",
+            plan.len()
+        );
+        // Tiny targets and huge targets stay valid.
+        plan_chunks(meta, 1).validate_against(meta).unwrap();
+        plan_chunks(meta, usize::MAX / 4)
+            .validate_against(meta)
+            .unwrap();
+        // Huge target ⇒ single chunk completing everything.
+        assert_eq!(plan_chunks(meta, usize::MAX / 4).len(), 1);
+    }
+
+    #[test]
+    fn hostile_capacity_claims_rejected_at_construction() {
+        use crate::metadata::{LaneInit, SplitPoint};
+        let enc = encode(&sample(10_000, 9), 4);
+        let model = enc.model.clone();
+        let states = enc.container.stream.final_states.clone();
+        let ways = enc.container.metadata.ways;
+
+        // A header-only attack: giant declared stream, no splits. The
+        // whole-stream capacity bound rejects it before any allocation.
+        let whole = RecoilMetadata {
+            ways,
+            quant_bits: 11,
+            num_symbols: u64::MAX / 2,
+            num_words: 4,
+            splits: vec![],
+        };
+        assert!(matches!(
+            IncrementalDecoder::new(whole, states.clone(), model.clone()),
+            Err(RecoilError::Decode(_))
+        ));
+
+        // A prefix attack: structurally valid metadata whose first split
+        // claims ~2^40 symbols become ready after a 1-word prefix. Without
+        // the per-split bound, a streaming receiver would size its output
+        // from two received bytes.
+        let huge_pos = (1u64 << 40) * ways as u64;
+        let prefix = RecoilMetadata {
+            ways,
+            quant_bits: 11,
+            num_symbols: huge_pos + ways as u64 + 2,
+            num_words: u64::MAX / 32,
+            splits: vec![SplitPoint {
+                offset: 0,
+                lanes: (0..ways as u64)
+                    .map(|l| LaneInit {
+                        state: 1,
+                        pos: huge_pos + l,
+                    })
+                    .collect(),
+            }],
+        };
+        prefix.validate().expect("structurally valid on purpose");
+        assert!(matches!(
+            IncrementalDecoder::new(prefix, states, model),
+            Err(RecoilError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn output_buffer_may_grow_with_readiness() {
+        let data = sample(90_000, 10);
+        let enc = encode(&data, 8);
+        let bytes = stream_bytes(&enc);
+        let mut incr = incr_for(&enc, &enc.container.metadata);
+        let mut out: Vec<u8> = Vec::new();
+        for chunk in bytes.chunks(4096) {
+            incr.push_bytes(chunk).unwrap();
+            let need = incr.ready_symbols();
+            if need > out.len() {
+                out.resize(need, 0);
+            }
+            incr.decode_ready_segments(&ScalarBackend, &mut out)
+                .unwrap();
+        }
+        assert!(incr.is_finished());
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn model_mismatch_rejected_at_construction() {
+        let data = sample(20_000, 8);
+        let enc = encode(&data, 4);
+        let wrong = Codec::builder()
+            .quant_bits(9)
+            .build()
+            .unwrap()
+            .encode(&data)
+            .unwrap()
+            .model;
+        assert!(matches!(
+            IncrementalDecoder::new(
+                enc.container.metadata.clone(),
+                enc.container.stream.final_states.clone(),
+                wrong,
+            ),
+            Err(RecoilError::Decode(_))
+        ));
+    }
+}

@@ -36,6 +36,7 @@ mod crc;
 mod decoder;
 mod error;
 mod file;
+mod incremental;
 mod metadata;
 mod planner;
 mod wire;
@@ -47,11 +48,14 @@ pub use codec::{
 pub use combine::{combine_splits, try_combine_splits};
 pub use container::RecoilContainer;
 pub use crc::{crc32, update_crc32};
-pub use decoder::{decode_split_count, sync_split_states};
+pub use decoder::{decode_split_count, sync_split_states, validate_segment_decode};
 pub use error::RecoilError;
 pub use file::{container_from_bytes, container_to_bytes};
+pub use incremental::IncrementalDecoder;
 pub use metadata::{LaneInit, RecoilMetadata, SplitPoint};
-pub use planner::{plan_from_events, Heuristic, PlannerConfig, SplitPlanner};
+pub use planner::{
+    plan_chunks, plan_from_events, ChunkPlan, Heuristic, PlannedChunk, PlannerConfig, SplitPlanner,
+};
 pub use wire::{metadata_from_bytes, metadata_to_bytes};
 
 #[allow(deprecated)]

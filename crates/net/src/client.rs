@@ -9,11 +9,14 @@ use crate::frame::{
 use crate::proto::{encode_publish, ContentRequest, Hello, PublishOk, StatsReply, TransmitHeader};
 use parking_lot::Mutex;
 use recoil_core::codec::{DecodeBackend, DecodeRequest, EncoderConfig};
-use recoil_core::{metadata_from_bytes, update_crc32, RecoilError, RecoilMetadata};
+use recoil_core::{
+    metadata_from_bytes, update_crc32, IncrementalDecoder, RecoilError, RecoilMetadata,
+};
 use recoil_models::{CdfTable, StaticModelProvider};
 use recoil_rans::EncodedStream;
 use recoil_simd::AutoBackend;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// Construction knobs for [`NetClient`].
@@ -29,6 +32,12 @@ pub struct NetClientConfig {
     pub response_timeout: Duration,
     /// Socket write timeout.
     pub write_timeout: Duration,
+    /// Bounded in-flight budget of the streaming decode pipeline: how many
+    /// received-but-not-yet-decoded chunks
+    /// [`NetClient::fetch_and_decode_streaming`] buffers before the network
+    /// receive loop blocks (backpressure). Memory beyond the output buffer
+    /// and the word store stays constant at roughly `budget × chunk size`.
+    pub streaming_inflight_chunks: usize,
 }
 
 impl Default for NetClientConfig {
@@ -38,6 +47,7 @@ impl Default for NetClientConfig {
             read_timeout: Duration::from_millis(250),
             response_timeout: Duration::from_secs(60),
             write_timeout: Duration::from_secs(10),
+            streaming_inflight_chunks: 4,
         }
     }
 }
@@ -107,6 +117,39 @@ impl RemoteContent {
         backend.decode_u8(&req, &mut out)?;
         Ok(out)
     }
+}
+
+/// Result of one [`NetClient::fetch_and_decode_streaming`] call: the decoded
+/// bytes plus the pipeline's latency breakdown, so callers can see how much
+/// decode time the network transfer hid.
+#[derive(Debug, Clone)]
+pub struct StreamedFetch {
+    /// The decoded content, byte-identical to
+    /// [`NetClient::fetch_and_decode`]'s result.
+    pub data: Vec<u8>,
+    /// Post-clamp segment count the server served.
+    pub segments: u64,
+    /// Whether the server answered from its shrunk-metadata cache.
+    pub cache_hit: bool,
+    /// Server-side combine cost in nanoseconds (zero on a cache hit).
+    pub combine_nanos: u64,
+    /// Transfer size: bitstream payload plus metadata, as the paper counts
+    /// it (the model is excluded, §5.2).
+    pub total_bytes: u64,
+    /// CHUNK frames the transfer arrived in (split-aligned server plan).
+    pub chunk_count: u32,
+    /// Decode dispatches the pipeline issued (each covering one or more
+    /// newly resident segments).
+    pub decode_batches: u64,
+    /// Nanoseconds from request start until the **first** segment's symbols
+    /// were fully decoded — the streaming win: this lands well before the
+    /// transfer itself finishes.
+    pub first_segment_nanos: u64,
+    /// Nanoseconds from request start until the last chunk was received and
+    /// the payload CRC verified.
+    pub transfer_nanos: u64,
+    /// Nanoseconds from request start until every segment was decoded.
+    pub total_nanos: u64,
 }
 
 /// A client for one [`crate::NetServer`] address, holding a small pool of
@@ -414,23 +457,7 @@ impl NetClient {
         header: TransmitHeader,
     ) -> Result<RemoteContent, OpError> {
         let bad = |msg: String| OpError::Transport(RecoilError::net(msg));
-        if !header.word_bytes.is_multiple_of(2) {
-            return Err(bad("odd bitstream byte count".into()));
-        }
-        // The same information-capacity bound the file parser applies: a
-        // hostile header must not drive the decode-side allocation.
-        let n = header.quant_bits;
-        if n == 0 || n > 16 {
-            return Err(bad(format!("bad quantization level {n}")));
-        }
-        let min_bits = ((1u64 << n) as f64).log2() - ((1u64 << n) as f64 - 1.0).log2();
-        let capacity_bits = 8.0 * header.word_bytes as f64 + 16.0 * header.ways as f64;
-        if header.num_symbols as f64 * min_bits > capacity_bits * 1.001 + 64.0 {
-            return Err(bad(format!(
-                "symbol count {} impossible for {} bitstream bytes",
-                header.num_symbols, header.word_bytes
-            )));
-        }
+        let (model, metadata) = validate_transmit_header(&header).map_err(OpError::Transport)?;
 
         // The reservation is capped: `word_bytes` is attacker-controlled,
         // so growth beyond 1 MiB only happens as real chunk bytes arrive
@@ -438,25 +465,12 @@ impl NetClient {
         let mut word_le = Vec::with_capacity((header.word_bytes as usize).min(1 << 20));
         let mut crc_state = 0xFFFF_FFFFu32;
         for seq in 0..header.chunk_count {
-            let (ty, payload) = self.await_frame(conn)?;
-            if ty != FrameType::Chunk {
-                return Err(bad(format!("expected CHUNK, got {ty:?}")));
-            }
-            if payload.len() < 4 {
-                return Err(bad("chunk frame too short".into()));
-            }
-            let got_seq = u32::from_le_bytes(payload[..4].try_into().expect("4"));
-            if got_seq != seq {
-                return Err(bad(format!(
-                    "chunk sequence mismatch: expected {seq}, got {got_seq}"
-                )));
-            }
-            let body = &payload[4..];
+            let body = self.await_chunk(conn, seq)?;
             if word_le.len() + body.len() > header.word_bytes as usize {
                 return Err(bad("chunked payload overruns declared size".into()));
             }
-            crc_state = update_crc32(crc_state, body);
-            word_le.extend_from_slice(body);
+            crc_state = update_crc32(crc_state, &body);
+            word_le.extend_from_slice(&body);
         }
         if word_le.len() != header.word_bytes as usize {
             return Err(bad(format!(
@@ -468,22 +482,6 @@ impl NetClient {
         if crc_state ^ 0xFFFF_FFFF != header.payload_crc {
             return Err(bad("bitstream payload checksum mismatch".into()));
         }
-
-        // Model reconstruction with the container parser's invariants.
-        let freqs: Vec<u32> = header.freqs.iter().map(|&f| f as u32).collect();
-        if freqs.is_empty() {
-            return Err(bad("empty model frequency table".into()));
-        }
-        let sum: u64 = freqs.iter().map(|&f| f as u64).sum();
-        if sum != 1 << n {
-            return Err(bad(format!(
-                "model frequencies sum to {sum}, expected 2^{n}"
-            )));
-        }
-        if freqs.iter().any(|&f| (f as u64) >= (1u64 << n)) {
-            return Err(bad("model frequency reaches 2^n".into()));
-        }
-        let model = StaticModelProvider::new(CdfTable::from_freqs(freqs, n));
 
         let stream = EncodedStream {
             words: word_le
@@ -497,8 +495,6 @@ impl NetClient {
         stream
             .validate()
             .map_err(|e| bad(format!("received stream is inconsistent: {e}")))?;
-        // Metadata bytes carry their own CRC footer; this parses + checks.
-        let metadata = metadata_from_bytes(&header.metadata).map_err(OpError::Transport)?;
         metadata
             .validate_against(&stream)
             .map_err(|e| bad(format!("received metadata is inconsistent: {e}")))?;
@@ -513,6 +509,277 @@ impl NetClient {
             combine_nanos: header.combine_nanos,
         })
     }
+
+    /// Reads one CHUNK frame, checks its sequence number, and returns the
+    /// body with the 4-byte sequence prefix stripped (zero-copy tail
+    /// split).
+    fn await_chunk(&self, conn: &mut TcpStream, seq: u32) -> Result<Vec<u8>, OpError> {
+        let bad = |msg: String| OpError::Transport(RecoilError::net(msg));
+        let (ty, mut payload) = self.await_frame(conn)?;
+        if ty != FrameType::Chunk {
+            return Err(bad(format!("expected CHUNK, got {ty:?}")));
+        }
+        if payload.len() < 4 {
+            return Err(bad("chunk frame too short".into()));
+        }
+        let got_seq = u32::from_le_bytes(payload[..4].try_into().expect("4"));
+        if got_seq != seq {
+            return Err(bad(format!(
+                "chunk sequence mismatch: expected {seq}, got {got_seq}"
+            )));
+        }
+        Ok(payload.split_off(4))
+    }
+
+    /// One call from name to decoded bytes with the network transfer and
+    /// the decode **overlapped**: chunks feed an [`IncrementalDecoder`] as
+    /// they arrive, and every segment that becomes resident is dispatched
+    /// to the configured backend (whose thread pool, if any, decodes the
+    /// batch in parallel) while later chunks are still on the wire.
+    ///
+    /// The pipeline is two stages under a bounded in-flight budget
+    /// ([`NetClientConfig::streaming_inflight_chunks`]): the calling thread
+    /// receives and CRC-checks chunks, a scoped decoder thread drains them.
+    /// When the decoder falls behind, the receive loop blocks on the full
+    /// channel — backpressure, not unbounded buffering. The result is
+    /// byte-identical to [`NetClient::fetch_and_decode`]; the streaming CRC
+    /// over the reassembled payload is still verified, and the call fails
+    /// (discarding output) if it mismatches.
+    pub fn fetch_and_decode_streaming(
+        &self,
+        name: &str,
+        parallel_segments: u64,
+    ) -> Result<StreamedFetch, RecoilError> {
+        Self::check_name(name)?;
+        let msg = ContentRequest {
+            name: name.to_string(),
+            parallel_segments,
+        };
+        self.with_conn(true, move |client, conn| {
+            let t0 = Instant::now();
+            write_frame(conn, FrameType::Request, &msg.encode()).map_err(OpError::Transport)?;
+            let (ty, payload) = client.await_frame(conn)?;
+            if ty != FrameType::Transmit {
+                return Err(OpError::Transport(RecoilError::net(format!(
+                    "expected TRANSMIT, got {ty:?}"
+                ))));
+            }
+            let header = TransmitHeader::decode(&payload).map_err(OpError::Transport)?;
+            client
+                .receive_streaming(conn, header, t0)
+                .map_err(|e| match e {
+                    // Mid-stream failures leave unread chunks on the wire:
+                    // the connection is desynchronized either way.
+                    OpError::Remote(e) | OpError::Transport(e) => OpError::Transport(e),
+                })
+        })
+    }
+
+    /// The streaming receive/decode pipeline behind
+    /// [`NetClient::fetch_and_decode_streaming`].
+    fn receive_streaming(
+        &self,
+        conn: &mut TcpStream,
+        header: TransmitHeader,
+        t0: Instant,
+    ) -> Result<StreamedFetch, OpError> {
+        let bad = |msg: String| OpError::Transport(RecoilError::net(msg));
+        let (model, metadata) = validate_transmit_header(&header).map_err(OpError::Transport)?;
+        // Same accounting as `RemoteContent::total_bytes` /
+        // `EncodedStream::payload_bytes`: words + final states + fixed
+        // stream header, plus the metadata blob.
+        let total_bytes = header.word_bytes
+            + header.final_states.len() as u64 * 4
+            + EncodedStream::HEADER_BYTES
+            + header.metadata.len() as u64;
+        let incr = IncrementalDecoder::new(metadata, header.final_states.clone(), model)
+            .map_err(OpError::Transport)?;
+        let backend = self.backend.as_ref();
+        if !backend.is_available() {
+            return Err(OpError::Transport(RecoilError::BackendUnavailable {
+                backend: backend.name(),
+            }));
+        }
+
+        /// How the receive loop ended when it did not fail outright.
+        enum RecvEnd {
+            /// Every chunk arrived and the payload CRC verified.
+            Complete { transfer_nanos: u64 },
+            /// The decoder hung up mid-transfer (its error is authoritative).
+            DecoderClosed,
+        }
+
+        let budget = self.config.streaming_inflight_chunks.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(budget);
+        let (recv_result, decode_result) = std::thread::scope(|s| {
+            let decoder = s.spawn(move || -> Result<(Vec<u8>, u64, u64), RecoilError> {
+                let mut incr = incr;
+                // Grown with readiness, never from the declared header: a
+                // hostile server must actually send bytes to make this
+                // allocation happen (the buffered path's invariant).
+                let mut out: Vec<u8> = Vec::new();
+                let mut first: Option<u64> = None;
+                let mut batches = 0u64;
+                let mut drain =
+                    |incr: &mut IncrementalDecoder, out: &mut Vec<u8>| -> Result<(), RecoilError> {
+                        let need = incr.ready_symbols();
+                        if need > out.len() {
+                            out.resize(need, 0);
+                        }
+                        let before = incr.decoded_segments();
+                        incr.decode_ready_segments(backend, out)?;
+                        if incr.decoded_segments() > before {
+                            batches += 1;
+                            if first.is_none() {
+                                first = Some(t0.elapsed().as_nanos() as u64);
+                            }
+                        }
+                        Ok(())
+                    };
+                while let Ok(body) = rx.recv() {
+                    incr.push_bytes(&body)?;
+                    drain(&mut incr, &mut out)?;
+                }
+                // Sender dropped: the transfer finished (possibly with zero
+                // chunks for an empty stream) or the receive loop failed.
+                drain(&mut incr, &mut out)?;
+                if !incr.is_finished() {
+                    return Err(RecoilError::net(
+                        "bitstream transfer ended before every segment arrived",
+                    ));
+                }
+                Ok((
+                    out,
+                    first.unwrap_or_else(|| t0.elapsed().as_nanos() as u64),
+                    batches,
+                ))
+            });
+
+            let recv = (|| -> Result<RecvEnd, OpError> {
+                let mut crc_state = 0xFFFF_FFFFu32;
+                let mut received = 0u64;
+                for seq in 0..header.chunk_count {
+                    let body = self.await_chunk(conn, seq)?;
+                    received += body.len() as u64;
+                    if received > header.word_bytes {
+                        return Err(bad("chunked payload overruns declared size".into()));
+                    }
+                    crc_state = update_crc32(crc_state, &body);
+                    if tx.send(body).is_err() {
+                        return Ok(RecvEnd::DecoderClosed);
+                    }
+                }
+                if received != header.word_bytes {
+                    return Err(bad(format!(
+                        "chunked payload short: {received} of {} bytes",
+                        header.word_bytes
+                    )));
+                }
+                if crc_state ^ 0xFFFF_FFFF != header.payload_crc {
+                    return Err(bad("bitstream payload checksum mismatch".into()));
+                }
+                Ok(RecvEnd::Complete {
+                    transfer_nanos: t0.elapsed().as_nanos() as u64,
+                })
+            })();
+            drop(tx); // unblock the decoder's recv loop
+            let decode = decoder
+                .join()
+                .unwrap_or_else(|_| Err(RecoilError::net("streaming decoder thread panicked")));
+            (recv, decode)
+        });
+
+        match (recv_result, decode_result) {
+            // A real transport failure outranks the decoder's secondary
+            // "transfer ended early" complaint.
+            (Err(e), _) => Err(e),
+            // The receive loop stopped because the decoder hit an error;
+            // that error is the root cause.
+            (Ok(RecvEnd::DecoderClosed), Err(e)) => Err(OpError::Transport(e)),
+            (Ok(RecvEnd::DecoderClosed), Ok(_)) => {
+                Err(bad("decoder hung up without reporting an error".into()))
+            }
+            (Ok(RecvEnd::Complete { .. }), Err(e)) => Err(OpError::Transport(e)),
+            (Ok(RecvEnd::Complete { transfer_nanos }), Ok((data, first, batches))) => {
+                Ok(StreamedFetch {
+                    data,
+                    segments: header.segments,
+                    cache_hit: header.cache_hit,
+                    combine_nanos: header.combine_nanos,
+                    total_bytes,
+                    chunk_count: header.chunk_count,
+                    decode_batches: batches,
+                    first_segment_nanos: first,
+                    transfer_nanos,
+                    total_nanos: t0.elapsed().as_nanos() as u64,
+                })
+            }
+        }
+    }
+}
+
+/// Validates a TRANSMIT header before any chunk bytes arrive and returns
+/// the rebuilt model plus the parsed shrunk metadata — the shared front
+/// half of the buffered and streaming receive paths.
+///
+/// The checks mirror the container file parser: an information-capacity
+/// bound so a hostile header cannot drive the decode-side allocation, the
+/// quantizer invariants on the transmitted frequencies, the metadata's own
+/// CRC footer, and the metadata's geometry against the header's.
+fn validate_transmit_header(
+    header: &TransmitHeader,
+) -> Result<(StaticModelProvider, RecoilMetadata), RecoilError> {
+    let bad = |msg: String| RecoilError::net(msg);
+    if !header.word_bytes.is_multiple_of(2) {
+        return Err(bad("odd bitstream byte count".into()));
+    }
+    let n = header.quant_bits;
+    if n == 0 || n > 16 {
+        return Err(bad(format!("bad quantization level {n}")));
+    }
+    let min_bits = ((1u64 << n) as f64).log2() - ((1u64 << n) as f64 - 1.0).log2();
+    let capacity_bits = 8.0 * header.word_bytes as f64 + 16.0 * header.ways as f64;
+    if header.num_symbols as f64 * min_bits > capacity_bits * 1.001 + 64.0 {
+        return Err(bad(format!(
+            "symbol count {} impossible for {} bitstream bytes",
+            header.num_symbols, header.word_bytes
+        )));
+    }
+
+    // Model reconstruction with the container parser's invariants.
+    let freqs: Vec<u32> = header.freqs.iter().map(|&f| f as u32).collect();
+    if freqs.is_empty() {
+        return Err(bad("empty model frequency table".into()));
+    }
+    let sum: u64 = freqs.iter().map(|&f| f as u64).sum();
+    if sum != 1 << n {
+        return Err(bad(format!(
+            "model frequencies sum to {sum}, expected 2^{n}"
+        )));
+    }
+    if freqs.iter().any(|&f| (f as u64) >= (1u64 << n)) {
+        return Err(bad("model frequency reaches 2^n".into()));
+    }
+    let model = StaticModelProvider::new(CdfTable::from_freqs(freqs, n));
+
+    // Metadata bytes carry their own CRC footer; this parses + checks.
+    let metadata = metadata_from_bytes(&header.metadata)?;
+    if metadata.ways != header.ways
+        || metadata.num_symbols != header.num_symbols
+        || metadata.num_words * 2 != header.word_bytes
+    {
+        return Err(bad(format!(
+            "metadata (W={}, N={}, B={}) does not match the transmit header \
+             (W={}, N={}, B={})",
+            metadata.ways,
+            metadata.num_symbols,
+            metadata.num_words,
+            header.ways,
+            header.num_symbols,
+            header.word_bytes / 2
+        )));
+    }
+    Ok((model, metadata))
 }
 
 impl std::fmt::Debug for NetClient {

@@ -36,6 +36,22 @@
 //! [`RecoilError`]: `NotFound`/`AlreadyPublished` reconstruct exactly, the
 //! rest degrade to [`RecoilError::Net`] with the remote display text.
 //!
+//! ## Streaming pipelined decode
+//!
+//! Chunk boundaries are not arbitrary: the server cuts the bitstream with
+//! the **split-aligned chunk plan** ([`recoil_core::plan_chunks`]) for the
+//! served metadata tier, so each chunk completes whole decode segments.
+//! [`NetClient::fetch_and_decode_streaming`] exploits that: arriving chunks
+//! feed a [`recoil_core::IncrementalDecoder`] and every newly resident
+//! segment is decoded — through the client's configured backend and its
+//! thread pool — while later chunks are still on the wire. A bounded
+//! in-flight chunk budget ([`NetClientConfig::streaming_inflight_chunks`])
+//! gives backpressure instead of unbounded buffering; the streaming CRC
+//! check is preserved, and the decoded bytes are guaranteed byte-identical
+//! to the buffered [`NetClient::fetch_and_decode`] path. The returned
+//! [`StreamedFetch`] reports time-to-first-segment, transfer, and total
+//! latency so callers can see how much decode time the transfer hid.
+//!
 //! ## Server concurrency model
 //!
 //! [`NetServer::bind`] starts an accept thread feeding a bounded queue
@@ -77,7 +93,7 @@ mod frame;
 mod proto;
 mod server;
 
-pub use client::{NetClient, NetClientConfig, RemoteContent};
+pub use client::{NetClient, NetClientConfig, RemoteContent, StreamedFetch};
 pub use frame::{
     FrameType, CAP_CHUNKED, HELLO_MAGIC, MAX_FRAME_LEN, PROTOCOL_VERSION, SUPPORTED_CAPS,
 };

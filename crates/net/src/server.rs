@@ -20,7 +20,7 @@ use crate::frame::{
 use crate::proto::{ContentRequest, Hello, PublishOk, PublishRequest, StatsReply, TransmitHeader};
 use parking_lot::{Condvar, Mutex};
 use recoil_core::codec::EncoderConfig;
-use recoil_core::{update_crc32, RecoilError};
+use recoil_core::{plan_chunks, update_crc32, RecoilError};
 use recoil_parallel::ThreadPool;
 use recoil_server::{ContentServer, StoredContent, Transmission};
 use std::collections::VecDeque;
@@ -460,6 +460,13 @@ fn handle_stats(conn: &mut TcpStream, inner: &Inner) -> Result<(), RecoilError> 
 
 /// Writes one TRANSMIT header plus the chunked bitstream words.
 ///
+/// Chunk boundaries follow the **split-aligned chunk plan** for the served
+/// metadata tier ([`recoil_core::plan_chunks`]): each chunk ends at a
+/// segment-completion boundary whenever the target chunk size allows, so a
+/// streaming client can decode whole segments the moment a chunk lands.
+/// Buffered clients are unaffected — they reassemble by concatenation and
+/// never look at the boundaries.
+///
 /// The word payload is CRC-32'd in a first streaming pass (constant scratch
 /// memory — the bitstream is never duplicated), then sent chunk by chunk
 /// with sequence numbers.
@@ -472,12 +479,16 @@ fn send_transmission(
     let stream = &item.stream;
     let words = &stream.words;
     let chunk_words = chunk_words.max(1);
+    // The plan is built from the *served* tier, so its boundaries match the
+    // split offsets the client's metadata will report. `chunk_words` is
+    // pre-clamped to the frame budget, bounding every chunk's frame size.
+    let plan = plan_chunks(transmission.metadata(), chunk_words * 2);
     let mut scratch = Vec::with_capacity(chunk_words * 2 + 4);
 
     let mut crc_state = 0xFFFF_FFFFu32;
-    for chunk in words.chunks(chunk_words) {
+    for chunk in &plan.chunks {
         scratch.clear();
-        for &w in chunk {
+        for &w in &words[chunk.words.start as usize..chunk.words.end as usize] {
             scratch.extend_from_slice(&w.to_le_bytes());
         }
         crc_state = update_crc32(crc_state, &scratch);
@@ -500,14 +511,14 @@ fn send_transmission(
         final_states: stream.final_states.clone(),
         word_bytes: words.len() as u64 * 2,
         payload_crc,
-        chunk_count: words.len().div_ceil(chunk_words) as u32,
+        chunk_count: plan.len() as u32,
     };
     write_frame(conn, FrameType::Transmit, &header.encode())?;
 
-    for (seq, chunk) in words.chunks(chunk_words).enumerate() {
+    for (seq, chunk) in plan.chunks.iter().enumerate() {
         scratch.clear();
         scratch.extend_from_slice(&(seq as u32).to_le_bytes());
-        for &w in chunk {
+        for &w in &words[chunk.words.start as usize..chunk.words.end as usize] {
             scratch.extend_from_slice(&w.to_le_bytes());
         }
         write_frame(conn, FrameType::Chunk, &scratch)?;

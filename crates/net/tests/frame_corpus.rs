@@ -1,0 +1,387 @@
+//! Deterministic adversarial corpus for the frame parser and the chunked
+//! transfer path.
+//!
+//! Three layers of abuse, all seeded and reproducible:
+//!
+//! 1. **Parser corpus** — `read_frame` over in-memory byte strings:
+//!    truncated headers at every cut, length fields at and over the 64 MiB
+//!    cap, unknown type bytes, garbage payloads.
+//! 2. **Live server corpus** — the same shapes thrown at a real
+//!    [`NetServer`] socket: the server must answer with typed ERROR frames
+//!    (or close cleanly on mid-frame hangups) and keep serving well-behaved
+//!    clients afterwards — never panic.
+//! 3. **Hostile server replays** — a fake server replays captured
+//!    TRANSMIT/CHUNK exchanges with a corrupted chunk byte, a truncated
+//!    chunk stream, or a mid-stream disconnect; both the buffered and the
+//!    streaming client paths must fail with a typed [`RecoilError`], never
+//!    hang or misdecode.
+
+use recoil_core::codec::EncoderConfig;
+use recoil_core::RecoilError;
+use recoil_net::raw::{read_frame, write_frame, ReadOutcome};
+use recoil_net::{
+    FrameType, Hello, NetClient, NetConfig, NetServer, NetServerHandle, MAX_FRAME_LEN,
+};
+use recoil_server::ContentServer;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sample(len: usize, seed: u32) -> Vec<u8> {
+    (0..len as u32)
+        .map(|i| ((i.wrapping_add(seed).wrapping_mul(2654435761)) >> 23) as u8)
+        .collect()
+}
+
+/// The deterministic corpus: (name, raw bytes as they would hit the parser
+/// after HELLO).
+fn corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let mut entries: Vec<(&'static str, Vec<u8>)> = Vec::new();
+
+    // Unknown frame types, including the extremes.
+    for ty in [0x00u8, 0x09, 0x7F, 0xAB, 0xFF] {
+        let mut b = vec![ty];
+        b.extend_from_slice(&4u32.to_le_bytes());
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        entries.push(("unknown type", b));
+    }
+
+    // Length field exactly at the cap, but the payload never arrives.
+    let mut at_cap = vec![FrameType::Request as u8];
+    at_cap.extend_from_slice(&MAX_FRAME_LEN.to_le_bytes());
+    at_cap.extend_from_slice(&[0; 64]);
+    entries.push(("length at cap, truncated payload", at_cap));
+
+    // Length fields over the cap — rejected before any allocation.
+    for over in [MAX_FRAME_LEN + 1, u32::MAX / 2, u32::MAX] {
+        let mut b = vec![FrameType::Chunk as u8];
+        b.extend_from_slice(&over.to_le_bytes());
+        entries.push(("length over cap", b));
+    }
+
+    // A parseable frame type whose payload is garbage for its codec.
+    let mut bad_payload = Vec::new();
+    write_frame(&mut bad_payload, FrameType::Request, &[0xFF; 13]).unwrap();
+    entries.push(("request with garbage payload", bad_payload));
+
+    // Protocol-violating but well-framed messages from a client.
+    for ty in [
+        FrameType::PublishOk,
+        FrameType::Transmit,
+        FrameType::Chunk,
+        FrameType::StatsReply,
+        FrameType::Error,
+    ] {
+        let mut b = Vec::new();
+        write_frame(&mut b, ty, &[0, 0, 0, 0]).unwrap();
+        entries.push(("server-only frame from client", b));
+    }
+
+    entries
+}
+
+#[test]
+fn parser_rejects_the_corpus_without_panicking() {
+    for (_what, bytes) in corpus() {
+        let mut r = &bytes[..];
+        // Drain the reader: every outcome must be a clean value or a typed
+        // error, never a panic. (Protocol-violating frames *parse* fine here;
+        // the server layer rejects them.)
+        while let Ok(ReadOutcome::Frame(..)) = read_frame(&mut r) {}
+    }
+
+    // Truncated headers: every strict prefix of a valid frame must fail (or
+    // report EOF at the empty cut), never panic.
+    let mut valid = Vec::new();
+    write_frame(&mut valid, FrameType::Publish, b"0123456789abcdef").unwrap();
+    for cut in 0..valid.len() {
+        let mut r = &valid[..cut];
+        match read_frame(&mut r) {
+            Ok(ReadOutcome::Eof) => assert_eq!(cut, 0, "only the empty prefix is EOF"),
+            Err(_) => assert!(cut > 0),
+            other => panic!("cut {cut}: unexpected {other:?}"),
+        }
+    }
+}
+
+/// Server on an ephemeral loopback port with fast test timeouts.
+fn start_server() -> NetServerHandle {
+    NetServer::bind(
+        Arc::new(ContentServer::new()),
+        "127.0.0.1:0",
+        NetConfig {
+            workers: 3,
+            read_timeout: Duration::from_millis(50),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Raw-socket HELLO exchange.
+fn raw_hello(addr: SocketAddr) -> TcpStream {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write_frame(&mut conn, FrameType::Hello, &Hello::ours().encode()).unwrap();
+    match read_frame(&mut conn).unwrap() {
+        ReadOutcome::Frame(FrameType::Hello, _) => conn,
+        other => panic!("expected HELLO reply, got {other:?}"),
+    }
+}
+
+/// Reads frames until the server closes the connection, returning whether
+/// an ERROR frame was seen on the way out.
+fn drain_to_eof(conn: &mut TcpStream) -> bool {
+    let mut saw_error = false;
+    loop {
+        match read_frame(conn) {
+            Ok(ReadOutcome::Frame(FrameType::Error, _)) => saw_error = true,
+            Ok(ReadOutcome::Frame(..)) | Ok(ReadOutcome::Idle) => {}
+            Ok(ReadOutcome::Eof) | Err(_) => return saw_error,
+        }
+    }
+}
+
+#[test]
+fn live_server_survives_the_corpus_and_keeps_serving() {
+    let server = start_server();
+    let data = sample(50_000, 1);
+    let client = NetClient::connect(server.addr()).unwrap();
+    client
+        .publish("survivor", &data, &EncoderConfig::default())
+        .unwrap();
+
+    for (what, bytes) in corpus() {
+        let mut conn = raw_hello(server.addr());
+        conn.write_all(&bytes).unwrap();
+        if what.starts_with("length at cap") {
+            // The server is now waiting for 64 MiB that will never come;
+            // hang up instead of waiting out its stalled-peer budget.
+            drop(conn);
+        } else {
+            // Either a typed ERROR frame or a clean close; the assertion is
+            // that the exchange terminates and the server lives on.
+            let _ = drain_to_eof(&mut conn);
+        }
+
+        // The server still serves a well-behaved client after each entry.
+        assert_eq!(
+            client.fetch_and_decode("survivor", 8).unwrap(),
+            data,
+            "server degraded after corpus entry: {what}"
+        );
+    }
+
+    // Mid-frame disconnects at assorted cuts of a valid REQUEST frame.
+    let mut valid = Vec::new();
+    write_frame(&mut valid, FrameType::Request, &[9; 40]).unwrap();
+    for cut in [1usize, 5, 6, 20, valid.len() - 1] {
+        let mut conn = raw_hello(server.addr());
+        conn.write_all(&valid[..cut]).unwrap();
+        drop(conn);
+    }
+    assert_eq!(client.fetch_and_decode("survivor", 8).unwrap(), data);
+    server.shutdown();
+}
+
+/// Captures the full frame sequence (TRANSMIT + CHUNKs) a real server sends
+/// for one request, as raw on-the-wire bytes.
+fn capture_transmission(name: &str, data: &[u8], chunk_bytes: usize) -> Vec<u8> {
+    let server = NetServer::bind(
+        Arc::new(ContentServer::new()),
+        "127.0.0.1:0",
+        NetConfig {
+            workers: 2,
+            chunk_bytes,
+            read_timeout: Duration::from_millis(50),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let publisher = NetClient::connect(server.addr()).unwrap();
+    publisher
+        .publish(name, data, &EncoderConfig::default())
+        .unwrap();
+
+    let mut conn = raw_hello(server.addr());
+    let mut req = recoil_net::raw::PayloadWriter::new();
+    req.name(name);
+    req.u64(16);
+    write_frame(&mut conn, FrameType::Request, &req.0).unwrap();
+
+    // Read the TRANSMIT + every CHUNK, re-serializing them verbatim.
+    let mut raw = Vec::new();
+    let mut chunks_left = None;
+    loop {
+        match read_frame(&mut conn).unwrap() {
+            ReadOutcome::Frame(FrameType::Transmit, payload) => {
+                let header = recoil_net::TransmitHeader::decode(&payload).unwrap();
+                chunks_left = Some(header.chunk_count);
+                write_frame(&mut raw, FrameType::Transmit, &payload).unwrap();
+            }
+            ReadOutcome::Frame(FrameType::Chunk, payload) => {
+                write_frame(&mut raw, FrameType::Chunk, &payload).unwrap();
+                let left = chunks_left.as_mut().unwrap();
+                *left -= 1;
+                if *left == 0 {
+                    break;
+                }
+            }
+            ReadOutcome::Idle => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    server.shutdown();
+    raw
+}
+
+/// A fake server that completes HELLO + swallows one REQUEST per
+/// connection, then replays `script` verbatim and closes. Serves up to
+/// `conns` connections so the client's one-shot retry also sees the replay.
+fn hostile_server(script: Vec<u8>, conns: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        for _ in 0..conns {
+            let Ok((mut conn, _)) = listener.accept() else {
+                return;
+            };
+            conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            // HELLO negotiation.
+            match read_frame(&mut conn) {
+                Ok(ReadOutcome::Frame(FrameType::Hello, _)) => {}
+                _ => continue,
+            }
+            if write_frame(&mut conn, FrameType::Hello, &Hello::ours().encode()).is_err() {
+                continue;
+            }
+            // Wait for a REQUEST (the pooled probe connection may be dropped
+            // without one; that is fine).
+            match read_frame(&mut conn) {
+                Ok(ReadOutcome::Frame(FrameType::Request, _)) => {}
+                _ => continue,
+            }
+            let _ = conn.write_all(&script);
+            // Half-close and linger briefly so the bytes flush before RST.
+            let _ = conn.shutdown(std::net::Shutdown::Write);
+            let mut sink = [0u8; 1024];
+            while let Ok(n) = conn.read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+    });
+    (addr, handle)
+}
+
+/// Unblocks any accept slots the hostile server still holds, then joins it.
+fn finish_hostile(addr: SocketAddr, handle: std::thread::JoinHandle<()>) {
+    while !handle.is_finished() {
+        drop(TcpStream::connect(addr));
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.join().unwrap();
+}
+
+/// Flips the last byte of the last non-empty CHUNK body in a captured
+/// frame sequence (never a frame header or sequence number).
+fn flip_last_chunk_body_byte(raw: &mut [u8]) {
+    let mut at = 0usize;
+    let mut target = None;
+    while at + 5 <= raw.len() {
+        let ty = raw[at];
+        let len = u32::from_le_bytes(raw[at + 1..at + 5].try_into().unwrap()) as usize;
+        let end = at + 5 + len;
+        if ty == FrameType::Chunk as u8 && len > 4 {
+            target = Some(end - 1);
+        }
+        at = end;
+    }
+    raw[target.expect("a chunk with a body")] ^= 0x40;
+}
+
+#[test]
+fn crc_corrupted_chunk_stream_is_a_typed_error_on_both_paths() {
+    let data = sample(120_000, 2);
+    let good = capture_transmission("movie", &data, 8 * 1024);
+    let mut evil = good.clone();
+    flip_last_chunk_body_byte(&mut evil);
+    assert_ne!(good, evil);
+
+    for streaming in [false, true] {
+        let (addr, handle) = hostile_server(evil.clone(), 4);
+        let client = NetClient::connect(addr).unwrap();
+        let got = if streaming {
+            client
+                .fetch_and_decode_streaming("movie", 16)
+                .map(|s| s.data)
+        } else {
+            client.fetch_and_decode("movie", 16)
+        };
+        match got {
+            // The reassembled-payload CRC catches the flip…
+            Err(RecoilError::Net { detail }) => {
+                assert!(
+                    detail.contains("checksum"),
+                    "streaming={streaming}: {detail}"
+                )
+            }
+            // …unless (streaming only) the already-dispatched decode of the
+            // corrupt segment trips a typed decode error first. Both are
+            // clean typed failures; silence or wrong bytes would be the bug.
+            Err(RecoilError::Decode(_)) if streaming => {}
+            other => panic!("streaming={streaming}: expected CRC failure, got {other:?}"),
+        }
+        drop(client);
+        finish_hostile(addr, handle);
+    }
+}
+
+#[test]
+fn mid_stream_disconnect_is_a_typed_error_not_a_hang() {
+    let data = sample(150_000, 3);
+    let good = capture_transmission("movie", &data, 4 * 1024);
+
+    // Truncate the replay in the middle of the chunk sequence — the server
+    // vanishes after a few chunks.
+    let cut = good.len() / 3;
+    let truncated = good[..cut].to_vec();
+
+    for streaming in [false, true] {
+        let (addr, handle) = hostile_server(truncated.clone(), 4);
+        let client = NetClient::connect(addr).unwrap();
+        let got = if streaming {
+            client
+                .fetch_and_decode_streaming("movie", 16)
+                .map(|s| s.data)
+        } else {
+            client.fetch_and_decode("movie", 16)
+        };
+        assert!(
+            matches!(got, Err(RecoilError::Net { .. })),
+            "streaming={streaming}: expected typed Net error, got {got:?}"
+        );
+        drop(client);
+        finish_hostile(addr, handle);
+    }
+}
+
+#[test]
+fn tampered_transmit_headers_are_rejected() {
+    let data = sample(60_000, 4);
+    let good = capture_transmission("movie", &data, 8 * 1024);
+
+    // The TRANSMIT payload begins after the 5-byte frame header; corrupt a
+    // byte inside the serialized shrunk metadata (its CRC footer catches
+    // it) — offset 40 lands in the metadata blob for this capture.
+    let mut evil = good.clone();
+    evil[40] ^= 0xFF;
+    let (addr, handle) = hostile_server(evil, 4);
+    let client = NetClient::connect(addr).unwrap();
+    let got = client.fetch_and_decode("movie", 16);
+    assert!(got.is_err(), "corrupted header must not decode: {got:?}");
+    drop(client);
+    finish_hostile(addr, handle);
+}

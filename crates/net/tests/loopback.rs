@@ -333,6 +333,151 @@ fn graceful_shutdown_finishes_inflight_requests() {
 }
 
 #[test]
+fn streaming_fetch_is_byte_identical_and_pipelined() {
+    // Small chunks force a real multi-chunk pipeline even on smoke-sized
+    // payloads.
+    let server = start_server(NetConfig {
+        workers: 3,
+        chunk_bytes: 4 * 1024,
+        read_timeout: Duration::from_millis(50),
+        ..NetConfig::default()
+    });
+    let data = sample(400_000, 21);
+    let client = NetClient::connect(server.addr()).unwrap();
+    client.publish("movie", &data, &config(64)).unwrap();
+
+    for tier in [1u64, 2, 16, 64, 100_000] {
+        let buffered = client.fetch_and_decode("movie", tier).unwrap();
+        let streamed = client.fetch_and_decode_streaming("movie", tier).unwrap();
+        assert_eq!(streamed.data, buffered, "tier {tier}");
+        assert_eq!(streamed.data, data, "tier {tier}");
+        assert_eq!(streamed.segments, tier.min(64), "tier {tier}");
+        assert!(streamed.chunk_count > 1, "tier {tier}: single chunk");
+        assert!(streamed.decode_batches >= 1, "tier {tier}");
+        assert!(
+            streamed.first_segment_nanos <= streamed.total_nanos,
+            "tier {tier}"
+        );
+        // The pipeline's point: with several segments, the first one is
+        // decoded before the whole payload has even arrived.
+        if tier >= 16 {
+            assert!(
+                streamed.first_segment_nanos < streamed.transfer_nanos,
+                "tier {tier}: first segment at {} ns, transfer ended {} ns",
+                streamed.first_segment_nanos,
+                streamed.transfer_nanos
+            );
+        }
+    }
+
+    // The empty edge case streams too.
+    client.publish("empty", &[], &config(4)).unwrap();
+    let empty = client.fetch_and_decode_streaming("empty", 4).unwrap();
+    assert!(empty.data.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn streaming_clients_survive_graceful_shutdown_with_typed_errors() {
+    let server = start_server(NetConfig {
+        workers: 6,
+        chunk_bytes: 2 * 1024,
+        read_timeout: Duration::from_millis(50),
+        ..NetConfig::default()
+    });
+    let addr = server.addr();
+    let data = sample(500_000, 22);
+    let client = NetClient::connect(addr).unwrap();
+    client.publish("big", &data, &config(64)).unwrap();
+
+    let stop = AtomicBool::new(false);
+    let ok = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..3usize {
+            let data = &data;
+            let stop = &stop;
+            let ok = &ok;
+            let failed = &failed;
+            s.spawn(move || {
+                let client = NetClient::connect(addr)
+                    .unwrap()
+                    .with_backend(ScalarBackend);
+                while !stop.load(Ordering::Relaxed) {
+                    match client.fetch_and_decode_streaming("big", 8 + t as u64) {
+                        // Completed streams are complete: CRC verified and
+                        // byte-identical.
+                        Ok(streamed) => {
+                            assert_eq!(streamed.data, *data);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Mid-stream shutdown must surface as a typed
+                        // error — never a hang, never a partial buffer.
+                        Err(RecoilError::Net { .. }) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        server.shutdown(); // joins all server threads
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(
+        ok.load(Ordering::Relaxed) > 0,
+        "some streaming fetches must have completed before shutdown"
+    );
+    // After shutdown the port refuses new streams outright.
+    assert!(NetClient::connect(addr).is_err());
+}
+
+#[test]
+fn concurrent_streaming_clients_under_the_connection_cap() {
+    let server = start_server(NetConfig {
+        workers: 5,
+        max_connections: 5,
+        chunk_bytes: 4 * 1024,
+        read_timeout: Duration::from_millis(50),
+        ..NetConfig::default()
+    });
+    let datasets: Vec<Vec<u8>> = (0..2).map(|i| sample(150_000, 30 + i)).collect();
+    let publisher = NetClient::connect(server.addr()).unwrap();
+    for (i, data) in datasets.iter().enumerate() {
+        publisher
+            .publish(&format!("item{i}"), data, &config(32))
+            .unwrap();
+    }
+
+    let served = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let addr = server.addr();
+            let datasets = &datasets;
+            let served = &served;
+            s.spawn(move || {
+                let client = NetClient::connect(addr)
+                    .unwrap()
+                    .with_backend(ScalarBackend);
+                for r in 0..8 {
+                    let item = (t + r) % datasets.len();
+                    let tier = [1u64, 4, 32, 1000][(t + r) % 4];
+                    let streamed = client
+                        .fetch_and_decode_streaming(&format!("item{item}"), tier)
+                        .unwrap();
+                    assert_eq!(streamed.data, datasets[item], "thread {t} round {r}");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(served.load(Ordering::Relaxed), 4 * 8);
+    server.shutdown();
+}
+
+#[test]
 fn pooled_connection_survives_and_is_reused() {
     let server = start_server(small_net_config());
     let data = sample(60_000, 9);

@@ -114,14 +114,17 @@ pub mod prelude {
         PooledBackend, ScalarBackend,
     };
     pub use recoil_core::{
-        combine_splits, metadata_from_bytes, metadata_to_bytes, try_combine_splits, Heuristic,
-        PlannerConfig, RecoilContainer, RecoilError, RecoilMetadata, SplitPlanner,
+        combine_splits, metadata_from_bytes, metadata_to_bytes, plan_chunks, try_combine_splits,
+        ChunkPlan, Heuristic, IncrementalDecoder, PlannedChunk, PlannerConfig, RecoilContainer,
+        RecoilError, RecoilMetadata, SplitPlanner,
     };
     pub use recoil_models::{
         CdfTable, GaussianScaleBank, Histogram, LatentModelProvider, LatentSpec, ModelProvider,
         StaticModelProvider, Symbol,
     };
-    pub use recoil_net::{NetClient, NetClientConfig, NetConfig, NetServer, NetServerHandle};
+    pub use recoil_net::{
+        NetClient, NetClientConfig, NetConfig, NetServer, NetServerHandle, StreamedFetch,
+    };
     pub use recoil_parallel::ThreadPool;
     pub use recoil_rans::{
         decode_interleaved, EncodedStream, InterleavedEncoder, NullSink, RansError, VecSink,

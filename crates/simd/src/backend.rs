@@ -24,13 +24,14 @@
 //! tasks (one per metadata segment) are distributed across it; the kernels
 //! then run *inside* each task.
 
-use crate::driver::run_recoil_simd;
+use crate::driver::{run_recoil_simd, run_recoil_simd_segments};
 use crate::kernel::Kernel;
-use recoil_core::codec::{decode_pooled, DecodeBackend, DecodeRequest};
+use recoil_core::codec::{decode_pooled, decode_segments_pooled, DecodeBackend, DecodeRequest};
 use recoil_core::{RecoilError, RecoilMetadata};
 use recoil_models::{ModelProvider, Symbol};
 use recoil_parallel::ThreadPool;
 use recoil_rans::EncodedStream;
+use std::ops::Range;
 
 fn run_fixed<S: Symbol>(
     kernel: Kernel,
@@ -44,6 +45,29 @@ fn run_fixed<S: Symbol>(
     }
     run_recoil_simd(kernel, req.stream, req.metadata, req.model, pool, out)
         .map_err(RecoilError::from)
+}
+
+fn run_fixed_segments<S: Symbol>(
+    kernel: Kernel,
+    name: &'static str,
+    pool: Option<&ThreadPool>,
+    req: &DecodeRequest<'_>,
+    segments: Range<u64>,
+    out: &mut [S],
+) -> Result<(), RecoilError> {
+    if !kernel.is_available() {
+        return Err(RecoilError::BackendUnavailable { backend: name });
+    }
+    run_recoil_simd_segments(
+        kernel,
+        req.stream,
+        req.metadata,
+        req.model,
+        pool,
+        segments,
+        out,
+    )
+    .map_err(RecoilError::from)
 }
 
 /// AVX2 kernel backend (8 lanes × 4 unroll, paper implementation (2)).
@@ -118,6 +142,38 @@ impl DecodeBackend for Avx2Backend {
     ) -> Result<(), RecoilError> {
         decode_pooled(stream, metadata, provider, self.pool.as_ref(), out)
     }
+
+    fn decode_u8_segments(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [u8],
+    ) -> Result<(), RecoilError> {
+        run_fixed_segments(
+            Kernel::Avx2,
+            self.name(),
+            self.pool.as_ref(),
+            req,
+            segments,
+            out,
+        )
+    }
+
+    fn decode_u16_segments(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [u16],
+    ) -> Result<(), RecoilError> {
+        run_fixed_segments(
+            Kernel::Avx2,
+            self.name(),
+            self.pool.as_ref(),
+            req,
+            segments,
+            out,
+        )
+    }
 }
 
 impl DecodeBackend for Avx512Backend {
@@ -145,6 +201,38 @@ impl DecodeBackend for Avx512Backend {
         out: &mut [u16],
     ) -> Result<(), RecoilError> {
         decode_pooled(stream, metadata, provider, self.pool.as_ref(), out)
+    }
+
+    fn decode_u8_segments(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [u8],
+    ) -> Result<(), RecoilError> {
+        run_fixed_segments(
+            Kernel::Avx512,
+            self.name(),
+            self.pool.as_ref(),
+            req,
+            segments,
+            out,
+        )
+    }
+
+    fn decode_u16_segments(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [u16],
+    ) -> Result<(), RecoilError> {
+        run_fixed_segments(
+            Kernel::Avx512,
+            self.name(),
+            self.pool.as_ref(),
+            req,
+            segments,
+            out,
+        )
     }
 }
 
@@ -178,6 +266,34 @@ impl AutoBackend {
             .map_err(RecoilError::from),
         }
     }
+
+    fn run_auto_segments<S: Symbol>(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [S],
+    ) -> Result<(), RecoilError> {
+        match self.selected_kernel(req.stream.ways) {
+            Kernel::Scalar => decode_segments_pooled(
+                req.stream,
+                req.metadata,
+                req.model,
+                self.pool.as_ref(),
+                segments,
+                out,
+            ),
+            kernel => run_recoil_simd_segments(
+                kernel,
+                req.stream,
+                req.metadata,
+                req.model,
+                self.pool.as_ref(),
+                segments,
+                out,
+            )
+            .map_err(RecoilError::from),
+        }
+    }
 }
 
 impl DecodeBackend for AutoBackend {
@@ -201,6 +317,24 @@ impl DecodeBackend for AutoBackend {
         out: &mut [u16],
     ) -> Result<(), RecoilError> {
         decode_pooled(stream, metadata, provider, self.pool.as_ref(), out)
+    }
+
+    fn decode_u8_segments(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [u8],
+    ) -> Result<(), RecoilError> {
+        self.run_auto_segments(req, segments, out)
+    }
+
+    fn decode_u16_segments(
+        &self,
+        req: &DecodeRequest<'_>,
+        segments: Range<u64>,
+        out: &mut [u16],
+    ) -> Result<(), RecoilError> {
+        self.run_auto_segments(req, segments, out)
     }
 }
 

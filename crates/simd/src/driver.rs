@@ -12,10 +12,11 @@ use crate::model::SimdModel;
 use crate::scalar::{scalar_group, scalar_step};
 use parking_lot::Mutex;
 use recoil_conventional::ConventionalContainer;
-use recoil_core::{sync_split_states, RecoilMetadata};
+use recoil_core::{sync_split_states, validate_segment_decode, RecoilMetadata};
 use recoil_models::{StaticModelProvider, Symbol};
 use recoil_parallel::ThreadPool;
 use recoil_rans::{EncodedStream, RansError};
+use std::ops::Range;
 
 /// Words that must remain below the cursor for a vector group (underread
 /// guard: four sub-registers consume at most 32 words).
@@ -175,25 +176,57 @@ pub(crate) fn run_recoil_simd<S: Symbol>(
     pool: Option<&ThreadPool>,
     out: &mut [S],
 ) -> Result<(), RansError> {
-    stream.validate()?;
-    meta.validate_against(stream)?;
-    require_32_ways(stream.ways)?;
+    // Whole-stream contract: exact output length, like the scalar engine
+    // (the segment-range engine below only requires coverage).
     if out.len() as u64 != stream.num_symbols {
         return Err(RansError::MalformedStream("output length mismatch".into()));
     }
+    run_recoil_simd_segments(
+        kernel,
+        stream,
+        meta,
+        provider,
+        pool,
+        0..meta.num_segments(),
+        out,
+    )
+}
+
+/// Segment-range variant of [`run_recoil_simd`]: decodes only the metadata
+/// segments in `segments` into their region of the full-stream output
+/// buffer. `stream.words` may be an incomplete prefix covering those
+/// segments (the streaming path); the memory guards in [`decode_segment`]
+/// keep vector loads inside the resident prefix, falling back to scalar
+/// steps near its edge with bit-identical results.
+pub(crate) fn run_recoil_simd_segments<S: Symbol>(
+    kernel: Kernel,
+    stream: &EncodedStream,
+    meta: &RecoilMetadata,
+    provider: &StaticModelProvider,
+    pool: Option<&ThreadPool>,
+    segments: Range<u64>,
+    out: &mut [S],
+) -> Result<(), RansError> {
+    validate_segment_decode(stream, meta, &segments, out.len())?;
+    require_32_ways(stream.ways)?;
+    let (a, b) = (segments.start as usize, segments.end as usize);
+    let tasks = b - a;
+    if tasks == 0 {
+        return Ok(());
+    }
     let model = SimdModel::from_provider(provider);
     let bounds = meta.segment_bounds();
-    let tasks = bounds.len() - 1;
 
-    let mut segments: Vec<Mutex<&mut [S]>> = Vec::with_capacity(tasks);
-    let mut rest = out;
-    for m in 0..tasks {
-        let (seg, tail) = rest.split_at_mut((bounds[m + 1] - bounds[m]) as usize);
-        segments.push(Mutex::new(seg));
+    let mut slices: Vec<Mutex<&mut [S]>> = Vec::with_capacity(tasks);
+    let mut rest = &mut out[bounds[a] as usize..bounds[b] as usize];
+    for t in 0..tasks {
+        let (seg, tail) = rest.split_at_mut((bounds[a + t + 1] - bounds[a + t]) as usize);
+        slices.push(Mutex::new(seg));
         rest = tail;
     }
     let first_error: Mutex<Option<RansError>> = Mutex::new(None);
-    let run_task = |m: usize| {
+    let run_task = |t: usize| {
+        let m = a + t;
         let task = || -> Result<(), RansError> {
             let (states_vec, next) = if m < meta.splits.len() {
                 sync_split_states(&meta.splits[m], &stream.words, provider, 32)?
@@ -202,7 +235,7 @@ pub(crate) fn run_recoil_simd<S: Symbol>(
                 (stream.final_states.clone(), next)
             };
             let mut states = states_array(&states_vec);
-            let mut seg = segments[m].lock();
+            let mut seg = slices[t].lock();
             decode_segment(
                 kernel,
                 &model,

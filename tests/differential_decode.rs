@@ -1,0 +1,245 @@
+//! Cross-backend differential decode harness.
+//!
+//! Drives every available [`DecodeBackend`] (Scalar, Pooled, Auto, plus the
+//! explicit AVX2/AVX-512 backends on hosts that have them) and both the
+//! buffered and streaming decode paths over one seeded corpus — varied
+//! alphabet sizes, segment counts including 1 and clamp-edge values, empty
+//! and one-symbol inputs — asserting **byte-identity everywhere**. The
+//! paper's whole premise is that one bitstream serves every decoder
+//! capability; this harness is the executable form of that claim.
+
+use recoil::prelude::*;
+use recoil_core::{plan_chunks, IncrementalDecoder};
+
+/// SplitMix-style deterministic generator — the corpus is fully seeded.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One corpus entry: `len` symbols drawn from `alphabet` distinct values,
+/// with a skewed distribution so streams stay compressible.
+fn corpus_entry(len: usize, alphabet: u16, seed: u64) -> Vec<u8> {
+    let mut rng = seed;
+    (0..len)
+        .map(|_| {
+            let r = next_u64(&mut rng);
+            // Square the draw to skew mass toward small symbols.
+            let frac = (r % 1000) as f64 / 1000.0;
+            ((frac * frac * alphabet as f64) as u16).min(alphabet - 1) as u8
+        })
+        .collect()
+}
+
+/// Every backend this host can run, with its name for failure messages.
+fn backends() -> Vec<(&'static str, Box<dyn DecodeBackend>)> {
+    let mut b: Vec<(&'static str, Box<dyn DecodeBackend>)> = vec![
+        ("scalar", Box::new(ScalarBackend)),
+        ("pooled", Box::new(PooledBackend::new(4))),
+        ("auto", Box::new(AutoBackend::with_threads(2))),
+    ];
+    let avx2 = Avx2Backend::new();
+    if avx2.is_available() {
+        b.push(("avx2", Box::new(avx2)));
+    }
+    let avx512 = Avx512Backend::new();
+    if avx512.is_available() {
+        b.push(("avx512", Box::new(avx512)));
+    }
+    b
+}
+
+/// The streaming byte-granularities a transfer is replayed at.
+const GRANULARITIES: [usize; 3] = [1, 1023, 64 * 1024];
+
+/// Streams `enc` through an [`IncrementalDecoder`] against `meta`, pushing
+/// `piece`-byte slices, and returns the decoded bytes.
+fn stream_decode(
+    enc: &Encoded,
+    meta: &RecoilMetadata,
+    backend: &dyn DecodeBackend,
+    piece: usize,
+) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(enc.container.stream.words.len() * 2);
+    for w in &enc.container.stream.words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    let mut incr = IncrementalDecoder::new(
+        meta.clone(),
+        enc.container.stream.final_states.clone(),
+        enc.model.clone(),
+    )
+    .unwrap();
+    let mut out = vec![0u8; enc.container.stream.num_symbols as usize];
+    let mut covered = 0usize;
+    for chunk in bytes.chunks(piece.max(1)) {
+        incr.push_bytes(chunk).unwrap();
+        let r = incr.decode_ready_segments(backend, &mut out).unwrap();
+        assert_eq!(r.start, covered, "decoded ranges must be contiguous");
+        covered = r.end;
+    }
+    if !incr.is_finished() {
+        // Zero-word streams have no bytes to push; one explicit drain.
+        incr.decode_ready_segments(backend, &mut out).unwrap();
+    }
+    assert!(incr.is_complete() && incr.is_finished());
+    out
+}
+
+#[test]
+fn every_backend_and_path_is_byte_identical() {
+    // (len, alphabet, quant_bits): empty, 1-symbol, sub-lane-width, odd
+    // sizes, and a bulk entry; alphabets from binary up to full byte range.
+    let shapes: [(usize, u16, u32); 8] = [
+        (0, 2, 11),
+        (1, 2, 8),
+        (31, 7, 9),
+        (100, 2, 11),
+        (4_097, 251, 11),
+        (20_000, 16, 10),
+        (60_000, 256, 11),
+        (120_000, 256, 12),
+    ];
+    // Segment targets: 1 (no splits), tiny, typical, and clamp-edge values
+    // far beyond what the planner can place.
+    let tiers: [u64; 5] = [1, 2, 7, 64, u64::MAX];
+    let backends = backends();
+    let mut seed = 0xD1FF_5EED_u64;
+
+    for &(len, alphabet, quant_bits) in &shapes {
+        let data = corpus_entry(len, alphabet, next_u64(&mut seed));
+        let codec = Codec::builder()
+            .max_segments(64)
+            .quant_bits(quant_bits)
+            .build()
+            .unwrap();
+        let enc = codec.encode(&data).unwrap();
+
+        for &tier in &tiers {
+            let meta = try_combine_splits(&enc.container.metadata, tier).unwrap();
+            let ctx = format!(
+                "len={len} alphabet={alphabet} n={quant_bits} tier={tier} \
+                 segments={}",
+                meta.num_segments()
+            );
+            let shrunk = Encoded {
+                container: RecoilContainer {
+                    stream: enc.container.stream.clone(),
+                    metadata: meta.clone(),
+                },
+                model: enc.model.clone(),
+                symbol_bits: 8,
+            };
+
+            // Buffered: every backend against the reference input.
+            for (name, backend) in &backends {
+                let got: Vec<u8> = codec.decode_with(backend.as_ref(), &shrunk).unwrap();
+                assert_eq!(got, data, "buffered {name}: {ctx}");
+            }
+
+            // Streaming: every backend at several byte granularities.
+            for (name, backend) in &backends {
+                for piece in GRANULARITIES {
+                    let got = stream_decode(&enc, &meta, backend.as_ref(), piece);
+                    assert_eq!(got, data, "streaming {name} piece={piece}: {ctx}");
+                }
+            }
+
+            // Streaming at the server's split-aligned chunk plan exactly.
+            let plan = plan_chunks(&meta, 8 * 1024);
+            plan.validate_against(&meta).unwrap();
+            for (name, backend) in &backends {
+                let mut bytes = Vec::new();
+                for w in &enc.container.stream.words {
+                    bytes.extend_from_slice(&w.to_le_bytes());
+                }
+                let mut incr = IncrementalDecoder::with_plan(
+                    meta.clone(),
+                    enc.container.stream.final_states.clone(),
+                    enc.model.clone(),
+                    &plan,
+                )
+                .unwrap();
+                let mut out = vec![0u8; data.len()];
+                for c in &plan.chunks {
+                    incr.push_bytes(&bytes[c.words.start as usize * 2..c.words.end as usize * 2])
+                        .unwrap();
+                    incr.decode_ready_segments(backend.as_ref(), &mut out)
+                        .unwrap();
+                    // The plan's promise: after chunk k, exactly its
+                    // cumulative segment count is decoded.
+                    assert_eq!(
+                        incr.decoded_segments(),
+                        c.segments.end,
+                        "plan-aligned {name}: {ctx}"
+                    );
+                }
+                assert!(incr.is_finished(), "plan-aligned {name}: {ctx}");
+                assert_eq!(out, data, "plan-aligned {name}: {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sixteen_bit_streams_are_differentially_identical() {
+    let mut seed = 0x16B1_7555_u64;
+    let raw = corpus_entry(40_000, 256, next_u64(&mut seed));
+    let data: Vec<u16> = raw.iter().map(|&b| (b as u16) << 2).collect();
+    let codec = Codec::builder()
+        .quant_bits(12)
+        .max_segments(16)
+        .build()
+        .unwrap();
+    let enc = codec.encode_u16(&data).unwrap();
+    for (name, backend) in &backends() {
+        let got: Vec<u16> = codec.decode_with(backend.as_ref(), &enc).unwrap();
+        assert_eq!(got, data, "buffered u16 {name}");
+    }
+}
+
+#[test]
+fn pooled_and_scalar_segment_ranges_agree_mid_stream() {
+    // The segment-range entry point itself, against a word *prefix*: decode
+    // the first half of the segments before the rest of the stream exists.
+    let mut seed = 77u64;
+    let data = corpus_entry(80_000, 256, next_u64(&mut seed));
+    let codec = Codec::builder().max_segments(16).build().unwrap();
+    let enc = codec.encode(&data).unwrap();
+    let meta = &enc.container.metadata;
+    let nseg = meta.num_segments();
+    assert!(nseg >= 4);
+    let half = nseg / 2;
+    let need = meta.splits[half as usize - 1].offset as usize + 1;
+
+    let mut prefix_stream = enc.container.stream.clone();
+    prefix_stream.words.truncate(need);
+    let req = DecodeRequest {
+        stream: &prefix_stream,
+        metadata: meta,
+        model: &enc.model,
+    };
+    let bounds = meta.segment_bounds();
+    let cut = bounds[half as usize] as usize;
+    for (name, backend) in &backends() {
+        let mut out = vec![0u8; data.len()];
+        backend
+            .decode_u8_segments(&req, 0..half, &mut out)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(&out[..cut], &data[..cut], "prefix decode {name}");
+        assert!(
+            out[cut..].iter().all(|&b| b == 0),
+            "{name} wrote past range"
+        );
+
+        // Asking for the final segment against a prefix must error, not
+        // misdecode.
+        assert!(
+            backend.decode_u8_segments(&req, 0..nseg, &mut out).is_err(),
+            "{name} must reject a final-segment decode on a prefix"
+        );
+    }
+}
