@@ -1,0 +1,194 @@
+//! Single-thread decode throughput: the fast-loop engine vs the retained
+//! careful reference, every [`DecodeBackend`], and pooled segment decode.
+//!
+//! This is the decode column of the perf trajectory (the serving and
+//! transport sides already track `BENCH_serve.json` / `BENCH_net.json`).
+//! Reports MB/s to stdout and as JSON to `BENCH_decode.json`; the headline
+//! number is `fast_over_careful` — the speedup of
+//! `recoil_rans::fast::decode_span` over `decode_span_careful` on the same
+//! stream, same thread, same machine.
+//!
+//! ```sh
+//! cargo run --release -p recoil-bench --bin decode
+//! cargo run --release -p recoil-bench --bin decode -- --smoke       # CI
+//! cargo run --release -p recoil-bench --bin decode -- --bytes 64000000 --iters 9
+//! ```
+
+use recoil::prelude::*;
+use recoil::rans::fast::{decode_span, decode_span_careful};
+use recoil::simd::Kernel;
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    bytes: usize,
+    iters: usize,
+    max_segments: u64,
+    threads: usize,
+    smoke: bool,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().collect();
+        let mut a = Self {
+            bytes: 32_000_000,
+            iters: 7,
+            max_segments: 64,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            smoke: false,
+        };
+        let mut i = 1;
+        while i < argv.len() {
+            let next = |i: &mut usize| {
+                *i += 1;
+                argv[*i].parse().expect("numeric argument")
+            };
+            match argv[i].as_str() {
+                "--bytes" => a.bytes = next(&mut i),
+                "--iters" => a.iters = next(&mut i),
+                "--max-segments" => a.max_segments = next(&mut i) as u64,
+                "--threads" => a.threads = next(&mut i),
+                "--smoke" => a.smoke = true,
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        if a.smoke {
+            a.bytes = a.bytes.min(4_000_000);
+            a.iters = a.iters.min(3);
+        }
+        a
+    }
+}
+
+/// Best-of-`iters` wall time for `run`, after one warmup; the minimum is
+/// the stable estimator on shared machines.
+fn measure(iters: usize, mut run: impl FnMut()) -> f64 {
+    run();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = Args::parse();
+    let quant_bits = 11u32;
+    println!(
+        "decode bench: {} bytes, best of {} iters{}",
+        args.bytes,
+        args.iters,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+
+    let data = recoil::data::text_like_bytes(args.bytes, 5.1, 99);
+    let codec = Codec::builder()
+        .max_segments(args.max_segments)
+        .quant_bits(quant_bits)
+        .build()
+        .unwrap();
+    let enc = codec.encode(&data).unwrap();
+    let stream = &enc.container.stream;
+    println!(
+        "payload: {} symbols -> {} words, {} segments",
+        data.len(),
+        stream.words.len(),
+        enc.container.metadata.num_segments()
+    );
+    let mbps = |secs: f64| data.len() as f64 / secs / 1e6;
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut out = vec![0u8; data.len()];
+    let next = stream.end_cursor();
+
+    // The raw engines: serial whole-stream decode from the final states,
+    // no split metadata involved — the purest fast-vs-careful comparison.
+    let fast = measure(args.iters, || {
+        let mut states = stream.final_states.clone();
+        decode_span(&enc.model, &stream.words, next, &mut states, 0, &mut out).unwrap();
+        std::hint::black_box(&out);
+    });
+    assert_eq!(out, data, "fast engine misdecoded");
+    results.push(("fast_scalar".into(), mbps(fast)));
+
+    let careful = measure(args.iters, || {
+        let mut states = stream.final_states.clone();
+        decode_span_careful(&enc.model, &stream.words, next, &mut states, 0, &mut out).unwrap();
+        std::hint::black_box(&out);
+    });
+    assert_eq!(out, data, "careful reference misdecoded");
+    results.push(("careful_reference".into(), mbps(careful)));
+    let speedup = careful / fast;
+
+    // Single-thread backends over the split metadata (sync phases + fast
+    // engine per segment; the vector backends add their kernels).
+    let mut backends: Vec<(String, Box<dyn DecodeBackend>)> = vec![
+        ("backend_scalar".into(), Box::new(ScalarBackend)),
+        ("backend_auto_1t".into(), Box::new(AutoBackend::new())),
+    ];
+    if Kernel::Avx2.is_available() {
+        backends.push(("backend_avx2_1t".into(), Box::new(Avx2Backend::new())));
+    }
+    if Kernel::Avx512.is_available() {
+        backends.push(("backend_avx512_1t".into(), Box::new(Avx512Backend::new())));
+    }
+    for (name, backend) in &backends {
+        let secs = measure(args.iters, || {
+            codec
+                .decode_with_into(backend.as_ref(), &enc, &mut out)
+                .unwrap();
+            std::hint::black_box(&out);
+        });
+        assert_eq!(out, data, "{name} misdecoded");
+        results.push((name.clone(), mbps(secs)));
+    }
+
+    // Pooled segment decode: one task per metadata segment on a persistent
+    // thread pool — the server-side and streaming-receiver configuration.
+    let pooled = PooledBackend::new(args.threads);
+    let pooled_name = format!("pooled_{}t_segments", args.threads);
+    let secs = measure(args.iters, || {
+        codec.decode_with_into(&pooled, &enc, &mut out).unwrap();
+        std::hint::black_box(&out);
+    });
+    assert_eq!(out, data, "pooled backend misdecoded");
+    results.push((pooled_name, mbps(secs)));
+
+    println!("\n{:<24} {:>10}", "config", "MB/s");
+    for (name, v) in &results {
+        println!("{name:<24} {v:>10.1}");
+    }
+    println!("fast over careful reference: {speedup:.2}x");
+    if speedup < 1.3 {
+        eprintln!("WARNING: fast loop under the 1.3x target on this run");
+    }
+
+    let mut rows = String::new();
+    for (i, (name, v)) in results.iter().enumerate() {
+        rows.push_str(&format!(
+            "    {{\"config\": \"{name}\", \"mb_per_s\": {v:.1}}}{}\n",
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"decode\",\n  \"smoke\": {},\n  \
+         \"payload_bytes\": {},\n  \"stream_words\": {},\n  \
+         \"quant_bits\": {quant_bits},\n  \"ways\": 32,\n  \
+         \"segments\": {},\n  \"iters\": {},\n  \"threads\": {},\n  \
+         \"fast_over_careful\": {speedup:.3},\n  \"results\": [\n{rows}  ]\n}}\n",
+        args.smoke,
+        data.len(),
+        stream.words.len(),
+        enc.container.metadata.num_segments(),
+        args.iters,
+        args.threads,
+    );
+    let path = "BENCH_decode.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+    println!("[results written to {path}]");
+}

@@ -109,6 +109,16 @@ impl<'a> BackwardWordReader<'a> {
         }
     }
 
+    /// Reader resuming from a saved cursor (`None` = already exhausted) —
+    /// the inverse of [`BackwardWordReader::offset`], used when a fast
+    /// decode loop hands its raw cursor back to the careful tail path.
+    pub fn at(words: &'a [u16], next: Option<u64>) -> Self {
+        match next {
+            Some(start) => Self::new(words, start),
+            None => Self { words, next: None },
+        }
+    }
+
     /// Offset of the next word to be read, if any.
     #[inline]
     pub fn offset(&self) -> Option<u64> {
@@ -179,6 +189,17 @@ mod tests {
         assert_eq!(r.next(), Some(10));
         assert_eq!(r.next(), None);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn at_round_trips_offsets() {
+        let s: WordStream = vec![10u16, 20, 30].into();
+        let mut r = BackwardWordReader::from_end(s.as_slice());
+        assert_eq!(r.next(), Some(30));
+        let mut resumed = BackwardWordReader::at(s.as_slice(), r.offset());
+        assert_eq!(resumed.next(), Some(20));
+        let exhausted = BackwardWordReader::at(s.as_slice(), None);
+        assert_eq!(exhausted.remaining(), 0);
     }
 
     #[test]

@@ -204,10 +204,15 @@ pub trait DecodeBackend: Send + Sync {
 
 /// Building block for [`DecodeBackend`] implementations: the scalar (or
 /// thread-pooled) three-phase decode over any model provider.
-pub fn decode_pooled<S: Symbol>(
+///
+/// Generic over the provider on purpose: backends that hold a concrete
+/// [`StaticModelProvider`] get a monomorphized decode loop whose LUT
+/// lookup inlines into the fast loop (`recoil_rans::fast`), while the
+/// adaptive path can still pass `&dyn ModelProvider`.
+pub fn decode_pooled<S: Symbol, P: ModelProvider + ?Sized>(
     stream: &EncodedStream,
     metadata: &RecoilMetadata,
-    provider: &dyn ModelProvider,
+    provider: &P,
     pool: Option<&ThreadPool>,
     out: &mut [S],
 ) -> Result<(), RecoilError> {
@@ -217,11 +222,13 @@ pub fn decode_pooled<S: Symbol>(
 /// Building block for [`DecodeBackend::decode_u8_segments`] /
 /// [`DecodeBackend::decode_u16_segments`] implementations: the scalar (or
 /// thread-pooled) three-phase decode of a contiguous segment range, with
-/// `stream.words` allowed to be a prefix covering those segments.
-pub fn decode_segments_pooled<S: Symbol>(
+/// `stream.words` allowed to be a prefix covering those segments. Generic
+/// over the provider for the same devirtualization reason as
+/// [`decode_pooled`].
+pub fn decode_segments_pooled<S: Symbol, P: ModelProvider + ?Sized>(
     stream: &EncodedStream,
     metadata: &RecoilMetadata,
-    provider: &dyn ModelProvider,
+    provider: &P,
     pool: Option<&ThreadPool>,
     segments: Range<u64>,
     out: &mut [S],

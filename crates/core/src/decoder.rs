@@ -25,7 +25,7 @@ use recoil_bitio::BackwardWordReader;
 use recoil_models::{ModelProvider, Symbol};
 use recoil_parallel::ThreadPool;
 use recoil_rans::params::LOWER_BOUND;
-use recoil_rans::{decode_transform, renorm_read, EncodedStream, RansError};
+use recoil_rans::{decode_span, decode_transform, renorm_read, EncodedStream, RansError};
 use std::ops::Range;
 
 /// Number of parallel decode tasks this metadata yields.
@@ -240,7 +240,7 @@ fn decode_task<S: Symbol, P: ModelProvider + ?Sized>(
     let mask = (1u32 << n) - 1;
     let words = &stream.words;
 
-    let (mut states, mut reader) = if m < meta.splits.len() {
+    let (mut states, reader) = if m < meta.splits.len() {
         sync_phase(&meta.splits[m], words, provider, n, mask, ways)?
     } else {
         // The last task starts from the exact, explicitly transmitted final
@@ -252,15 +252,9 @@ fn decode_task<S: Symbol, P: ModelProvider + ?Sized>(
     };
 
     // Decoding Phase + Cross-Boundary Phase: positions lo .. lo+len, writing
-    // real output, stopping at the previous split's sync completion point.
-    for rel in (0..seg.len()).rev() {
-        let pos = lo + rel as u64;
-        let lane = (pos % ways) as usize;
-        let x = renorm_read(states[lane], &mut reader, pos)?;
-        let (nx, sym) = decode_transform(x, pos, provider, n, mask);
-        states[lane] = nx;
-        seg[rel] = S::from_u16(sym);
-    }
+    // real output, stopping at the previous split's sync completion point —
+    // run through the fast-loop/careful-tail engine (`recoil_rans::fast`).
+    decode_span(provider, words, reader.offset(), &mut states, lo, seg)?;
     Ok(())
 }
 

@@ -27,7 +27,7 @@ mod static_model;
 
 pub use counts::Histogram;
 pub use gaussian::{GaussianScaleBank, LatentModelProvider, LatentSpec};
-pub use lut::{DecodeTables, PackedLut, WideLut};
+pub use lut::{decode_table_builds, DecodeTables, PackedLut, WideLut};
 pub use provider::{ModelProvider, StaticModelProvider, Symbol};
 pub use quantize::quantize_counts;
 pub use static_model::CdfTable;

@@ -7,6 +7,26 @@
 //! the SIMD kernels); [`WideLut`] is the general fallback (two gathers).
 
 use crate::CdfTable;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`DecodeTables::build`] calls.
+///
+/// Building the LUTs is the expensive part of standing up a
+/// [`crate::StaticModelProvider`] (a `2^n`-entry fill), so it must happen
+/// once per content — not once per decode call or per streamed segment
+/// batch. This counter exists so regression tests can assert exactly that;
+/// see [`decode_table_builds`].
+static DECODE_TABLE_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`DecodeTables::build`] calls in this process so far.
+///
+/// Intended for tests that pin down table-reuse behavior: snapshot before
+/// an operation, run it, and assert on the delta. Note the counter is
+/// global — such tests should run in their own test binary to avoid
+/// counting concurrent builds from unrelated tests.
+pub fn decode_table_builds() -> u64 {
+    DECODE_TABLE_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Bit position of the freq field in a [`PackedLut`] entry
 /// (`cdf | freq << 12 | sym << 24`).
@@ -147,6 +167,7 @@ pub enum DecodeTables {
 impl DecodeTables {
     /// Builds the best structure for `table`.
     pub fn build(table: &CdfTable) -> Self {
+        DECODE_TABLE_BUILDS.fetch_add(1, Ordering::Relaxed);
         match PackedLut::build(table) {
             Some(p) => Self::Packed(p),
             None => Self::Wide(WideLut::build(table)),

@@ -11,9 +11,8 @@
 
 use crate::params::{self, INITIAL_STATE};
 use crate::sink::{RenormEvent, RenormSink, NO_SYMBOL};
-use crate::step::{decode_transform, renorm_read};
 use crate::{EncodedStream, RansError};
-use recoil_bitio::{BackwardWordReader, WordStream};
+use recoil_bitio::WordStream;
 use recoil_models::{ModelProvider, Symbol};
 
 /// Group-of-interleaved-lanes rANS encoder.
@@ -119,19 +118,15 @@ pub fn decode_interleaved_into<S: Symbol, P: ModelProvider>(
             stream.num_symbols
         )));
     }
-    let n = provider.quant_bits();
-    let mask = (1u32 << n) - 1;
-    let ways = stream.ways as u64;
     let mut states = stream.final_states.clone();
-    let mut reader = BackwardWordReader::from_end(&stream.words);
-    for pos in (0..stream.num_symbols).rev() {
-        let lane = (pos % ways) as usize;
-        let mut x = states[lane];
-        x = renorm_read(x, &mut reader, pos)?;
-        let (nx, sym) = decode_transform(x, pos, provider, n, mask);
-        states[lane] = nx;
-        out[pos as usize] = S::from_u16(sym);
-    }
+    crate::fast::decode_span(
+        provider,
+        &stream.words,
+        stream.end_cursor(),
+        &mut states,
+        0,
+        out,
+    )?;
     Ok(())
 }
 

@@ -24,6 +24,7 @@
 //! it reads the bitstream" (paper §4.1.1).
 
 mod error;
+pub mod fast;
 mod interleaved;
 pub mod params;
 mod single;
@@ -32,6 +33,7 @@ mod step;
 mod stream;
 
 pub use error::RansError;
+pub use fast::{decode_span, decode_span_careful, GROUP as FAST_GROUP};
 pub use interleaved::{decode_interleaved, decode_interleaved_into, InterleavedEncoder};
 pub use single::{decode_single, SingleEncoder};
 pub use sink::{NullSink, RenormEvent, RenormSink, VecSink, NO_SYMBOL};

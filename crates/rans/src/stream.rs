@@ -28,6 +28,14 @@ impl EncodedStream {
         (pos % self.ways as u64) as u32
     }
 
+    /// Backward read cursor positioned at the end of the word stream —
+    /// the `next_read` a whole-stream [`crate::decode_span`] starts from
+    /// (`None` when the stream carries no words).
+    #[inline]
+    pub fn end_cursor(&self) -> Option<u64> {
+        (!self.words.is_empty()).then(|| self.words.len() as u64 - 1)
+    }
+
     /// Payload bytes as counted in the paper's size tables: words plus the
     /// explicitly transmitted final states plus the fixed header
     /// (symbol count + lane count + quantization byte).

@@ -1,6 +1,13 @@
 //! Scalar group decode — the reference semantics every vector kernel must
 //! reproduce bit-exactly, and the fallback for guard regions (stream head,
 //! segment edges) and non-x86 builds.
+//!
+//! [`scalar_group`] mirrors the fast-loop design of `recoil_rans::fast`:
+//! an aligned 32-symbol group runs check-free (branchless renorm,
+//! `get_unchecked` word reads) whenever at least 32 unread words remain —
+//! each symbol consumes at most one renorm word, so the budget argument is
+//! identical. Near word exhaustion it degrades to [`scalar_step`], whose
+//! `Result`-checked reads report underflow.
 
 use crate::model::SimdModel;
 use recoil_rans::params::{LOWER_BOUND, RENORM_BITS};
@@ -36,6 +43,13 @@ pub fn scalar_step(
 
 /// Decodes one aligned 32-symbol group (positions `base .. base+32`) into
 /// `out`, scalar.
+///
+/// `base` must be 32-aligned (the drivers guarantee it): lane `j` then owns
+/// exactly position `base + j`, so the fast path iterates lanes directly —
+/// no `pos % 32` per symbol, no per-call lane recomputation. With at least
+/// 32 unread words below the cursor the group also runs without underflow
+/// or bounds checks; otherwise every step goes through the careful
+/// [`scalar_step`].
 #[inline]
 #[allow(clippy::too_many_arguments)] // mirrors the vector kernel signature
 pub fn scalar_group(
@@ -48,8 +62,100 @@ pub fn scalar_group(
     mask: u32,
     out: &mut [u16; 32],
 ) -> Result<(), RansError> {
+    debug_assert!(base.is_multiple_of(32), "group base must be lane-aligned");
+    // Fast path precondition (checked once per group): a 32-word budget
+    // makes underflow impossible, and the cursor must already be a valid
+    // index so the unchecked reads stay in bounds.
+    if *p >= 31 && (*p as usize) < words.len() {
+        let mut q = *p;
+        for lane in (0..32usize).rev() {
+            let x = states[lane];
+            debug_assert!(q >= 0 && (q as usize) < words.len());
+            // SAFETY: `q` starts at `*p` with `31 <= *p < words.len()` and
+            // decreases at most once per lane, so before lane `31 - k` it
+            // is at least `31 - k >= 0`; every speculative load is in
+            // bounds.
+            let w = unsafe { *words.get_unchecked(q as usize) } as u32;
+            let renorm = x < LOWER_BOUND;
+            let x = if renorm { (x << RENORM_BITS) | w } else { x };
+            q -= renorm as isize;
+            debug_assert!(x >= LOWER_BOUND, "state must recover in one step");
+            let slot = x & mask;
+            let (sym, f, c) = model.lookup(slot);
+            states[lane] = f * (x >> n) + slot - c;
+            out[lane] = sym;
+        }
+        *p = q;
+        return Ok(());
+    }
     for lane in (0..32usize).rev() {
         out[lane] = scalar_step(model, words, p, states, base + lane as u64, n, mask)?;
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recoil_models::{CdfTable, ModelProvider, StaticModelProvider};
+    use recoil_rans::{InterleavedEncoder, NullSink};
+
+    /// The fast aligned group must be bit-identical (symbols, states,
+    /// cursor) to a group of careful `scalar_step`s, including across the
+    /// budget seam where the fast path stops engaging.
+    #[test]
+    fn fast_group_matches_careful_steps_everywhere() {
+        let data: Vec<u8> = (0..40_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 23) as u8)
+            .collect();
+        let provider = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        let mut enc = InterleavedEncoder::new(&provider, 32);
+        enc.encode_all(&data, &mut NullSink);
+        let stream = enc.finish();
+        let model = SimdModel::from_provider(&provider);
+        let n = provider.quant_bits();
+        let mask = (1u32 << n) - 1;
+
+        let mut fast_states = [0u32; 32];
+        fast_states.copy_from_slice(&stream.final_states);
+        let mut careful_states = fast_states;
+        let mut fast_p = stream.words.len() as isize - 1;
+        let mut careful_p = fast_p;
+
+        let groups = (data.len() / 32) as u64;
+        for g in (0..groups).rev() {
+            let base = g * 32;
+            let mut fast_out = [0u16; 32];
+            scalar_group(
+                &model,
+                &stream.words,
+                &mut fast_p,
+                &mut fast_states,
+                base,
+                n,
+                mask,
+                &mut fast_out,
+            )
+            .unwrap();
+            let mut careful_out = [0u16; 32];
+            for lane in (0..32usize).rev() {
+                careful_out[lane] = scalar_step(
+                    &model,
+                    &stream.words,
+                    &mut careful_p,
+                    &mut careful_states,
+                    base + lane as u64,
+                    n,
+                    mask,
+                )
+                .unwrap();
+            }
+            assert_eq!(fast_out, careful_out, "group {g}");
+            assert_eq!(fast_states, careful_states, "group {g}");
+            assert_eq!(fast_p, careful_p, "group {g}");
+            for (lane, &s) in fast_out.iter().enumerate() {
+                assert_eq!(s as u8, data[base as usize + lane], "group {g}");
+            }
+        }
+    }
 }

@@ -184,6 +184,99 @@ fn every_backend_and_path_is_byte_identical() {
     }
 }
 
+/// Shapes targeting the fast-loop/careful-tail seam of
+/// `recoil_rans::fast::decode_span`: streams whose word count exhausts
+/// exactly at a group boundary, one word short of a group (the budget
+/// check fails with `GROUP - 1` words still unread), one word past it, and
+/// symbol counts that end mid-group on the final lane. Each shape is
+/// checked three ways: fast engine vs the retained careful reference
+/// (symbols, lane states, and final cursor), every backend buffered, and
+/// the streaming path at a fine granularity.
+#[test]
+fn fast_tail_seam_word_exhaustion_shapes() {
+    use recoil::rans::fast::{decode_span, decode_span_careful, GROUP};
+
+    // Scan seeded corpus lengths until every target (word-count residue,
+    // symbol-count residue) pair is represented; the encoder is fast
+    // enough that a few hundred small encodes are negligible.
+    let word_residues = [0usize, 1, GROUP - 1];
+    let sym_residues = [0usize, 13];
+    let mut wanted: Vec<(usize, usize)> = word_residues
+        .iter()
+        .flat_map(|&w| sym_residues.iter().map(move |&s| (w, s)))
+        .collect();
+    let mut cases = Vec::new();
+    let mut seed = 0x5EA4_5EED_u64;
+    let codec = Codec::builder().max_segments(7).build().unwrap();
+    for len in 2048..6144usize {
+        if wanted.is_empty() {
+            break;
+        }
+        let data = corpus_entry(len, 256, next_u64(&mut seed));
+        let enc = codec.encode(&data).unwrap();
+        let key = (enc.container.stream.words.len() % GROUP, len % GROUP);
+        if let Some(at) = wanted.iter().position(|&w| w == key) {
+            wanted.remove(at);
+            cases.push((data, enc));
+        }
+    }
+    assert!(
+        wanted.is_empty(),
+        "scan did not produce shapes for residues {wanted:?}"
+    );
+
+    let backends = backends();
+    for (data, enc) in &cases {
+        let stream = &enc.container.stream;
+        let meta = &enc.container.metadata;
+        let ctx = format!(
+            "len={} words={} (w%G={}, n%G={})",
+            data.len(),
+            stream.words.len(),
+            stream.words.len() % GROUP,
+            data.len() % GROUP
+        );
+        let next = stream.end_cursor();
+
+        // Fast engine vs careful reference: identical output, identical
+        // final lane states, identical leftover cursor.
+        let mut fast_states = stream.final_states.clone();
+        let mut fast_out = vec![0u8; data.len()];
+        let fast_cursor = decode_span(
+            &enc.model,
+            &stream.words,
+            next,
+            &mut fast_states,
+            0,
+            &mut fast_out,
+        )
+        .unwrap();
+        let mut ref_states = stream.final_states.clone();
+        let mut ref_out = vec![0u8; data.len()];
+        let ref_cursor = decode_span_careful(
+            &enc.model,
+            &stream.words,
+            next,
+            &mut ref_states,
+            0,
+            &mut ref_out,
+        )
+        .unwrap();
+        assert_eq!(fast_out, *data, "fast engine: {ctx}");
+        assert_eq!(ref_out, *data, "careful reference: {ctx}");
+        assert_eq!(fast_states, ref_states, "lane states: {ctx}");
+        assert_eq!(fast_cursor, ref_cursor, "cursor: {ctx}");
+
+        // All backends, buffered and streaming.
+        for (name, backend) in &backends {
+            let got: Vec<u8> = codec.decode_with(backend.as_ref(), enc).unwrap();
+            assert_eq!(got, *data, "buffered {name}: {ctx}");
+            let got = stream_decode(enc, meta, backend.as_ref(), 64);
+            assert_eq!(got, *data, "streaming {name}: {ctx}");
+        }
+    }
+}
+
 #[test]
 fn sixteen_bit_streams_are_differentially_identical() {
     let mut seed = 0x16B1_7555_u64;
