@@ -13,17 +13,25 @@
 //! **time-to-first-segment** beside total latency, plus a buffered
 //! comparison column, all written into `BENCH_net.json`.
 //!
+//! The concurrency phase then holds `--connections` negotiated sockets
+//! open (default 1024, mostly idle — each costs the reactor one parked
+//! slab slot) while driver threads push pipelined request bursts through
+//! the crowd, reporting `concurrent_req_s` plus the rejection/eviction
+//! counters.
+//!
 //! ```sh
 //! cargo run --release -p recoil-bench --bin net
-//! cargo run --release -p recoil-bench --bin net -- --smoke          # CI
-//! cargo run --release -p recoil-bench --bin net -- --smoke --streaming
+//! cargo run --release -p recoil-bench --bin net -- --smoke --streaming --connections 256  # CI
 //! cargo run --release -p recoil-bench --bin net -- --clients 16 --requests 2000
+//! cargo run --release -p recoil-bench --bin net -- --connections 4096
 //! ```
 
-use recoil::net::{NetClient, NetConfig, NetServer};
+use recoil::net::raw::{read_frame, write_frame, ReadOutcome};
+use recoil::net::{ContentRequest, FrameType, Hello, NetClient, NetConfig, NetServer};
 use recoil::prelude::*;
 use recoil::server::ContentServer;
 use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,6 +45,7 @@ struct Args {
     items: usize,
     bytes: usize,
     max_segments: u64,
+    connections: usize,
     smoke: bool,
     streaming: bool,
 }
@@ -50,6 +59,7 @@ impl Args {
             items: 3,
             bytes: 1_000_000,
             max_segments: 256,
+            connections: 1024,
             smoke: false,
             streaming: false,
         };
@@ -65,6 +75,7 @@ impl Args {
                 "--items" => a.items = next(&mut i),
                 "--bytes" => a.bytes = next(&mut i),
                 "--max-segments" => a.max_segments = next(&mut i) as u64,
+                "--connections" => a.connections = next(&mut i),
                 "--smoke" => a.smoke = true,
                 "--streaming" => a.streaming = true,
                 other => panic!("unknown argument {other}"),
@@ -76,6 +87,7 @@ impl Args {
             a.requests = a.requests.min(60);
             a.items = a.items.min(2);
             a.bytes = a.bytes.min(200_000);
+            a.connections = a.connections.min(256);
         }
         a
     }
@@ -113,6 +125,71 @@ fn item_name(i: usize) -> String {
     format!("item{i}")
 }
 
+/// Opens a raw connection and completes the HELLO exchange; the concurrency
+/// phase drives these byte-by-byte instead of through [`NetClient`] so it
+/// can pipeline many requests down one socket.
+fn raw_handshake(addr: SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write_frame(&mut stream, FrameType::Hello, &Hello::ours().encode()).unwrap();
+    match read_frame(&mut stream).unwrap() {
+        ReadOutcome::Frame(FrameType::Hello, _) => stream,
+        other => panic!("expected HELLO reply, got {other:?}"),
+    }
+}
+
+/// One pipelined driver: writes `count` REQUEST frames in bursts and reads
+/// the `TRANSMIT` + `CHUNK` responses back, returning bytes received.
+fn drive_pipelined(addr: SocketAddr, name: &str, count: usize) -> u64 {
+    let request_frame = {
+        let payload = ContentRequest {
+            name: name.to_string(),
+            parallel_segments: 1,
+        }
+        .encode();
+        let mut f = Vec::with_capacity(5 + payload.len());
+        f.push(FrameType::Request as u8);
+        f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        f.extend_from_slice(&payload);
+        f
+    };
+    const BATCH: usize = 64;
+    let burst: Vec<u8> = request_frame.repeat(BATCH);
+    let mut stream = raw_handshake(addr);
+    let mut reader = std::io::BufReader::with_capacity(64 * 1024, stream.try_clone().unwrap());
+    let mut received = 0u64;
+    let mut done = 0usize;
+    while done < count {
+        let n = BATCH.min(count - done);
+        // The burst is tiny (~30 B per request) and responses coalesce in
+        // the server's write buffer, so write-then-read cannot deadlock.
+        stream.write_all(&burst[..n * request_frame.len()]).unwrap();
+        for _ in 0..n {
+            let chunks = match read_frame(&mut reader).unwrap() {
+                ReadOutcome::Frame(FrameType::Transmit, payload) => {
+                    received += payload.len() as u64;
+                    // `chunk_count` is the final u32 of the payload.
+                    u32::from_le_bytes(payload[payload.len() - 4..].try_into().unwrap())
+                }
+                other => panic!("expected TRANSMIT, got {other:?}"),
+            };
+            for _ in 0..chunks {
+                match read_frame(&mut reader).unwrap() {
+                    ReadOutcome::Frame(FrameType::Chunk, payload) => {
+                        received += payload.len() as u64;
+                    }
+                    other => panic!("expected CHUNK, got {other:?}"),
+                }
+            }
+        }
+        done += n;
+    }
+    received
+}
+
 fn percentile(sorted_nanos: &[u64], p: f64) -> u64 {
     if sorted_nanos.is_empty() {
         return 0;
@@ -139,16 +216,18 @@ fn main() {
         },
     );
 
-    // Every client (plus the publisher) keeps one connection open, and a
-    // connection pins a worker for its lifetime. This server keeps the
-    // default chunk size so the headline buffered metrics stay comparable
-    // across runs; the streaming phase gets its own server below.
+    // Connections are multiplexed on the reactor thread, not pinned to
+    // workers, so `workers` only sizes the dispatch pool for publishes and
+    // cache misses; `max_connections` must cover the concurrency phase's
+    // idle crowd. This server keeps the default chunk size so the headline
+    // buffered metrics stay comparable across runs; the streaming phase
+    // gets its own server below.
     let server = NetServer::bind(
         Arc::new(ContentServer::new()),
         "127.0.0.1:0",
         NetConfig {
-            workers: args.clients + 2,
-            max_connections: args.clients + 8,
+            workers: 4,
+            max_connections: args.clients + args.connections + 16,
             read_timeout: Duration::from_millis(100),
             ..NetConfig::default()
         },
@@ -226,9 +305,66 @@ fn main() {
     let p50 = percentile(&all_latencies, 0.50);
     let p99 = percentile(&all_latencies, 0.99);
 
-    // The main-loop counters are snapshotted *before* the streaming phase
-    // so every headline JSON column describes the same workload.
+    // The main-loop counters are snapshotted *before* the concurrency and
+    // streaming phases so every headline JSON column describes the same
+    // workload.
     let stats = publisher.stats().unwrap();
+
+    // Concurrency phase: the reactor's claim is that thousands of mostly
+    // idle connections cost one parked slab slot each while active traffic
+    // stays fast. Hold `--connections` negotiated sockets open, then push
+    // pipelined request bursts for a small item through driver threads —
+    // request turnover under connection pressure, not bulk transfer (the
+    // headline phase above covers that).
+    let drivers = 4usize.min(args.connections.max(1));
+    let per_driver = if args.smoke { 5_000 } else { 60_000 };
+    let tiny_config = EncoderConfig {
+        max_segments: 4,
+        ..EncoderConfig::default()
+    };
+    let tiny = recoil::data::exponential_bytes(512, 90.0, 99);
+    publisher.publish("tiny", &tiny, &tiny_config).unwrap();
+    // Warm the tier cache so the timed loop stays on the loop-inline path.
+    assert_eq!(publisher.fetch_and_decode("tiny", 1).unwrap(), tiny);
+
+    let idle: Vec<TcpStream> = (0..args.connections.saturating_sub(drivers))
+        .map(|_| raw_handshake(addr))
+        .collect();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..drivers)
+            .map(|_| s.spawn(move || drive_pipelined(addr, "tiny", per_driver)))
+            .collect();
+        assert!(
+            server.active_connections() >= idle.len(),
+            "the idle crowd must stay connected during the timed phase"
+        );
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    let concurrent_wall = t0.elapsed().as_secs_f64();
+    let concurrent_requests = drivers * per_driver;
+    let concurrent_rps = concurrent_requests as f64 / concurrent_wall;
+    let after = publisher.stats().unwrap();
+    println!(
+        "concurrency: {} connections held open, {concurrent_requests} pipelined requests \
+         on {drivers} drivers in {concurrent_wall:.3}s => {concurrent_rps:.0} req/s \
+         ({} rejected, {} evicted)",
+        idle.len() + drivers,
+        after.stats.rejected_connections,
+        after.stats.evicted_connections,
+    );
+    assert_eq!(
+        after.stats.rejected_connections, 0,
+        "the connection cap must cover the benchmark's own crowd"
+    );
+    assert_eq!(
+        after.stats.evicted_connections, 0,
+        "idle-between-frames peers must never be evicted"
+    );
+    let idle_held = idle.len();
+    drop(idle);
 
     // Streaming phase: its own server (so the small split-aligned chunks
     // it needs never skew the headline metrics above), alternating
@@ -370,7 +506,10 @@ fn main() {
          \"requests_per_sec\": {:.1},\n  \"latency_p50_us\": {:.1},\n  \
          \"latency_p99_us\": {:.1},\n  \"bytes_transferred\": {},\n  \
          \"server_bytes_served\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
-         \"cache_hit_rate\": {:.6},\n  \"verified_decodes\": {}{}\n}}\n",
+         \"cache_hit_rate\": {:.6},\n  \"verified_decodes\": {},\n  \
+         \"connections\": {},\n  \"concurrent_requests\": {},\n  \
+         \"concurrent_req_s\": {:.1},\n  \"rejected_connections\": {},\n  \
+         \"evicted_connections\": {}{}\n}}\n",
         args.smoke,
         args.clients,
         args.requests,
@@ -388,6 +527,11 @@ fn main() {
         stats.stats.cache_misses,
         stats.stats.hit_rate(),
         verified,
+        idle_held + drivers,
+        concurrent_requests,
+        concurrent_rps,
+        after.stats.rejected_connections,
+        after.stats.evicted_connections,
         streaming_json,
     );
     let path = "BENCH_net.json";

@@ -392,6 +392,15 @@ impl ChunkPlan {
 /// degrades to plain fixed-size chunking, and an empty stream yields one
 /// empty chunk so the receiver still observes completion.
 pub fn plan_chunks(meta: &RecoilMetadata, target_chunk_bytes: usize) -> ChunkPlan {
+    let mut plan = ChunkPlan { chunks: Vec::new() };
+    plan_chunks_into(meta, target_chunk_bytes, &mut plan);
+    plan
+}
+
+/// In-place variant of [`plan_chunks`]: clears and refills `plan`, reusing
+/// its chunk storage so a steady-state server can plan every response
+/// without allocating.
+pub fn plan_chunks_into(meta: &RecoilMetadata, target_chunk_bytes: usize, plan: &mut ChunkPlan) {
     let target = (target_chunk_bytes as u64 / 2).max(1);
     let nseg = meta.num_segments();
     let seg_end = |m: u64| {
@@ -401,7 +410,8 @@ pub fn plan_chunks(meta: &RecoilMetadata, target_chunk_bytes: usize) -> ChunkPla
             meta.splits[m as usize].offset + 1
         }
     };
-    let mut chunks = Vec::new();
+    let chunks = &mut plan.chunks;
+    chunks.clear();
     let mut word = 0u64;
     let mut seg = 0u64;
     while word < meta.num_words {
@@ -432,12 +442,10 @@ pub fn plan_chunks(meta: &RecoilMetadata, target_chunk_bytes: usize) -> ChunkPla
             segments: seg..nseg,
         });
     }
-    let plan = ChunkPlan { chunks };
     debug_assert!(
         plan.validate_against(meta).is_ok(),
         "planner produced an invalid chunk plan"
     );
-    plan
 }
 
 /// Offline planning over a recorded event log (tests, small inputs).

@@ -156,6 +156,40 @@ pub fn read_frame(r: &mut impl Read) -> Result<ReadOutcome, RecoilError> {
     Ok(ReadOutcome::Frame(ty, payload))
 }
 
+/// Starts a frame directly inside an in-memory write buffer: appends the
+/// type byte and a length placeholder, returning the payload's start
+/// offset. The caller appends the payload bytes and then seals the frame
+/// with [`end_frame`]. This is how the event-driven server stages
+/// responses — straight into the connection's pending-write buffer, no
+/// intermediate payload allocation.
+pub fn begin_frame(buf: &mut Vec<u8>, ty: FrameType) -> usize {
+    buf.push(ty as u8);
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.len()
+}
+
+/// Seals a frame opened with [`begin_frame`] by patching the length field.
+/// Fails (leaving the buffer for the caller to roll back) if the payload
+/// outgrew [`MAX_FRAME_LEN`] — the peer would kill the connection on its
+/// own length check anyway.
+pub fn end_frame(buf: &mut [u8], payload_start: usize) -> Result<(), RecoilError> {
+    let len = buf.len() - payload_start;
+    if len as u64 > MAX_FRAME_LEN as u64 {
+        return Err(RecoilError::net(format!(
+            "refusing to send an oversized frame: {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    buf[payload_start - 4..payload_start].copy_from_slice(&(len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Appends one complete frame to an in-memory write buffer.
+pub fn append_frame(buf: &mut Vec<u8>, ty: FrameType, payload: &[u8]) -> Result<(), RecoilError> {
+    let at = begin_frame(buf, ty);
+    buf.extend_from_slice(payload);
+    end_frame(buf, at)
+}
+
 /// Writes one frame (header + payload) and flushes nothing — TCP buffering
 /// plus `TCP_NODELAY` on both ends keeps latency flat.
 ///
@@ -269,10 +303,16 @@ impl<'a> PayloadReader<'a> {
 
     /// Length-prefixed (u16) UTF-8 string.
     pub fn name(&mut self) -> Result<String, RecoilError> {
+        self.name_str().map(str::to_owned)
+    }
+
+    /// Length-prefixed (u16) UTF-8 string, borrowed from the payload — the
+    /// zero-copy twin of [`PayloadReader::name`] for hot paths that only
+    /// need to look the name up.
+    pub fn name_str(&mut self) -> Result<&'a str, RecoilError> {
         let len = self.u16()? as usize;
         let raw = self.take(len)?;
-        String::from_utf8(raw.to_vec())
-            .map_err(|_| RecoilError::net("frame name is not valid UTF-8"))
+        std::str::from_utf8(raw).map_err(|_| RecoilError::net("frame name is not valid UTF-8"))
     }
 
     /// Fails unless the whole payload was consumed — trailing garbage is a
@@ -353,6 +393,47 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(matches!(read_frame(&mut r).unwrap(), ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn in_place_framing_matches_write_frame() {
+        let mut via_writer = Vec::new();
+        write_frame(&mut via_writer, FrameType::Chunk, b"payload bytes").unwrap();
+
+        let mut via_buf = Vec::new();
+        let at = begin_frame(&mut via_buf, FrameType::Chunk);
+        via_buf.extend_from_slice(b"payload bytes");
+        end_frame(&mut via_buf, at).unwrap();
+        assert_eq!(via_buf, via_writer);
+
+        let mut appended = Vec::new();
+        append_frame(&mut appended, FrameType::Chunk, b"payload bytes").unwrap();
+        assert_eq!(appended, via_writer);
+
+        // Frames stack in one buffer.
+        let at = begin_frame(&mut via_buf, FrameType::Stats);
+        end_frame(&mut via_buf, at).unwrap();
+        let mut r = &via_buf[..];
+        assert!(matches!(
+            read_frame(&mut r).unwrap(),
+            ReadOutcome::Frame(FrameType::Chunk, p) if p == b"payload bytes"
+        ));
+        assert!(matches!(
+            read_frame(&mut r).unwrap(),
+            ReadOutcome::Frame(FrameType::Stats, p) if p.is_empty()
+        ));
+    }
+
+    #[test]
+    fn borrowed_names_match_owned_names() {
+        let mut w = PayloadWriter::new();
+        w.name("movie");
+        let bytes = w.0;
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.name_str().unwrap(), "movie");
+        r.finish().unwrap();
+        let mut r = PayloadReader::new(&bytes[..3]);
+        assert!(r.name_str().is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! server receives the request, shrinks down the metadata in real-time, and
 //! serves the bitstream and the shrunk metadata to the decoder." This crate
 //! puts that exchange on a real socket: a length-prefixed binary protocol
-//! over `std::net` TCP, a threaded [`NetServer`] wrapping the sharded
+//! over `std::net` TCP, an event-driven [`NetServer`] wrapping the sharded
 //! in-process [`ContentServer`], and a pooling [`NetClient`] whose
 //! [`NetClient::fetch_and_decode`] turns a remote fetch into one call that
 //! ends in decoded bytes.
@@ -54,19 +54,40 @@
 //!
 //! ## Server concurrency model
 //!
-//! [`NetServer::bind`] starts an accept thread feeding a bounded queue
-//! drained by handler workers on a [`recoil_parallel::ThreadPool`] — one
-//! long-lived worker per pool thread, claimed through a single `run` epoch
-//! spanning the server's lifetime. `max_connections` caps handled + queued
-//! connections (excess accepts get a typed busy error); read/write
-//! timeouts bound stalled peers; shutdown is graceful — an atomic flag plus
-//! a loopback wake connection stop accepting while in-flight requests
-//! finish and their responses are fully written.
+//! [`NetServer::bind`] starts one **reactor thread** that multiplexes
+//! every connection through `recoil-reactor`'s readiness plumbing:
+//! edge-triggered epoll (with a portable `poll(2)` fallback behind
+//! [`NetConfig::poll_fallback`]), per-connection state in a
+//! generation-checked slab whose buffers are parked on close and recycled
+//! on the next accept, and a deadline queue for progress timeouts.
+//! Connections are **not** pinned to threads: thousands of mostly-idle
+//! peers cost one slab slot each. HELLO negotiation, stats snapshots, and
+//! cache-hit requests are served inline on the loop with zero per-request
+//! allocation; CPU-bound work — the rANS encode behind a `PUBLISH`, the
+//! real-time metadata combine behind a tier-cache miss — runs on a small
+//! dispatch pool ([`recoil_parallel::ThreadPool`], sized by
+//! [`NetConfig::workers`]) and completes back to the loop through a wake
+//! pipe.
 //!
-//! Handlers resolve requests through [`ContentServer::fetch`], the atomic
-//! name→(transmission, content) lookup, and the server's
-//! `bytes_served` / `active_connections` counters surface through the
-//! `STATS` frame.
+//! `max_connections` caps open connections (excess accepts get a typed
+//! busy error). Timeouts are *progress* deadlines managed by the reactor:
+//! a peer that starts a frame must keep bytes flowing within
+//! [`NetConfig::read_timeout`] or it is evicted with a typed `ERROR`
+//! frame (slow-loris defense, counted in the `evicted_connections`
+//! stat); a peer that stops consuming its response is dropped after
+//! [`NetConfig::write_timeout`]. Idle connections *between* frames are
+//! never timed. Shutdown is graceful: the loop stops accepting, closes
+//! idle connections, and lets every in-flight response finish before the
+//! threads join.
+//!
+//! Cache-hit requests resolve through [`ContentServer::fetch_cached`]
+//! without leaving the loop; misses go through [`ContentServer::fetch`],
+//! the atomic name→(transmission, content) lookup, on a worker. The
+//! server's `bytes_served` / `active_connections` /
+//! `rejected_connections` / `evicted_connections` counters and the
+//! `queue_depth` / `open_slots` gauges surface through the `STATS` frame.
+//! The previous thread-per-connection backend remains one deprecation
+//! cycle away behind [`NetConfig::legacy_threaded`].
 //!
 //! ## Client
 //!
@@ -84,6 +105,7 @@
 //!
 //! [`ContentServer`]: recoil_server::ContentServer
 //! [`ContentServer::fetch`]: recoil_server::ContentServer::fetch
+//! [`ContentServer::fetch_cached`]: recoil_server::ContentServer::fetch_cached
 //! [`RecoilError`]: recoil_core::RecoilError
 //! [`RecoilError::Net`]: recoil_core::RecoilError::Net
 //! [`DecodeBackend`]: recoil_core::codec::DecodeBackend
@@ -98,6 +120,7 @@ pub use frame::{
     FrameType, CAP_CHUNKED, HELLO_MAGIC, MAX_FRAME_LEN, PROTOCOL_VERSION, SUPPORTED_CAPS,
 };
 pub use proto::{ContentRequest, Hello, PublishOk, PublishRequest, StatsReply, TransmitHeader};
+pub use recoil_reactor::SlabStats;
 pub use server::{NetConfig, NetServer, NetServerHandle};
 
 // Framing internals the integration tests poke at (sending deliberately
@@ -105,7 +128,7 @@ pub use server::{NetConfig, NetServer, NetServerHandle};
 #[doc(hidden)]
 pub mod raw {
     pub use crate::frame::{
-        decode_error, encode_error, read_frame, write_frame, PayloadReader, PayloadWriter,
-        ReadOutcome,
+        append_frame, begin_frame, decode_error, encode_error, end_frame, read_frame, write_frame,
+        PayloadReader, PayloadWriter, ReadOutcome,
     };
 }

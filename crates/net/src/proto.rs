@@ -6,7 +6,7 @@
 
 use crate::frame::{PayloadReader, PayloadWriter, HELLO_MAGIC, PROTOCOL_VERSION, SUPPORTED_CAPS};
 use recoil_core::RecoilError;
-use recoil_server::ServerStats;
+use recoil_server::{ServerStats, StoredContent, Transmission};
 
 /// Version + capability negotiation, first frame in each direction.
 ///
@@ -274,7 +274,7 @@ pub struct StatsReply {
 impl StatsReply {
     pub fn encode(&self) -> Vec<u8> {
         let s = &self.stats;
-        let mut w = PayloadWriter::with_capacity(64);
+        let mut w = PayloadWriter::with_capacity(96);
         for v in [
             s.publishes,
             s.requests,
@@ -283,6 +283,10 @@ impl StatsReply {
             s.cache_evictions,
             s.bytes_served,
             s.active_connections,
+            s.rejected_connections,
+            s.evicted_connections,
+            s.queue_depth,
+            s.open_slots,
             self.items,
         ] {
             w.u64(v);
@@ -301,12 +305,50 @@ impl StatsReply {
                 cache_evictions: r.u64()?,
                 bytes_served: r.u64()?,
                 active_connections: r.u64()?,
+                rejected_connections: r.u64()?,
+                evicted_connections: r.u64()?,
+                queue_depth: r.u64()?,
+                open_slots: r.u64()?,
             },
             items: r.u64()?,
         };
         r.finish()?;
         Ok(msg)
     }
+}
+
+/// Encodes the TRANSMIT payload for `(transmission, item)` straight into
+/// `w` — byte-for-byte the image [`TransmitHeader::encode`] produces, but
+/// built from the stored content without the owned struct (no metadata
+/// copy, no freqs or final-states clones), for the reactor's per-request
+/// hot path. The payload CRC is the item's memoized whole-stream CRC-32,
+/// valid because chunk plans tile the word stream exactly.
+pub(crate) fn write_transmit_header(
+    w: &mut PayloadWriter,
+    transmission: &Transmission,
+    item: &StoredContent,
+    chunk_count: u32,
+) {
+    let stream = &item.stream;
+    let table = item.model.table();
+    w.u64(transmission.tier.segments);
+    w.u8(transmission.cache_hit as u8);
+    w.u64(transmission.combine_nanos.min(u64::MAX as u128) as u64);
+    w.bytes(transmission.metadata_bytes());
+    w.u32(table.quant_bits());
+    w.u32(table.alphabet_size() as u32);
+    for s in 0..table.alphabet_size() {
+        // Quantizer invariant: every frequency is < 2^16, so u16 is exact.
+        w.u16(table.freq(s) as u16);
+    }
+    w.u32(stream.ways);
+    w.u64(stream.num_symbols);
+    for &s in &stream.final_states {
+        w.u32(s);
+    }
+    w.u64(stream.words.len() as u64 * 2);
+    w.u32(item.payload_crc32());
+    w.u32(chunk_count);
 }
 
 #[cfg(test)]
@@ -367,8 +409,12 @@ mod tests {
                 cache_evictions: 5,
                 bytes_served: 6,
                 active_connections: 7,
+                rejected_connections: 8,
+                evicted_connections: 9,
+                queue_depth: 10,
+                open_slots: 11,
             },
-            items: 8,
+            items: 12,
         };
         assert_eq!(StatsReply::decode(&stats.encode()).unwrap(), stats);
     }

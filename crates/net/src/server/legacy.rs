@@ -1,21 +1,25 @@
-//! The threaded TCP front end over [`ContentServer`].
+//! The deprecated thread-per-connection backend.
 //!
-//! One `NetServer` owns an accept loop (its own thread) feeding a bounded
-//! connection queue drained by handler workers running on a
-//! [`recoil_parallel::ThreadPool`] — one long-lived worker per pool thread,
-//! claimed through a single `run` epoch that lasts for the server's
-//! lifetime. Each worker handles one connection at a time, frame by frame,
-//! so `max_connections` plus the worker count bound every resource.
+//! One accept loop (its own thread) feeds a bounded connection queue
+//! drained by handler workers running on a [`recoil_parallel::ThreadPool`]
+//! — one long-lived worker per pool thread, claimed through a single `run`
+//! epoch that lasts for the server's lifetime. Each worker handles one
+//! connection at a time, frame by frame, so a keep-alive connection pins a
+//! worker for its whole lifetime — the scaling wall the reactor backend
+//! exists to remove. Kept for one deprecation cycle behind
+//! [`NetConfig::legacy_threaded`]; it must keep passing the same
+//! integration suites as the reactor until it is deleted.
 //!
-//! Graceful shutdown: [`NetServerHandle::shutdown`] flips an atomic flag,
-//! wakes the accept loop with a loopback connection, and wakes queue
-//! waiters. Workers finish the request they are serving (responses are
-//! fully written), then close; read timeouts bound how long an idle
-//! keep-alive connection can delay the exit.
+//! Graceful shutdown flips an atomic flag, wakes the accept loop with a
+//! loopback connection, and wakes queue waiters. Workers finish the
+//! request they are serving (responses are fully written), then close;
+//! read timeouts bound how long an idle keep-alive connection can delay
+//! the exit.
 
+use super::NetConfig;
 use crate::frame::{
     encode_error, io_err, read_frame, write_frame, FrameType, ReadOutcome, CAP_CHUNKED,
-    MAX_FRAME_LEN, PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::proto::{ContentRequest, Hello, PublishOk, PublishRequest, StatsReply, TransmitHeader};
 use parking_lot::{Condvar, Mutex};
@@ -25,55 +29,10 @@ use recoil_parallel::ThreadPool;
 use recoil_server::{ContentServer, StoredContent, Transmission};
 use std::collections::VecDeque;
 use std::io::Read;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Construction knobs for [`NetServer`].
-#[derive(Debug, Clone)]
-pub struct NetConfig {
-    /// Connection-handler threads (pool workers + the driving thread).
-    ///
-    /// A connection occupies one worker for its whole lifetime (the
-    /// handler loops on the socket between requests), so size this to the
-    /// number of **concurrently open** connections to serve, not requests
-    /// per second; further accepted connections queue until a worker
-    /// frees up.
-    pub workers: usize,
-    /// Hard cap on connections being handled plus queued; excess accepts
-    /// are rejected with a typed busy error.
-    pub max_connections: usize,
-    /// Socket read timeout: bounds shutdown latency and stalled-peer
-    /// detection, **not** how long a connection may stay idle (idle
-    /// timeouts just re-poll).
-    pub read_timeout: Duration,
-    /// Socket write timeout for responses.
-    pub write_timeout: Duration,
-    /// Bitstream bytes per [`FrameType::Chunk`] frame.
-    pub chunk_bytes: usize,
-}
-
-impl Default for NetConfig {
-    fn default() -> Self {
-        let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
-        Self {
-            workers: cpus.clamp(2, 8),
-            max_connections: 64,
-            read_timeout: Duration::from_millis(250),
-            write_timeout: Duration::from_secs(10),
-            chunk_bytes: 256 * 1024,
-        }
-    }
-}
-
-impl NetConfig {
-    /// Chunk size clamped to what one frame can carry (minus the sequence
-    /// number) and to whole words.
-    fn effective_chunk_words(&self) -> usize {
-        (self.chunk_bytes.clamp(2, MAX_FRAME_LEN as usize - 4)) / 2
-    }
-}
 
 struct Inner {
     content: Arc<ContentServer>,
@@ -91,72 +50,51 @@ impl Inner {
     }
 }
 
-/// The framed TCP server. Constructed via [`NetServer::bind`], which
-/// returns the owning [`NetServerHandle`].
-pub struct NetServer;
-
-impl NetServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `content` in background threads. The returned handle owns the
-    /// server; dropping it shuts the server down.
-    pub fn bind(
-        content: Arc<ContentServer>,
-        addr: impl ToSocketAddrs,
-        config: NetConfig,
-    ) -> Result<NetServerHandle, RecoilError> {
-        let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
-        let addr = listener.local_addr().map_err(|e| io_err("local_addr", e))?;
-        let inner = Arc::new(Inner {
-            content,
-            config,
-            shutdown: AtomicBool::new(false),
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
-            active: AtomicUsize::new(0),
-        });
-        let serve_inner = Arc::clone(&inner);
-        let thread = std::thread::Builder::new()
-            .name("recoil-net-serve".into())
-            .spawn(move || serve(&serve_inner, listener))
-            .map_err(|e| io_err("spawn serve thread", e))?;
-        Ok(NetServerHandle {
-            addr,
-            inner,
-            serve_thread: Some(thread),
-        })
-    }
+/// Starts the legacy threaded backend on an already-bound listener.
+pub(super) fn bind(
+    content: Arc<ContentServer>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: NetConfig,
+) -> Result<LegacyHandle, RecoilError> {
+    let inner = Arc::new(Inner {
+        content,
+        config,
+        shutdown: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        active: AtomicUsize::new(0),
+    });
+    let serve_inner = Arc::clone(&inner);
+    let thread = std::thread::Builder::new()
+        .name("recoil-net-serve".into())
+        .spawn(move || serve(&serve_inner, listener))
+        .map_err(|e| io_err("spawn serve thread", e))?;
+    Ok(LegacyHandle {
+        addr,
+        inner,
+        serve_thread: Some(thread),
+    })
 }
 
-/// Owner of a running [`NetServer`]; shuts it down when dropped.
-pub struct NetServerHandle {
+/// Owning handle for the legacy backend; `super::NetServerHandle` wraps it.
+pub(super) struct LegacyHandle {
     addr: SocketAddr,
     inner: Arc<Inner>,
     serve_thread: Option<std::thread::JoinHandle<()>>,
 }
 
-impl NetServerHandle {
-    /// The bound address (with the resolved port for ephemeral binds).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// The content store this server fronts.
-    pub fn content(&self) -> &Arc<ContentServer> {
+impl LegacyHandle {
+    pub(super) fn content(&self) -> &Arc<ContentServer> {
         &self.inner.content
     }
 
     /// Connections currently inside a handler.
-    pub fn active_connections(&self) -> usize {
+    pub(super) fn active_connections(&self) -> usize {
         self.inner.active.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, lets in-flight requests finish, and joins every
-    /// server thread. Idempotent (also runs on drop).
-    pub fn shutdown(mut self) {
-        self.shutdown_impl();
-    }
-
-    fn shutdown_impl(&mut self) {
+    pub(super) fn shutdown_impl(&mut self) {
         if !self.inner.shutdown.swap(true, Ordering::AcqRel) {
             // Wake the accept loop with a loopback connection; the flag is
             // already visible, so the accepted socket is dropped at once.
@@ -170,21 +108,6 @@ impl NetServerHandle {
         if let Some(t) = self.serve_thread.take() {
             let _ = t.join();
         }
-    }
-}
-
-impl Drop for NetServerHandle {
-    fn drop(&mut self) {
-        self.shutdown_impl();
-    }
-}
-
-impl std::fmt::Debug for NetServerHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NetServerHandle")
-            .field("addr", &self.addr)
-            .field("active", &self.active_connections())
-            .finish()
     }
 }
 
@@ -240,6 +163,7 @@ fn accept_loop(listener: &TcpListener, inner: &Inner) {
 /// up to ~250 ms against a slow peer, and the accept loop must not stall
 /// behind rejected connections.
 fn reject_busy(conn: TcpStream, inner: &Inner) {
+    inner.content.connection_rejected();
     let write_timeout = inner.config.write_timeout;
     let max_connections = inner.config.max_connections;
     let spawned = std::thread::Builder::new()

@@ -1,0 +1,195 @@
+//! The TCP front end over [`ContentServer`](recoil_server::ContentServer):
+//! public configuration and handle types, plus the two interchangeable
+//! backends behind them.
+//!
+//! The default backend ([`reactor`]) multiplexes every connection on one
+//! event-driven thread built from `recoil-reactor`'s readiness plumbing
+//! (edge-triggered epoll, slab-pooled connection state, reactor-managed
+//! deadlines) and offloads CPU-bound work — encodes on publish, metadata
+//! combines on a tier-cache miss — to a small dispatch pool. Connections
+//! are *not* pinned to threads, so thousands of mostly-idle peers cost
+//! one slab slot each, not a worker.
+//!
+//! The previous thread-per-connection backend ([`legacy`]) remains
+//! available behind [`NetConfig::legacy_threaded`] for one deprecation
+//! cycle; both speak the identical wire protocol and pass the same
+//! integration suites.
+
+mod legacy;
+mod reactor;
+
+use crate::frame::{io_err, MAX_FRAME_LEN};
+use recoil_core::RecoilError;
+use recoil_reactor::SlabStats;
+use recoil_server::ContentServer;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Construction knobs for [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Dispatch workers for CPU-bound request work (encoding a publish,
+    /// combining metadata on a tier-cache miss).
+    ///
+    /// Connections are **not** pinned to workers: the reactor backend
+    /// serves every connection from one event loop and touches a worker
+    /// only for compute-heavy requests, so this sizes compute concurrency,
+    /// not connection concurrency. (Under [`NetConfig::legacy_threaded`]
+    /// the old semantics apply: one worker per concurrently handled
+    /// connection.)
+    pub workers: usize,
+    /// Hard cap on concurrently open connections; excess accepts are
+    /// rejected with a typed busy error.
+    pub max_connections: usize,
+    /// Progress deadline while a frame is partially received: a peer that
+    /// starts a frame must keep bytes flowing at least this often or be
+    /// evicted (slow-loris defense). Idle connections *between* frames are
+    /// not subject to it.
+    pub read_timeout: Duration,
+    /// Progress deadline while a response is being written.
+    pub write_timeout: Duration,
+    /// Bitstream bytes per [`crate::FrameType::Chunk`] frame.
+    pub chunk_bytes: usize,
+    /// Use the deprecated thread-per-connection backend instead of the
+    /// event-driven reactor. Scheduled for removal; prints a one-time
+    /// deprecation warning.
+    pub legacy_threaded: bool,
+    /// Force the reactor's portable level-triggered `poll(2)` backend
+    /// instead of edge-triggered epoll (tests, exotic targets).
+    pub poll_fallback: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Self {
+            workers: cpus.clamp(2, 8),
+            max_connections: 64,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(10),
+            chunk_bytes: 256 * 1024,
+            legacy_threaded: false,
+            poll_fallback: false,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Chunk size clamped to what one frame can carry (minus the sequence
+    /// number) and to whole words.
+    fn effective_chunk_words(&self) -> usize {
+        (self.chunk_bytes.clamp(2, MAX_FRAME_LEN as usize - 4)) / 2
+    }
+}
+
+/// The framed TCP server. Constructed via [`NetServer::bind`], which
+/// returns the owning [`NetServerHandle`].
+pub struct NetServer;
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `content` in background threads. The returned handle owns the
+    /// server; dropping it shuts the server down.
+    pub fn bind(
+        content: Arc<ContentServer>,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<NetServerHandle, RecoilError> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
+        let addr = listener.local_addr().map_err(|e| io_err("local_addr", e))?;
+        let backend = if config.legacy_threaded {
+            static DEPRECATION: std::sync::Once = std::sync::Once::new();
+            DEPRECATION.call_once(|| {
+                eprintln!(
+                    "recoil-net: NetConfig::legacy_threaded is deprecated; the event-driven \
+                     reactor backend is the default and the threaded backend will be removed"
+                );
+            });
+            Backend::Legacy(legacy::bind(content, listener, addr, config)?)
+        } else {
+            Backend::Reactor(reactor::bind(content, listener, config)?)
+        };
+        Ok(NetServerHandle { addr, backend })
+    }
+}
+
+enum Backend {
+    Reactor(reactor::ReactorHandle),
+    Legacy(legacy::LegacyHandle),
+}
+
+/// Owner of a running [`NetServer`]; shuts it down when dropped.
+pub struct NetServerHandle {
+    addr: SocketAddr,
+    backend: Backend,
+}
+
+impl NetServerHandle {
+    /// The bound address (with the resolved port for ephemeral binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The content store this server fronts.
+    pub fn content(&self) -> &Arc<ContentServer> {
+        match &self.backend {
+            Backend::Reactor(h) => h.content(),
+            Backend::Legacy(h) => h.content(),
+        }
+    }
+
+    /// Connections currently open (reactor) or inside a handler (legacy).
+    pub fn active_connections(&self) -> usize {
+        match &self.backend {
+            Backend::Reactor(h) => h.active_connections(),
+            Backend::Legacy(h) => h.active_connections(),
+        }
+    }
+
+    /// Connection-slot reuse tallies from the reactor's slab: steady-state
+    /// accepts recycle parked buffers instead of allocating, and this is
+    /// how tests assert it. The legacy backend has no slab and reports
+    /// zeros.
+    pub fn slab_stats(&self) -> SlabStats {
+        match &self.backend {
+            Backend::Reactor(h) => h.slab_stats(),
+            Backend::Legacy(_) => SlabStats::default(),
+        }
+    }
+
+    /// Stops accepting, lets in-flight requests finish, and joins every
+    /// server thread. Idempotent (also runs on drop).
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        match &mut self.backend {
+            Backend::Reactor(h) => h.shutdown_impl(),
+            Backend::Legacy(h) => h.shutdown_impl(),
+        }
+    }
+}
+
+impl Drop for NetServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for NetServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServerHandle")
+            .field("addr", &self.addr)
+            .field(
+                "backend",
+                &match &self.backend {
+                    Backend::Reactor(_) => "reactor",
+                    Backend::Legacy(_) => "legacy-threaded",
+                },
+            )
+            .field("active", &self.active_connections())
+            .finish()
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-connection deadlines with lazy invalidation.
+//!
+//! The reactor keeps at most one live deadline per token (partial-frame
+//! progress, write stall, drain). Deadlines change constantly — every
+//! byte of progress pushes the cutoff out — so instead of deleting from
+//! the middle of a heap, each `set`/`clear` bumps a per-token version and
+//! stale heap entries are discarded when they surface. The heap's head
+//! therefore always bounds the next real deadline from below, which is
+//! exactly what the poll-timeout computation needs.
+
+use crate::token::Token;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+#[derive(Default)]
+pub struct DeadlineQueue {
+    /// `(when, version, token)` min-heap.
+    heap: BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    /// Token → currently-live version; absent means no live deadline.
+    live: HashMap<u64, u64>,
+    next_version: u64,
+}
+
+impl DeadlineQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or replaces) `token`'s deadline.
+    pub fn set(&mut self, token: Token, when: Instant) {
+        self.next_version += 1;
+        self.live.insert(token.0, self.next_version);
+        self.heap.push(Reverse((when, self.next_version, token.0)));
+    }
+
+    /// Clears `token`'s deadline, if any. The heap entry dies lazily.
+    pub fn clear(&mut self, token: Token) {
+        self.live.remove(&token.0);
+    }
+
+    /// Pops every deadline at or before `now` into `out` (not cleared),
+    /// clearing them. Stale entries encountered along the way are dropped.
+    pub fn expired(&mut self, now: Instant, out: &mut Vec<Token>) {
+        while let Some(Reverse((when, version, raw))) = self.heap.peek().copied() {
+            if when > now {
+                break;
+            }
+            self.heap.pop();
+            if self.live.get(&raw) == Some(&version) {
+                self.live.remove(&raw);
+                out.push(Token(raw));
+            }
+        }
+    }
+
+    /// Lower bound on the next live deadline: the caller can sleep until
+    /// this instant. Pruning stale heads here keeps the bound tight.
+    pub fn next_deadline(&mut self) -> Option<Instant> {
+        while let Some(Reverse((when, version, raw))) = self.heap.peek().copied() {
+            if self.live.get(&raw) == Some(&version) {
+                return Some(when);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live deadlines.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn expiry_in_order_and_replacement() {
+        let mut q = DeadlineQueue::new();
+        let base = Instant::now();
+        q.set(Token(1), base + Duration::from_millis(10));
+        q.set(Token(2), base + Duration::from_millis(5));
+        // Replace token 1's deadline with a later one.
+        q.set(Token(1), base + Duration::from_millis(20));
+        assert_eq!(q.len(), 2);
+
+        let mut out = Vec::new();
+        q.expired(base + Duration::from_millis(6), &mut out);
+        assert_eq!(out, vec![Token(2)]);
+
+        out.clear();
+        q.expired(base + Duration::from_millis(15), &mut out);
+        assert!(out.is_empty(), "replaced deadline must not fire early");
+
+        out.clear();
+        q.expired(base + Duration::from_millis(25), &mut out);
+        assert_eq!(out, vec![Token(1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_prevents_expiry_and_next_deadline_skips_stale() {
+        let mut q = DeadlineQueue::new();
+        let base = Instant::now();
+        q.set(Token(7), base + Duration::from_millis(1));
+        q.set(Token(8), base + Duration::from_millis(50));
+        q.clear(Token(7));
+        assert_eq!(q.next_deadline(), Some(base + Duration::from_millis(50)));
+        let mut out = Vec::new();
+        q.expired(base + Duration::from_millis(10), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_has_no_deadline() {
+        let mut q = DeadlineQueue::new();
+        assert_eq!(q.next_deadline(), None);
+        let mut out = Vec::new();
+        q.expired(Instant::now(), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! The readiness poller: edge-triggered `epoll` on Linux, `poll(2)`
+//! everywhere (and on demand, for tests and exotic targets).
+//!
+//! The two backends deliberately expose one API with one contract the
+//! caller can rely on for **both** semantics: after any event (or any
+//! state change of its own making) the caller drains the fd until
+//! `WouldBlock`. Under edge-triggered epoll that is required for
+//! correctness; under level-triggered poll it is merely efficient. The
+//! caller also keeps its registered interest precise (read only while
+//! reading, write only while a write is actually blocked) — that is what
+//! stops the level-triggered backend from spinning on always-writable
+//! sockets, and under epoll the `MOD` re-arms edges across interest
+//! changes.
+
+use crate::sys;
+use crate::token::Token;
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// What readiness to watch for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    pub const NONE: Interest = Interest(0);
+    pub const READ: Interest = Interest(1);
+    pub const WRITE: Interest = Interest(2);
+    pub const READ_WRITE: Interest = Interest(3);
+
+    pub fn readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+    pub fn writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness report.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: Token,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer hangup / error: the fd needs attention even if no interest bit
+    /// matched (epoll reports these unconditionally).
+    pub hangup: bool,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: RawFd,
+        buf: Vec<sys::epoll_event>,
+    },
+    Poll {
+        /// Registered fds in insertion order; `wait` mirrors this into the
+        /// reusable `pollfd` scratch.
+        entries: Vec<(RawFd, Token, Interest)>,
+        scratch: Vec<sys::pollfd>,
+    },
+}
+
+/// The readiness poller. See the module docs for the drain-until-
+/// `WouldBlock` contract callers must follow.
+pub struct Poller {
+    backend: Backend,
+}
+
+impl Poller {
+    /// Platform-preferred backend: edge-triggered epoll on Linux, poll(2)
+    /// elsewhere.
+    pub fn new() -> io::Result<Self> {
+        #[cfg(target_os = "linux")]
+        {
+            let epfd = sys::cvt_retry(|| unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+            Ok(Self {
+                backend: Backend::Epoll {
+                    epfd,
+                    buf: Vec::with_capacity(1024),
+                },
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Self::with_poll_fallback()
+        }
+    }
+
+    /// The portable level-triggered poll(2) backend, selectable explicitly
+    /// so the fallback stays exercised on Linux CI.
+    pub fn with_poll_fallback() -> io::Result<Self> {
+        Ok(Self {
+            backend: Backend::Poll {
+                entries: Vec::new(),
+                scratch: Vec::new(),
+            },
+        })
+    }
+
+    /// Whether events are edge reports (epoll) rather than level reports.
+    pub fn is_edge_triggered(&self) -> bool {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { .. } => true,
+            Backend::Poll { .. } => false,
+        }
+    }
+
+    pub fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => {
+                epoll_ctl(*epfd, sys::EPOLL_CTL_ADD, fd, token, interest)
+            }
+            Backend::Poll { entries, .. } => {
+                debug_assert!(entries.iter().all(|(f, ..)| *f != fd), "fd re-registered");
+                entries.push((fd, token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    pub fn modify(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => {
+                epoll_ctl(*epfd, sys::EPOLL_CTL_MOD, fd, token, interest)
+            }
+            Backend::Poll { entries, .. } => {
+                let entry = entries
+                    .iter_mut()
+                    .find(|(f, ..)| *f == fd)
+                    .ok_or_else(|| io::Error::other("modify of unregistered fd"))?;
+                entry.1 = token;
+                entry.2 = interest;
+                Ok(())
+            }
+        }
+    }
+
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => sys::cvt_retry(|| unsafe {
+                sys::epoll_ctl(*epfd, sys::EPOLL_CTL_DEL, fd, std::ptr::null_mut())
+            })
+            .map(drop),
+            Backend::Poll { entries, .. } => {
+                entries.retain(|(f, ..)| *f != fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until readiness or `timeout`, appending reports to `events`
+    /// (which is cleared first). A `timeout` of `None` blocks indefinitely.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, buf } => {
+                let cap = buf.capacity().max(64);
+                buf.clear();
+                let n = sys::cvt_retry(|| unsafe {
+                    sys::epoll_wait(
+                        *epfd,
+                        buf.as_mut_ptr(),
+                        cap as i32,
+                        sys::timeout_ms(timeout),
+                    )
+                })?;
+                // SAFETY: the kernel initialized the first `n` entries.
+                unsafe { buf.set_len(n as usize) };
+                for ev in buf.iter() {
+                    // Copy out of the (possibly packed) struct first.
+                    let bits = ev.events;
+                    let data = ev.data;
+                    events.push(Event {
+                        token: Token(data),
+                        readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                        writable: bits & sys::EPOLLOUT != 0,
+                        hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+            Backend::Poll { entries, scratch } => {
+                scratch.clear();
+                scratch.extend(entries.iter().map(|&(fd, _, interest)| sys::pollfd {
+                    fd,
+                    events: (if interest.readable() { sys::POLLIN } else { 0 })
+                        | (if interest.writable() { sys::POLLOUT } else { 0 }),
+                    revents: 0,
+                }));
+                let n = sys::cvt_retry(|| unsafe {
+                    sys::poll(
+                        scratch.as_mut_ptr(),
+                        scratch.len() as sys::nfds_t,
+                        sys::timeout_ms(timeout),
+                    )
+                })?;
+                if n > 0 {
+                    for (pfd, &(_, token, _)) in scratch.iter().zip(entries.iter()) {
+                        let r = pfd.revents;
+                        if r != 0 {
+                            events.push(Event {
+                                token,
+                                readable: r & sys::POLLIN != 0,
+                                writable: r & sys::POLLOUT != 0,
+                                hangup: r & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0,
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+    let mut ev = sys::epoll_event {
+        events: (if interest.readable() { sys::EPOLLIN } else { 0 })
+            | (if interest.writable() {
+                sys::EPOLLOUT
+            } else {
+                0
+            })
+            | sys::EPOLLRDHUP
+            | sys::EPOLLET,
+        data: token.0,
+    };
+    sys::cvt_retry(|| unsafe { sys::epoll_ctl(epfd, op, fd, &mut ev) }).map(drop)
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        if let Backend::Epoll { epfd, .. } = &self.backend {
+            unsafe { sys::close(*epfd) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn pollers() -> Vec<Poller> {
+        vec![
+            Poller::new().unwrap(),
+            Poller::with_poll_fallback().unwrap(),
+        ]
+    }
+
+    /// A connected nonblocking loopback pair.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn read_readiness_fires_on_both_backends() {
+        for mut poller in pollers() {
+            let (mut a, mut b) = pair();
+            poller
+                .register(b.as_raw_fd(), Token(7), Interest::READ)
+                .unwrap();
+            let mut events = Vec::new();
+            // Nothing to read yet.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.iter().all(|e| !e.readable));
+
+            a.write_all(b"hi").unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            let ev = events.iter().find(|e| e.token == Token(7)).unwrap();
+            assert!(ev.readable);
+            let mut buf = [0u8; 8];
+            assert_eq!(b.read(&mut buf).unwrap(), 2);
+            poller.deregister(b.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn write_interest_and_modify() {
+        for mut poller in pollers() {
+            let (a, _b) = pair();
+            poller
+                .register(a.as_raw_fd(), Token(1), Interest::NONE)
+                .unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.iter().all(|e| !e.writable && !e.readable));
+
+            // An empty socket buffer is writable the moment we ask.
+            poller
+                .modify(a.as_raw_fd(), Token(2), Interest::WRITE)
+                .unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            let ev = events.iter().find(|e| e.token == Token(2)).unwrap();
+            assert!(ev.writable);
+            poller.deregister(a.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        for mut poller in pollers() {
+            let (a, b) = pair();
+            poller
+                .register(b.as_raw_fd(), Token(3), Interest::READ)
+                .unwrap();
+            drop(a);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            let ev = events.iter().find(|e| e.token == Token(3)).unwrap();
+            // A clean close shows as readable (EOF) and usually as hangup.
+            assert!(ev.readable || ev.hangup);
+        }
+    }
+
+    #[test]
+    fn timeout_expires_without_events() {
+        for mut poller in pollers() {
+            let (_a, b) = pair();
+            poller
+                .register(b.as_raw_fd(), Token(4), Interest::READ)
+                .unwrap();
+            let mut events = Vec::new();
+            let t0 = std::time::Instant::now();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert!(events.is_empty());
+            assert!(t0.elapsed() >= Duration::from_millis(25));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The shared connection handle.
+//!
+//! One `u64` flows through the whole reactor: the slab packs
+//! `generation << 32 | index` into it, the poller carries it opaquely in
+//! kernel event data, and the deadline queue keys on it. Reserved values
+//! (listener, wake pipe) live far above any slab index, e.g. `u64::MAX`.
+
+use std::fmt;
+
+/// Generation-checked handle to one slab slot: `generation << 32 | index`.
+/// The poller and deadline queue treat it as an opaque 64-bit id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+impl Token {
+    pub fn index(self) -> u32 {
+        self.0 as u32
+    }
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+    pub(crate) fn pack(index: u32, generation: u32) -> Token {
+        Token(((generation as u64) << 32) | index as u64)
+    }
+}
+
+impl fmt::Debug for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Token({}g{})", self.index(), self.generation())
+    }
+}

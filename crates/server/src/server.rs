@@ -1,11 +1,12 @@
 //! The encode-once, combine-per-request server.
 
 use crate::cache::{ShrunkTier, TierCache};
-use crate::stats::{add, bump, ServerStats, StatsCounters};
+use crate::stats::{add, bump, set, ServerStats, StatsCounters};
 use parking_lot::{Mutex, RwLock};
 use recoil_core::codec::{Codec, EncoderConfig};
 use recoil_core::{
-    metadata_to_bytes, try_combine_splits, RecoilContainer, RecoilError, RecoilMetadata,
+    metadata_to_bytes, try_combine_splits, update_crc32, RecoilContainer, RecoilError,
+    RecoilMetadata,
 };
 use recoil_models::StaticModelProvider;
 use recoil_parallel::ThreadPool;
@@ -13,7 +14,7 @@ use recoil_rans::EncodedStream;
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// One published content item: the Large-variation artifact.
@@ -29,6 +30,9 @@ pub struct StoredContent {
     pub model: Arc<StaticModelProvider>,
     /// Shrunk-metadata tiers this item has served (LRU).
     cache: TierCache,
+    /// Memoized CRC-32 of the wire payload (every word's LE bytes); see
+    /// [`StoredContent::payload_crc32`].
+    payload_crc: OnceLock<u32>,
 }
 
 impl StoredContent {
@@ -36,6 +40,27 @@ impl StoredContent {
     /// it are clamped to this tier.
     pub fn max_segments(&self) -> u64 {
         self.metadata.num_segments()
+    }
+
+    /// CRC-32 over the item's whole wire payload: every bitstream word's
+    /// little-endian bytes, in stream order.
+    ///
+    /// The word stream is shared by every metadata tier, so this value is
+    /// identical for every response of the item — it is computed once on
+    /// first use and memoized, taking a full-stream checksum off every
+    /// transport request's critical path.
+    pub fn payload_crc32(&self) -> u32 {
+        *self.payload_crc.get_or_init(|| {
+            let mut state = 0xFFFF_FFFFu32;
+            let mut scratch = [0u8; 4096];
+            for block in self.stream.words.chunks(scratch.len() / 2) {
+                for (bytes, &w) in scratch.chunks_exact_mut(2).zip(block) {
+                    bytes.copy_from_slice(&w.to_le_bytes());
+                }
+                state = update_crc32(state, &scratch[..block.len() * 2]);
+            }
+            state ^ 0xFFFF_FFFF
+        })
     }
 }
 
@@ -171,6 +196,7 @@ impl ContentServer {
             metadata,
             model: Arc::new(encoded.model),
             cache: TierCache::new(self.tier_cache_capacity),
+            payload_crc: OnceLock::new(),
         });
         match self.shard(name).write().entry(name.to_string()) {
             // A concurrent publish won the race while we were encoding.
@@ -257,6 +283,52 @@ impl ContentServer {
         Ok((transmission, item))
     }
 
+    /// The cache-hit-only half of [`ContentServer::fetch`], for callers
+    /// that must not block: `Ok(Some(..))` is a fully served response,
+    /// `Ok(None)` means the tier is not cached and serving it would run a
+    /// real-time combine — the caller should then run [`ContentServer::fetch`]
+    /// somewhere it may take its time (e.g. a dispatch worker).
+    ///
+    /// Counters stay exact across the two-call flow: this method bumps
+    /// `requests` (and `cache_hits`/`bytes_served`) only on terminal paths
+    /// (hit or error). On `Ok(None)` nothing is counted — the follow-up
+    /// `fetch` then counts the request and its miss, so
+    /// `cache_hits + cache_misses` still equals successfully served
+    /// requests.
+    pub fn fetch_cached(
+        &self,
+        name: &str,
+        parallel_segments: u64,
+    ) -> Result<Option<(Transmission, Arc<StoredContent>)>, RecoilError> {
+        if parallel_segments == 0 {
+            bump(&self.stats.requests);
+            return Err(RecoilError::config(
+                "parallel_segments",
+                "a client must request at least one decode segment",
+            ));
+        }
+        let Some(item) = self.get(name) else {
+            bump(&self.stats.requests);
+            return Err(RecoilError::NotFound {
+                name: name.to_string(),
+            });
+        };
+        let segments = parallel_segments.min(item.max_segments());
+        let Some(tier) = item.cache.get(segments) else {
+            return Ok(None);
+        };
+        bump(&self.stats.requests);
+        bump(&self.stats.cache_hits);
+        let transmission = Transmission {
+            stream_bytes: item.stream.payload_bytes(),
+            tier,
+            combine_nanos: 0,
+            cache_hit: true,
+        };
+        add(&self.stats.bytes_served, transmission.total_bytes());
+        Ok(Some((transmission, item)))
+    }
+
     /// Serves one tier from an already-resolved item (the tail of `fetch`).
     fn serve_item(
         &self,
@@ -315,6 +387,26 @@ impl ContentServer {
         self.stats
             .active_connections
             .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records a connection turned away at accept for capacity.
+    pub fn connection_rejected(&self) {
+        bump(&self.stats.rejected_connections);
+    }
+
+    /// Records a connection evicted for missing a progress deadline.
+    pub fn connection_evicted(&self) {
+        bump(&self.stats.evicted_connections);
+    }
+
+    /// Publishes the transport's dispatch-queue depth gauge.
+    pub fn set_queue_depth(&self, depth: u64) {
+        set(&self.stats.queue_depth, depth);
+    }
+
+    /// Publishes the transport's open-connection-slots gauge.
+    pub fn set_open_slots(&self, slots: u64) {
+        set(&self.stats.open_slots, slots);
     }
 
     /// Resolves many `(name, capacity)` pairs concurrently over the
@@ -597,6 +689,72 @@ mod tests {
         assert_eq!(server.stats().active_connections, 1);
         server.connection_closed();
         assert_eq!(server.stats().active_connections, 0);
+    }
+
+    #[test]
+    fn fetch_cached_hits_only_and_keeps_counters_exact() {
+        let data = sample(80_000);
+        let server = small_server();
+        server.publish("x", &data, &config(16)).unwrap();
+        // Cold tier: fetch_cached declines without touching any counter.
+        assert!(server.fetch_cached("x", 4).unwrap().is_none());
+        let s = server.stats();
+        assert_eq!((s.requests, s.cache_hits, s.cache_misses), (0, 0, 0));
+        // The blocking path serves (and counts) the miss...
+        let (via_fetch, _) = server.fetch("x", 4).unwrap();
+        // ...after which fetch_cached serves the warm tier.
+        let (t, item) = server.fetch_cached("x", 4).unwrap().unwrap();
+        assert!(t.cache_hit);
+        assert!(Arc::ptr_eq(&t.tier, &via_fetch.tier));
+        assert_eq!(item.max_segments(), 16);
+        let s = server.stats();
+        assert_eq!((s.requests, s.cache_hits, s.cache_misses), (2, 1, 1));
+        assert_eq!(
+            s.bytes_served,
+            via_fetch.total_bytes() + t.total_bytes(),
+            "both paths count served bytes"
+        );
+        // Error paths count the request exactly once.
+        assert!(server.fetch_cached("missing", 4).is_err());
+        assert!(matches!(
+            server.fetch_cached("x", 0),
+            Err(RecoilError::InvalidConfig { .. })
+        ));
+        assert_eq!(server.stats().requests, 4);
+    }
+
+    #[test]
+    fn payload_crc_is_memoized_and_matches_streaming() {
+        let data = sample(70_000);
+        let server = small_server();
+        let item = server.publish("x", &data, &config(8)).unwrap();
+        // Reference: one streaming pass over every word's LE bytes.
+        let mut state = 0xFFFF_FFFFu32;
+        for &w in &item.stream.words {
+            state = recoil_core::update_crc32(state, &w.to_le_bytes());
+        }
+        let expect = state ^ 0xFFFF_FFFF;
+        assert_eq!(item.payload_crc32(), expect);
+        // Memoized: the second call returns the same value.
+        assert_eq!(item.payload_crc32(), expect);
+    }
+
+    #[test]
+    fn transport_counters_and_gauges() {
+        let server = small_server();
+        server.connection_rejected();
+        server.connection_rejected();
+        server.connection_evicted();
+        server.set_queue_depth(5);
+        server.set_open_slots(59);
+        let s = server.stats();
+        assert_eq!(s.rejected_connections, 2);
+        assert_eq!(s.evicted_connections, 1);
+        assert_eq!(s.queue_depth, 5);
+        assert_eq!(s.open_slots, 59);
+        // Gauges move both ways.
+        server.set_queue_depth(0);
+        assert_eq!(server.stats().queue_depth, 0);
     }
 
     #[test]

@@ -15,6 +15,13 @@ pub(crate) struct StatsCounters {
     /// Gauge, not a counter: transports increment on accept and decrement
     /// on close, so the snapshot shows currently open connections.
     pub active_connections: AtomicU64,
+    pub rejected_connections: AtomicU64,
+    pub evicted_connections: AtomicU64,
+    /// Gauge: requests queued for dispatch workers, published by the
+    /// transport's event loop.
+    pub queue_depth: AtomicU64,
+    /// Gauge: connection slots still available in the transport's slab.
+    pub open_slots: AtomicU64,
 }
 
 impl StatsCounters {
@@ -34,8 +41,18 @@ impl StatsCounters {
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             bytes_served: self.bytes_served.load(Ordering::Relaxed),
             active_connections: self.active_connections.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            evicted_connections: self.evicted_connections.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            open_slots: self.open_slots.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Stores a gauge's current value (gauges go up *and* down, unlike the
+/// monotone counters).
+pub(crate) fn set(gauge: &AtomicU64, value: u64) {
+    gauge.store(value, Ordering::Relaxed);
 }
 
 /// Bumps one counter by one.
@@ -68,6 +85,18 @@ pub struct ServerStats {
     /// Currently open transport connections (zero for a purely in-process
     /// server); maintained by `recoil-net`'s connection handlers.
     pub active_connections: u64,
+    /// Connections turned away at accept because the transport was at its
+    /// connection capacity.
+    pub rejected_connections: u64,
+    /// Connections evicted by the transport for missing a progress
+    /// deadline (slow-loris peers, stalled writes).
+    pub evicted_connections: u64,
+    /// Gauge: requests currently queued for the transport's dispatch
+    /// workers (zero for a purely in-process server).
+    pub queue_depth: u64,
+    /// Gauge: connection slots still open in the transport's slab (zero
+    /// for a purely in-process server, which has no slab).
+    pub open_slots: u64,
 }
 
 impl ServerStats {
