@@ -11,6 +11,9 @@
 //! Results are printed as aligned tables with the paper's reference values
 //! side by side and also appended as JSON under `results/`.
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 pub mod report;
 pub mod variations;
 

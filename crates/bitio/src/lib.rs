@@ -8,6 +8,9 @@
 //! * **Bit-packed metadata series** (§4.3) and tANS bitstreams, which need
 //!   bit-granular writers/readers ([`BitWriter`], [`BitReader`]).
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 mod bits;
 mod words;
 

@@ -9,6 +9,9 @@
 //! `group/name  time  [throughput]`. No statistics, no HTML reports — just
 //! enough to keep the bench targets building and producing usable numbers.
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Declared throughput of a benchmark, used to derive rate output.

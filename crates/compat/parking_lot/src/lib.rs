@@ -8,6 +8,9 @@
 //! `write()` return the guard directly (poisoning is absorbed, as
 //! parking_lot has none), and `Condvar::wait` takes the guard by `&mut`.
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 

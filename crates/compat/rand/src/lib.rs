@@ -8,6 +8,9 @@
 //! reproducible dataset generators require (they do their own inverse-CDF
 //! sampling on top of uniform doubles).
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level uniform bit source.

@@ -10,6 +10,9 @@
 //! (final states + table entry), which is exactly the inflexibility Recoil
 //! removes.
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 mod container;
 mod decode;
 mod encode;

@@ -51,47 +51,53 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], RecoilError> {
-        let end = self.at.checked_add(n);
-        if end.is_none() || end.expect("checked") > self.bytes.len() {
-            return Err(RecoilError::wire("truncated file"));
-        }
-        let s = &self.bytes[self.at..self.at + n];
+        let s = self
+            .at
+            .checked_add(n)
+            .and_then(|end| self.bytes.get(self.at..end))
+            .ok_or_else(|| RecoilError::wire("truncated file"))?;
         self.at += n;
         Ok(s)
     }
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], RecoilError> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N)?);
+        Ok(a)
+    }
     fn u8(&mut self) -> Result<u8, RecoilError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
     fn u16(&mut self) -> Result<u16, RecoilError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32, RecoilError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, RecoilError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 }
 
 /// Serializes a container plus its static model into one byte buffer.
 pub fn container_to_bytes(container: &RecoilContainer, model: &CdfTable) -> Vec<u8> {
     let stream = &container.stream;
+    // xtask: allow(wire-capacity): encode path — sized from the in-memory stream, not the wire.
     let mut out = Vec::with_capacity(stream.words.len() * 2 + 1024);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
+    debug_assert!(model.quant_bits() <= 16 && stream.ways <= u32::from(u16::MAX));
+    // xtask: allow(wire-cast): encode path — the quantizer caps n at 16.
     out.push(model.quant_bits() as u8);
+    // xtask: allow(wire-cast): encode path — lane counts are configuration, far below u16::MAX.
     put_u16(&mut out, stream.ways as u16);
+    // xtask: allow(wire-cast): encode path — CdfTable caps the alphabet at 2^16 symbols.
     put_u32(&mut out, model.alphabet_size() as u32);
     put_u64(&mut out, stream.num_symbols);
     put_u64(&mut out, stream.words.len() as u64);
     for s in 0..model.alphabet_size() {
         // f <= 2^n - 1 <= 65535 always fits a u16 (quantizer invariant).
+        // xtask: allow(wire-cast): see the quantizer invariant above.
         put_u16(&mut out, model.freq(s) as u16);
     }
     for &st in &stream.final_states {
@@ -101,6 +107,8 @@ pub fn container_to_bytes(container: &RecoilContainer, model: &CdfTable) -> Vec<
         put_u16(&mut out, w);
     }
     let meta = metadata_to_bytes(&container.metadata);
+    debug_assert!(u32::try_from(meta.len()).is_ok());
+    // xtask: allow(wire-cast): encode path — metadata is built in-process and is tiny.
     put_u32(&mut out, meta.len() as u32);
     out.extend_from_slice(&meta);
     let footer = crc32(&out);
@@ -125,7 +133,10 @@ pub fn container_from_bytes(
                 return Err(RecoilError::wire("truncated file"));
             }
             let (body, footer) = bytes.split_at(bytes.len() - 4);
-            let expected = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
+            let footer: [u8; 4] = footer
+                .try_into()
+                .map_err(|_| RecoilError::wire("truncated file"))?;
+            let expected = u32::from_le_bytes(footer);
             if crc32(body) != expected {
                 return Err(RecoilError::wire("file checksum mismatch"));
             }
@@ -134,17 +145,19 @@ pub fn container_from_bytes(
         _ => return Err(RecoilError::wire("unsupported version")),
     };
     let mut c = Cursor { bytes, at: 5 };
-    let n = c.u8()? as u32;
+    let n = u32::from(c.u8()?);
     if !(1..=16).contains(&n) {
         return Err(RecoilError::wire(format!("bad quantization level {n}")));
     }
-    let ways = c.u16()? as u32;
-    let alphabet = c.u32()? as usize;
+    let ways = u32::from(c.u16()?);
+    let alphabet = usize::try_from(c.u32()?)
+        .map_err(|_| RecoilError::wire("alphabet size exceeds the address space"))?;
     if alphabet == 0 || alphabet > 1 << 16 {
         return Err(RecoilError::wire(format!("bad alphabet size {alphabet}")));
     }
     let num_symbols = c.u64()?;
-    let num_words = c.u64()? as usize;
+    let num_words = usize::try_from(c.u64()?)
+        .map_err(|_| RecoilError::wire("word count exceeds the address space"))?;
 
     // Information-capacity sanity bound: every encoded symbol multiplies a
     // lane state by at least 2^n / (2^n - 1), and all of that growth must
@@ -160,9 +173,10 @@ pub fn container_from_bytes(
         )));
     }
 
+    // xtask: allow(wire-capacity): bounded to 2^16 entries (256 KiB) by the check above.
     let mut freqs = Vec::with_capacity(alphabet);
     for _ in 0..alphabet {
-        freqs.push(c.u16()? as u32);
+        freqs.push(u32::from(c.u16()?));
     }
     let sum: u64 = freqs.iter().map(|&f| f as u64).sum();
     if sum != 1 << n {
@@ -175,7 +189,10 @@ pub fn container_from_bytes(
     }
     let table = CdfTable::from_freqs(freqs, n);
 
-    let mut final_states = Vec::with_capacity(ways as usize);
+    let lanes = usize::try_from(ways)
+        .map_err(|_| RecoilError::wire("lane count exceeds the address space"))?;
+    // xtask: allow(wire-capacity): `ways` was read as a u16 above, so this caps at 256 KiB.
+    let mut final_states = Vec::with_capacity(lanes);
     for _ in 0..ways {
         final_states.push(c.u32()?);
     }
@@ -186,10 +203,15 @@ pub fn container_from_bytes(
     )?;
     let words: Vec<u16> = word_bytes
         .chunks_exact(2)
-        .map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+        .map(|b| {
+            let mut w = [0u8; 2];
+            w.copy_from_slice(b);
+            u16::from_le_bytes(w)
+        })
         .collect();
 
-    let meta_len = c.u32()? as usize;
+    let meta_len = usize::try_from(c.u32()?)
+        .map_err(|_| RecoilError::wire("metadata length exceeds the address space"))?;
     let metadata: RecoilMetadata = metadata_from_bytes(c.take(meta_len)?)?;
 
     let stream = EncodedStream {

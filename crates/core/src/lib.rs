@@ -29,6 +29,9 @@
 //!                       three-phase parallel decoder (thread pool)
 //! ```
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 pub mod codec;
 mod combine;
 mod container;

@@ -57,10 +57,11 @@ fn read_unsigned_series(
     count: usize,
     len_bits: u32,
 ) -> Result<Vec<u64>, RecoilError> {
-    let width = r
+    let width_field = r
         .read(len_bits)
-        .ok_or_else(|| RecoilError::wire("truncated series header"))? as u32
-        + 1;
+        .ok_or_else(|| RecoilError::wire("truncated series header"))?;
+    // xtask: allow(wire-cast): a `len_bits`-wide read (at most 5 bits) always fits u32.
+    let width = width_field as u32 + 1;
     (0..count)
         .map(|_| {
             r.read(width)
@@ -89,10 +90,11 @@ fn read_signed_series(
     count: usize,
     len_bits: u32,
 ) -> Result<Vec<i64>, RecoilError> {
-    let width = r
+    let width_field = r
         .read(len_bits)
-        .ok_or_else(|| RecoilError::wire("truncated series header"))? as u32
-        + 1;
+        .ok_or_else(|| RecoilError::wire("truncated series header"))?;
+    // xtask: allow(wire-cast): a `len_bits`-wide read (at most 5 bits) always fits u32.
+    let width = width_field as u32 + 1;
     (0..count)
         .map(|_| {
             let mag = r
@@ -181,7 +183,8 @@ pub fn metadata_from_bytes(bytes: &[u8]) -> Result<RecoilMetadata, RecoilError> 
             // Verify the integrity footer before interpreting anything: a
             // corrupt frame must never reconstruct garbage split points.
             let (body, footer) = bytes.split_at(bytes.len() - 4);
-            let expected = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
+            let footer: [u8; 4] = footer.try_into().map_err(|_| bad("truncated footer"))?;
+            let expected = u32::from_le_bytes(footer);
             if crc32(body) != expected {
                 return Err(bad("metadata checksum mismatch"));
             }
@@ -191,23 +194,36 @@ pub fn metadata_from_bytes(bytes: &[u8]) -> Result<RecoilMetadata, RecoilError> 
         None => return Err(bad("truncated header")),
     };
     let mut r = BitReader::new(body);
-    r.read(32).expect("magic re-read");
-    r.read(8).expect("version re-read");
+    r.read(32).ok_or_else(|| bad("truncated header"))?;
+    r.read(8).ok_or_else(|| bad("truncated header"))?;
+    // xtask: allow(wire-cast): a 16-bit read always fits u32.
     let ways = r.read(16).ok_or_else(|| bad("truncated header"))? as u32;
+    // xtask: allow(wire-cast): an 8-bit read always fits u32.
     let quant_bits = r.read(8).ok_or_else(|| bad("truncated header"))? as u32;
     let num_symbols = r.read(64).ok_or_else(|| bad("truncated header"))?;
     let num_words = r.read(64).ok_or_else(|| bad("truncated header"))?;
-    let k = r.read(32).ok_or_else(|| bad("truncated header"))? as usize;
+    let k = usize::try_from(r.read(32).ok_or_else(|| bad("truncated header"))?)
+        .map_err(|_| bad("split count exceeds the address space"))?;
     if ways == 0 {
         return Err(bad("zero ways"));
     }
     if k as u64 > num_symbols {
         return Err(bad("more splits than symbols"));
     }
+    // Every split stores at least 16 bits of raw per-lane state, so a body
+    // of `body.len()` bytes cannot hold more than `body.len() / 2` splits.
+    // A hostile header claiming billions of splits is rejected here instead
+    // of sizing an allocation from an attacker-chosen count.
+    if k > body.len() / 2 {
+        return Err(bad("split count exceeds the input size"));
+    }
 
+    // xtask: allow(wire-capacity): `k` is bounded by the physical input length above.
     let mut splits = Vec::with_capacity(k);
     if k > 0 {
-        let waysu = ways as u64;
+        let waysu = u64::from(ways);
+        let ways_n =
+            usize::try_from(ways).map_err(|_| bad("lane count exceeds the address space"))?;
         let segments = k as u64 + 1;
         let expect_off = num_words.div_ceil(segments);
         let groups = num_symbols.div_ceil(waysu);
@@ -215,26 +231,31 @@ pub fn metadata_from_bytes(bytes: &[u8]) -> Result<RecoilMetadata, RecoilError> 
 
         let off_diffs = read_signed_series(&mut r, k, 5)?;
         let anchor_diffs = read_signed_series(&mut r, k, 5)?;
-        for i in 0..k {
-            let offset = ((i as u64 + 1) * expect_off) as i64 + off_diffs[i];
-            let anchor = ((i as u64 + 1) * expect_grp) as i64 + anchor_diffs[i];
+        for (i, (&off_diff, &anchor_diff)) in off_diffs.iter().zip(&anchor_diffs).enumerate() {
+            let offset = ((i as u64 + 1) * expect_off) as i64 + off_diff;
+            let anchor = ((i as u64 + 1) * expect_grp) as i64 + anchor_diff;
             if offset < 0 || anchor < 0 {
                 return Err(bad("negative reconstructed offset or anchor"));
             }
             let (offset, anchor) = (offset as u64, anchor as u64);
-            let mut states = Vec::with_capacity(ways as usize);
+            // xtask: allow(wire-capacity): `ways` was read as 16 bits, so this caps at 128 KiB.
+            let mut states = Vec::with_capacity(ways_n);
             for _ in 0..ways {
+                // xtask: allow(wire-cast): a 16-bit read always fits u16.
                 states.push(r.read(16).ok_or_else(|| bad("truncated states"))? as u16);
             }
-            let diffs = read_unsigned_series(&mut r, ways as usize, 4)?;
-            let lanes: Vec<LaneInit> = (0..ways as u64)
-                .map(|lane| {
+            let diffs = read_unsigned_series(&mut r, ways_n, 4)?;
+            let lanes: Vec<LaneInit> = diffs
+                .iter()
+                .zip(&states)
+                .enumerate()
+                .map(|(lane, (&diff, &state))| {
                     let group = anchor
-                        .checked_sub(diffs[lane as usize])
+                        .checked_sub(diff)
                         .ok_or_else(|| bad("group difference exceeds anchor"))?;
                     Ok(LaneInit {
-                        state: states[lane as usize],
-                        pos: group * waysu + lane,
+                        state,
+                        pos: group * waysu + lane as u64,
                     })
                 })
                 .collect::<Result<_, RecoilError>>()?;
@@ -424,6 +445,26 @@ mod tests {
             let err = metadata_from_bytes(&corrupt).expect_err("corruption undetected");
             assert!(err.to_string().contains("checksum"), "byte {at}: {err}");
         }
+    }
+
+    #[test]
+    fn hostile_split_count_rejected_before_allocation() {
+        // A header claiming u32::MAX splits (with num_symbols large enough
+        // to pass the splits-vs-symbols check) must fail on the physical
+        // input-size bound, not size a multi-gigabyte Vec from the claim.
+        let mut w = BitWriter::new();
+        w.write(MAGIC, 32);
+        w.write(VERSION, 8);
+        w.write(4, 16); // ways
+        w.write(11, 8); // quant_bits
+        w.write(u64::MAX / 2, 64); // num_symbols
+        w.write(1_000_000, 64); // num_words
+        w.write(u64::from(u32::MAX), 32); // split count
+        let mut bytes = w.into_bytes();
+        let footer = crc32(&bytes);
+        bytes.extend_from_slice(&footer.to_le_bytes());
+        let err = metadata_from_bytes(&bytes).expect_err("hostile split count accepted");
+        assert!(err.to_string().contains("split count"), "{err}");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! ("random exponentially distributed bytes"), and the div2k image latents
 //! are modelled as hyperprior-style Gaussian mixtures over 16-bit symbols.
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 mod exponential;
 mod hyperprior;
 mod registry;

@@ -18,6 +18,9 @@
 //! * [`ModelProvider`]: the interface the codecs consume, keyed by symbol
 //!   index so adaptive coding works across Recoil's split boundaries.
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 mod counts;
 mod gaussian;
 mod lut;

@@ -78,6 +78,12 @@ impl FrameType {
             }
         })
     }
+
+    /// The wire byte for this frame type.
+    pub fn byte(self) -> u8 {
+        // xtask: allow(wire-cast): repr(u8) discriminant read of a fieldless enum, not a wire-derived value.
+        self as u8
+    }
 }
 
 /// What one blocking read attempt produced.
@@ -107,8 +113,8 @@ pub fn io_err(context: &str, e: std::io::Error) -> RecoilError {
 fn read_exact_patient(r: &mut impl Read, buf: &mut [u8]) -> Result<(), RecoilError> {
     let mut filled = 0;
     let mut stalls = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+    while let Some(rest) = buf.get_mut(filled..).filter(|rest| !rest.is_empty()) {
+        match r.read(rest) {
             Ok(0) => return Err(RecoilError::net("connection closed mid-frame")),
             Ok(n) => {
                 filled += n;
@@ -142,7 +148,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<ReadOutcome, RecoilError> {
             Err(e) => return Err(io_err("frame header read", e)),
         }
     }
-    let ty = FrameType::from_u8(ty[0])?;
+    let [ty_byte] = ty;
+    let ty = FrameType::from_u8(ty_byte)?;
     let mut len = [0u8; 4];
     read_exact_patient(r, &mut len)?;
     let len = u32::from_le_bytes(len);
@@ -151,7 +158,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<ReadOutcome, RecoilError> {
             "oversized frame: {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
         )));
     }
-    let mut payload = vec![0u8; len as usize];
+    // The cap check above bounds this allocation to MAX_FRAME_LEN.
+    let len = usize::try_from(len)
+        .map_err(|_| RecoilError::net("frame length exceeds the address space"))?;
+    let mut payload = vec![0u8; len];
     read_exact_patient(r, &mut payload)?;
     Ok(ReadOutcome::Frame(ty, payload))
 }
@@ -163,7 +173,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<ReadOutcome, RecoilError> {
 /// responses — straight into the connection's pending-write buffer, no
 /// intermediate payload allocation.
 pub fn begin_frame(buf: &mut Vec<u8>, ty: FrameType) -> usize {
-    buf.push(ty as u8);
+    buf.push(ty.byte());
     buf.extend_from_slice(&[0u8; 4]);
     buf.len()
 }
@@ -173,13 +183,23 @@ pub fn begin_frame(buf: &mut Vec<u8>, ty: FrameType) -> usize {
 /// outgrew [`MAX_FRAME_LEN`] — the peer would kill the connection on its
 /// own length check anyway.
 pub fn end_frame(buf: &mut [u8], payload_start: usize) -> Result<(), RecoilError> {
-    let len = buf.len() - payload_start;
-    if len as u64 > MAX_FRAME_LEN as u64 {
-        return Err(RecoilError::net(format!(
-            "refusing to send an oversized frame: {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
-        )));
-    }
-    buf[payload_start - 4..payload_start].copy_from_slice(&(len as u32).to_le_bytes());
+    let len = buf
+        .len()
+        .checked_sub(payload_start)
+        .ok_or_else(|| RecoilError::net("frame payload start beyond the buffer"))?;
+    let len = u32::try_from(len)
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            RecoilError::net(format!(
+                "refusing to send an oversized frame: {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+            ))
+        })?;
+    payload_start
+        .checked_sub(4)
+        .and_then(|at| buf.get_mut(at..payload_start))
+        .ok_or_else(|| RecoilError::net("frame length slot missing before the payload"))?
+        .copy_from_slice(&len.to_le_bytes());
     Ok(())
 }
 
@@ -197,15 +217,17 @@ pub fn append_frame(buf: &mut Vec<u8>, ty: FrameType, payload: &[u8]) -> Result<
 /// would kill the connection on the length check anyway, so failing before
 /// any bytes move gives the caller a useful error instead of a hangup.
 pub fn write_frame(w: &mut impl Write, ty: FrameType, payload: &[u8]) -> Result<(), RecoilError> {
-    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
-        return Err(RecoilError::net(format!(
-            "refusing to send an oversized frame: {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
-            payload.len()
-        )));
-    }
-    let mut header = [0u8; 5];
-    header[0] = ty as u8;
-    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            RecoilError::net(format!(
+                "refusing to send an oversized frame: {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                payload.len()
+            ))
+        })?;
+    let [l0, l1, l2, l3] = len.to_le_bytes();
+    let header = [ty.byte(), l0, l1, l2, l3];
     w.write_all(&header).map_err(|e| io_err("frame write", e))?;
     w.write_all(payload).map_err(|e| io_err("frame write", e))
 }
@@ -221,7 +243,10 @@ impl PayloadWriter {
     pub fn new() -> Self {
         Self(Vec::new())
     }
-    pub fn with_capacity(cap: usize) -> Self {
+    /// Encode-side pre-allocation; `cap` is always a locally computed
+    /// size, never a wire-derived length.
+    pub fn preallocated(cap: usize) -> Self {
+        // xtask: allow(wire-capacity): encode path — the capacity comes from in-memory data the caller owns.
         Self(Vec::with_capacity(cap))
     }
     pub fn u8(&mut self, v: u8) {
@@ -236,8 +261,15 @@ impl PayloadWriter {
     pub fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    /// Length-prefixed (u32) byte blob.
+    /// Length-prefixed (u32) byte blob. Blobs over `u32::MAX` cannot occur:
+    /// every payload is rejected against [`MAX_FRAME_LEN`] (far below
+    /// `u32::MAX`) before any byte reaches the wire.
     pub fn bytes(&mut self, v: &[u8]) {
+        debug_assert!(
+            u32::try_from(v.len()).is_ok(),
+            "blob length must fit the u32 prefix"
+        );
+        // xtask: allow(wire-cast): encode path — oversized payloads are rejected by the MAX_FRAME_LEN check before hitting the wire.
         self.u32(v.len() as u32);
         self.0.extend_from_slice(v);
     }
@@ -246,9 +278,10 @@ impl PayloadWriter {
     /// longer name here would desync the length prefix.
     pub fn name(&mut self, v: &str) {
         debug_assert!(
-            v.len() <= u16::MAX as usize,
+            v.len() <= usize::from(u16::MAX),
             "name length must be pre-validated"
         );
+        // xtask: allow(wire-cast): encode path — the debug_assert above pins the API contract that names fit u16.
         self.u16(v.len() as u16);
         self.0.extend_from_slice(v.as_bytes());
     }
@@ -275,29 +308,40 @@ impl<'a> PayloadReader<'a> {
         let end = self
             .at
             .checked_add(n)
-            .filter(|&e| e <= self.bytes.len())
             .ok_or_else(|| RecoilError::net("truncated frame payload"))?;
-        let s = &self.bytes[self.at..end];
+        let s = self
+            .bytes
+            .get(self.at..end)
+            .ok_or_else(|| RecoilError::net("truncated frame payload"))?;
         self.at = end;
         Ok(s)
     }
 
+    /// Takes exactly `N` bytes as a fixed array, for `from_le_bytes`.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], RecoilError> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N)?);
+        Ok(a)
+    }
+
     pub fn u8(&mut self) -> Result<u8, RecoilError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
     pub fn u16(&mut self) -> Result<u16, RecoilError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     pub fn u32(&mut self) -> Result<u32, RecoilError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     pub fn u64(&mut self) -> Result<u64, RecoilError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Length-prefixed (u32) byte blob.
     pub fn bytes(&mut self) -> Result<&'a [u8], RecoilError> {
-        let len = self.u32()? as usize;
+        let len = usize::try_from(self.u32()?)
+            .map_err(|_| RecoilError::net("blob length exceeds the address space"))?;
         self.take(len)
     }
 
@@ -310,7 +354,7 @@ impl<'a> PayloadReader<'a> {
     /// zero-copy twin of [`PayloadReader::name`] for hot paths that only
     /// need to look the name up.
     pub fn name_str(&mut self) -> Result<&'a str, RecoilError> {
-        let len = self.u16()? as usize;
+        let len = usize::from(self.u16()?);
         let raw = self.take(len)?;
         std::str::from_utf8(raw).map_err(|_| RecoilError::net("frame name is not valid UTF-8"))
     }
@@ -346,7 +390,7 @@ pub fn encode_error(e: &RecoilError) -> Vec<u8> {
         RecoilError::Wire { detail } => (6, detail.clone()),
         RecoilError::Net { detail } => (7, detail.clone()),
     };
-    let mut w = PayloadWriter::with_capacity(2 + 4 + detail.len());
+    let mut w = PayloadWriter::preallocated(2 + 4 + detail.len());
     w.u16(code);
     w.bytes(detail.as_bytes());
     w.0

@@ -86,8 +86,8 @@
 //! server's `bytes_served` / `active_connections` /
 //! `rejected_connections` / `evicted_connections` counters and the
 //! `queue_depth` / `open_slots` gauges surface through the `STATS` frame.
-//! The previous thread-per-connection backend remains one deprecation
-//! cycle away behind [`NetConfig::legacy_threaded`].
+//! The original thread-per-connection backend completed its deprecation
+//! cycle and has been removed.
 //!
 //! ## Client
 //!
@@ -109,6 +109,9 @@
 //! [`RecoilError`]: recoil_core::RecoilError
 //! [`RecoilError::Net`]: recoil_core::RecoilError::Net
 //! [`DecodeBackend`]: recoil_core::codec::DecodeBackend
+
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
 
 mod client;
 mod frame;

@@ -31,7 +31,7 @@ impl Hello {
     }
 
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = PayloadWriter::with_capacity(10);
+        let mut w = PayloadWriter::preallocated(10);
         w.u32(HELLO_MAGIC);
         w.u16(self.version);
         w.u32(self.capabilities);
@@ -71,7 +71,7 @@ pub fn encode_publish(
     quant_bits: u32,
     data: &[u8],
 ) -> Vec<u8> {
-    let mut w = PayloadWriter::with_capacity(data.len() + name.len() + 32);
+    let mut w = PayloadWriter::preallocated(data.len() + name.len() + 32);
     w.name(name);
     w.u32(ways);
     w.u64(max_segments);
@@ -116,7 +116,7 @@ pub struct PublishOk {
 
 impl PublishOk {
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = PayloadWriter::with_capacity(16);
+        let mut w = PayloadWriter::preallocated(16);
         w.u64(self.segments);
         w.u64(self.stream_bytes);
         w.0
@@ -144,7 +144,7 @@ pub struct ContentRequest {
 
 impl ContentRequest {
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = PayloadWriter::with_capacity(self.name.len() + 10);
+        let mut w = PayloadWriter::preallocated(self.name.len() + 10);
         w.name(&self.name);
         w.u64(self.parallel_segments);
         w.0
@@ -197,14 +197,19 @@ pub struct TransmitHeader {
 
 impl TransmitHeader {
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = PayloadWriter::with_capacity(
+        let mut w = PayloadWriter::preallocated(
             64 + self.metadata.len() + self.freqs.len() * 2 + self.final_states.len() * 4,
         );
         w.u64(self.segments);
-        w.u8(self.cache_hit as u8);
+        w.u8(u8::from(self.cache_hit));
         w.u64(self.combine_nanos);
         w.bytes(&self.metadata);
         w.u32(self.quant_bits);
+        debug_assert!(
+            self.freqs.len() <= 1 << 16,
+            "alphabet exceeds the model cap"
+        );
+        // xtask: allow(wire-cast): encode path — the quantized alphabet is capped at 2^16 symbols.
         w.u32(self.freqs.len() as u32);
         for &f in &self.freqs {
             w.u16(f);
@@ -227,20 +232,25 @@ impl TransmitHeader {
         let combine_nanos = r.u64()?;
         let metadata = r.bytes()?.to_vec();
         let quant_bits = r.u32()?;
-        let alphabet = r.u32()? as usize;
+        let alphabet = usize::try_from(r.u32()?)
+            .map_err(|_| RecoilError::net("alphabet size exceeds the address space"))?;
         if alphabet > 1 << 16 {
             return Err(RecoilError::net(format!("bad alphabet size {alphabet}")));
         }
+        // xtask: allow(wire-capacity): bounded to 2^16 entries (128 KiB) by the check above.
         let mut freqs = Vec::with_capacity(alphabet);
         for _ in 0..alphabet {
             freqs.push(r.u16()?);
         }
         let ways = r.u32()?;
-        if ways == 0 || ways > u16::MAX as u32 {
+        if ways == 0 || ways > u32::from(u16::MAX) {
             return Err(RecoilError::net(format!("bad lane count {ways}")));
         }
         let num_symbols = r.u64()?;
-        let mut final_states = Vec::with_capacity(ways as usize);
+        let lanes = usize::try_from(ways)
+            .map_err(|_| RecoilError::net("lane count exceeds the address space"))?;
+        // xtask: allow(wire-capacity): bounded to u16::MAX lanes (256 KiB) by the check above.
+        let mut final_states = Vec::with_capacity(lanes);
         for _ in 0..ways {
             final_states.push(r.u32()?);
         }
@@ -274,7 +284,7 @@ pub struct StatsReply {
 impl StatsReply {
     pub fn encode(&self) -> Vec<u8> {
         let s = &self.stats;
-        let mut w = PayloadWriter::with_capacity(96);
+        let mut w = PayloadWriter::preallocated(96);
         for v in [
             s.publishes,
             s.requests,
@@ -332,13 +342,15 @@ pub(crate) fn write_transmit_header(
     let stream = &item.stream;
     let table = item.model.table();
     w.u64(transmission.tier.segments);
-    w.u8(transmission.cache_hit as u8);
-    w.u64(transmission.combine_nanos.min(u64::MAX as u128) as u64);
+    w.u8(u8::from(transmission.cache_hit));
+    w.u64(u64::try_from(transmission.combine_nanos).unwrap_or(u64::MAX));
     w.bytes(transmission.metadata_bytes());
     w.u32(table.quant_bits());
+    // xtask: allow(wire-cast): encode path — CdfTable caps the alphabet at 2^16 symbols.
     w.u32(table.alphabet_size() as u32);
     for s in 0..table.alphabet_size() {
         // Quantizer invariant: every frequency is < 2^16, so u16 is exact.
+        // xtask: allow(wire-cast): see the quantizer invariant above.
         w.u16(table.freq(s) as u16);
     }
     w.u32(stream.ways);

@@ -1,8 +1,7 @@
 //! The TCP front end over [`ContentServer`](recoil_server::ContentServer):
-//! public configuration and handle types, plus the two interchangeable
-//! backends behind them.
+//! public configuration and handle types over the event-driven backend.
 //!
-//! The default backend ([`reactor`]) multiplexes every connection on one
+//! The backend ([`reactor`]) multiplexes every connection on one
 //! event-driven thread built from `recoil-reactor`'s readiness plumbing
 //! (edge-triggered epoll, slab-pooled connection state, reactor-managed
 //! deadlines) and offloads CPU-bound work — encodes on publish, metadata
@@ -10,12 +9,10 @@
 //! are *not* pinned to threads, so thousands of mostly-idle peers cost
 //! one slab slot each, not a worker.
 //!
-//! The previous thread-per-connection backend ([`legacy`]) remains
-//! available behind [`NetConfig::legacy_threaded`] for one deprecation
-//! cycle; both speak the identical wire protocol and pass the same
-//! integration suites.
+//! The original thread-per-connection backend finished its deprecation
+//! cycle and has been removed; the reactor passes the same integration
+//! suites it did.
 
-mod legacy;
 mod reactor;
 
 use crate::frame::{io_err, MAX_FRAME_LEN};
@@ -35,9 +32,7 @@ pub struct NetConfig {
     /// Connections are **not** pinned to workers: the reactor backend
     /// serves every connection from one event loop and touches a worker
     /// only for compute-heavy requests, so this sizes compute concurrency,
-    /// not connection concurrency. (Under [`NetConfig::legacy_threaded`]
-    /// the old semantics apply: one worker per concurrently handled
-    /// connection.)
+    /// not connection concurrency.
     pub workers: usize,
     /// Hard cap on concurrently open connections; excess accepts are
     /// rejected with a typed busy error.
@@ -51,10 +46,6 @@ pub struct NetConfig {
     pub write_timeout: Duration,
     /// Bitstream bytes per [`crate::FrameType::Chunk`] frame.
     pub chunk_bytes: usize,
-    /// Use the deprecated thread-per-connection backend instead of the
-    /// event-driven reactor. Scheduled for removal; prints a one-time
-    /// deprecation warning.
-    pub legacy_threaded: bool,
     /// Force the reactor's portable level-triggered `poll(2)` backend
     /// instead of edge-triggered epoll (tests, exotic targets).
     pub poll_fallback: bool,
@@ -69,7 +60,6 @@ impl Default for NetConfig {
             read_timeout: Duration::from_millis(250),
             write_timeout: Duration::from_secs(10),
             chunk_bytes: 256 * 1024,
-            legacy_threaded: false,
             poll_fallback: false,
         }
     }
@@ -98,31 +88,15 @@ impl NetServer {
     ) -> Result<NetServerHandle, RecoilError> {
         let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
         let addr = listener.local_addr().map_err(|e| io_err("local_addr", e))?;
-        let backend = if config.legacy_threaded {
-            static DEPRECATION: std::sync::Once = std::sync::Once::new();
-            DEPRECATION.call_once(|| {
-                eprintln!(
-                    "recoil-net: NetConfig::legacy_threaded is deprecated; the event-driven \
-                     reactor backend is the default and the threaded backend will be removed"
-                );
-            });
-            Backend::Legacy(legacy::bind(content, listener, addr, config)?)
-        } else {
-            Backend::Reactor(reactor::bind(content, listener, config)?)
-        };
+        let backend = reactor::bind(content, listener, config)?;
         Ok(NetServerHandle { addr, backend })
     }
-}
-
-enum Backend {
-    Reactor(reactor::ReactorHandle),
-    Legacy(legacy::LegacyHandle),
 }
 
 /// Owner of a running [`NetServer`]; shuts it down when dropped.
 pub struct NetServerHandle {
     addr: SocketAddr,
-    backend: Backend,
+    backend: reactor::ReactorHandle,
 }
 
 impl NetServerHandle {
@@ -133,48 +107,31 @@ impl NetServerHandle {
 
     /// The content store this server fronts.
     pub fn content(&self) -> &Arc<ContentServer> {
-        match &self.backend {
-            Backend::Reactor(h) => h.content(),
-            Backend::Legacy(h) => h.content(),
-        }
+        self.backend.content()
     }
 
-    /// Connections currently open (reactor) or inside a handler (legacy).
+    /// Connections currently open.
     pub fn active_connections(&self) -> usize {
-        match &self.backend {
-            Backend::Reactor(h) => h.active_connections(),
-            Backend::Legacy(h) => h.active_connections(),
-        }
+        self.backend.active_connections()
     }
 
     /// Connection-slot reuse tallies from the reactor's slab: steady-state
     /// accepts recycle parked buffers instead of allocating, and this is
-    /// how tests assert it. The legacy backend has no slab and reports
-    /// zeros.
+    /// how tests assert it.
     pub fn slab_stats(&self) -> SlabStats {
-        match &self.backend {
-            Backend::Reactor(h) => h.slab_stats(),
-            Backend::Legacy(_) => SlabStats::default(),
-        }
+        self.backend.slab_stats()
     }
 
     /// Stops accepting, lets in-flight requests finish, and joins every
     /// server thread. Idempotent (also runs on drop).
     pub fn shutdown(mut self) {
-        self.shutdown_impl();
-    }
-
-    fn shutdown_impl(&mut self) {
-        match &mut self.backend {
-            Backend::Reactor(h) => h.shutdown_impl(),
-            Backend::Legacy(h) => h.shutdown_impl(),
-        }
+        self.backend.shutdown_impl();
     }
 }
 
 impl Drop for NetServerHandle {
     fn drop(&mut self) {
-        self.shutdown_impl();
+        self.backend.shutdown_impl();
     }
 }
 
@@ -182,13 +139,7 @@ impl std::fmt::Debug for NetServerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetServerHandle")
             .field("addr", &self.addr)
-            .field(
-                "backend",
-                &match &self.backend {
-                    Backend::Reactor(_) => "reactor",
-                    Backend::Legacy(_) => "legacy-threaded",
-                },
-            )
+            .field("backend", &"reactor")
             .field("active", &self.active_connections())
             .finish()
     }

@@ -12,6 +12,9 @@
 //! `rayon` is not available in this environment; this is the minimal subset
 //! the workspace needs (dynamic index claiming ≈ `par_iter` over `0..n`).
 
+// Audited unsafe crate: every unsafe operation sits in an explicit block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod pool;
 
 pub use pool::ThreadPool;

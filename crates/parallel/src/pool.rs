@@ -19,6 +19,11 @@ struct Job {
     tasks: usize,
 }
 
+// SAFETY: `Job` is a raw pointer plus a count. Sending it to workers is
+// sound because the pointee is `Sync` (so `&closure` may be shared and
+// called across threads) and [`ThreadPool::run`] keeps that closure alive
+// on the caller's stack until the epoch's `active == 0` handshake — no
+// worker can dereference `f` after it is freed.
 unsafe impl Send for Job {}
 
 struct State {
@@ -125,15 +130,13 @@ impl ThreadPool {
         // waits for before returning — even when unwinding, since caller
         // panics are caught by `drive` and only re-thrown after the
         // handshake — so `f` outlives every dereference.
-        let job = Job {
-            f: unsafe {
-                std::mem::transmute::<
-                    *const (dyn Fn(usize) + Sync),
-                    *const (dyn Fn(usize) + Sync + 'static),
-                >(f_ref as *const _)
-            },
-            tasks,
+        let f_static = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f_ref as *const _)
         };
+        let job = Job { f: f_static, tasks };
         {
             let mut st = self.shared.state.lock();
             debug_assert!(st.job.is_none() && st.active == 0);

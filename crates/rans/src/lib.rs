@@ -23,6 +23,9 @@
 //! what lets Recoil initialize a lane "immediately before the first time
 //! it reads the bitstream" (paper §4.1.1).
 
+// Audited unsafe crate: every unsafe operation sits in an explicit block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod error;
 pub mod fast;
 mod interleaved;

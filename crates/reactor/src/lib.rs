@@ -50,6 +50,9 @@
 //! Nothing in this crate knows about frames, rANS, or the content server;
 //! it is plain readiness plumbing and is tested as such.
 
+// Audited unsafe crate: every unsafe operation sits in an explicit block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod deadline;
 pub mod poller;
 pub mod slab;

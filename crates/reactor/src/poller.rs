@@ -80,11 +80,15 @@ impl Poller {
     pub fn new() -> io::Result<Self> {
         #[cfg(target_os = "linux")]
         {
+            // SAFETY: no pointers cross this call; the kernel returns a
+            // fresh fd (or -1) which `cvt_retry` turns into a Result.
             let epfd = sys::cvt_retry(|| unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
             Ok(Self {
                 backend: Backend::Epoll {
                     epfd,
-                    buf: Vec::with_capacity(1024),
+                    // `wait` reserves its batch before every syscall, so
+                    // the buffer can start empty.
+                    buf: Vec::new(),
                 },
             })
         }
@@ -149,6 +153,9 @@ impl Poller {
     pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
         match &mut self.backend {
             #[cfg(target_os = "linux")]
+            // SAFETY: EPOLL_CTL_DEL ignores the event argument (null is
+            // explicitly allowed since kernel 2.6.9); `epfd` is the live
+            // epoll fd owned by this poller.
             Backend::Epoll { epfd, .. } => sys::cvt_retry(|| unsafe {
                 sys::epoll_ctl(*epfd, sys::EPOLL_CTL_DEL, fd, std::ptr::null_mut())
             })
@@ -167,17 +174,32 @@ impl Poller {
         match &mut self.backend {
             #[cfg(target_os = "linux")]
             Backend::Epoll { epfd, buf } => {
-                let cap = buf.capacity().max(64);
+                // One syscall reports at most EVENT_BATCH events;
+                // edge-triggered readiness for any remainder stays queued
+                // in the kernel ready list and surfaces on the next wait.
+                const EVENT_BATCH: usize = 1024;
                 buf.clear();
+                // Reserve *before* telling the kernel how much room there
+                // is — the batch size passed to epoll_wait must never
+                // exceed the spare capacity actually allocated behind
+                // `buf.as_mut_ptr()`, or the kernel would write past the
+                // buffer.
+                buf.reserve(EVENT_BATCH);
+                // SAFETY: `buf` is empty with at least EVENT_BATCH entries
+                // of spare capacity (reserved above), and the kernel
+                // writes at most EVENT_BATCH events starting at
+                // `buf.as_mut_ptr()`; `epfd` is the live epoll fd owned by
+                // this poller.
                 let n = sys::cvt_retry(|| unsafe {
                     sys::epoll_wait(
                         *epfd,
                         buf.as_mut_ptr(),
-                        cap as i32,
+                        EVENT_BATCH as i32,
                         sys::timeout_ms(timeout),
                     )
                 })?;
-                // SAFETY: the kernel initialized the first `n` entries.
+                // SAFETY: the kernel initialized the first `n` entries,
+                // and `n <= EVENT_BATCH <= buf.capacity()`.
                 unsafe { buf.set_len(n as usize) };
                 for ev in buf.iter() {
                     // Copy out of the (possibly packed) struct first.
@@ -200,6 +222,9 @@ impl Poller {
                         | (if interest.writable() { sys::POLLOUT } else { 0 }),
                     revents: 0,
                 }));
+                // SAFETY: `scratch` holds exactly `scratch.len()`
+                // initialized pollfds; the kernel only rewrites their
+                // `revents` fields in place.
                 let n = sys::cvt_retry(|| unsafe {
                     sys::poll(
                         scratch.as_mut_ptr(),
@@ -239,6 +264,8 @@ fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, token: Token, interest: Interest) 
             | sys::EPOLLET,
         data: token.0,
     };
+    // SAFETY: `ev` is a live, fully initialized epoll_event for the whole
+    // call; the kernel copies it and does not retain the pointer.
     sys::cvt_retry(|| unsafe { sys::epoll_ctl(epfd, op, fd, &mut ev) }).map(drop)
 }
 
@@ -246,6 +273,8 @@ fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, token: Token, interest: Interest) 
 impl Drop for Poller {
     fn drop(&mut self) {
         if let Backend::Epoll { epfd, .. } = &self.backend {
+            // SAFETY: `epfd` is owned by this poller and never used after
+            // drop; close takes no pointers.
             unsafe { sys::close(*epfd) };
         }
     }
@@ -342,6 +371,44 @@ mod tests {
             let ev = events.iter().find(|e| e.token == Token(3)).unwrap();
             // A clean close shows as readable (EOF) and usually as hangup.
             assert!(ev.readable || ev.hangup);
+        }
+    }
+
+    /// Regression: `wait` once passed a batch size of `max(capacity, 64)`
+    /// to the kernel while pointing at the Vec's (possibly smaller)
+    /// allocation. The buffer now starts empty and `wait` reserves its
+    /// batch before every syscall — so a fresh poller must deliver a pile
+    /// of simultaneously-ready fds without losing (or corrupting) any.
+    #[test]
+    fn many_ready_fds_arrive_through_a_fresh_buffer() {
+        use crate::wake::WakePipe;
+        for mut poller in pollers() {
+            let pipes: Vec<_> = (0..70).map(|_| WakePipe::new().unwrap()).collect();
+            for (i, pipe) in pipes.iter().enumerate() {
+                pipe.waker().wake();
+                poller
+                    .register(pipe.read_fd(), Token(i as u64), Interest::READ)
+                    .unwrap();
+            }
+            let mut events = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..8 {
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(500)))
+                    .unwrap();
+                for e in &events {
+                    if e.readable {
+                        seen.insert(e.token.0);
+                    }
+                }
+                if seen.len() == pipes.len() {
+                    break;
+                }
+            }
+            assert_eq!(seen.len(), pipes.len());
+            for pipe in &pipes {
+                poller.deregister(pipe.read_fd()).unwrap();
+            }
         }
     }
 

@@ -21,6 +21,8 @@ pub struct WakePipe {
 impl WakePipe {
     pub fn new() -> io::Result<Arc<Self>> {
         let mut fds = [0i32; 2];
+        // SAFETY: `fds` is a live array of exactly the two i32s pipe2
+        // writes on success.
         sys::cvt_retry(|| unsafe {
             sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC)
         })?;
@@ -40,6 +42,8 @@ impl WakePipe {
     pub fn drain(&self) {
         let mut buf = [0u8; 64];
         loop {
+            // SAFETY: `buf` is a live 64-byte local and the kernel is told
+            // its exact length; `read_fd` is owned by this WakePipe.
             let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
             if n <= 0 {
                 let e = io::Error::last_os_error();
@@ -59,6 +63,9 @@ impl WakePipe {
 
 impl Drop for WakePipe {
     fn drop(&mut self) {
+        // SAFETY: both fds are owned by this WakePipe and every Waker
+        // holds an Arc to it, so nothing can use them after the last drop;
+        // close takes no pointers.
         unsafe {
             sys::close(self.read_fd);
             sys::close(self.write_fd);
@@ -76,6 +83,8 @@ impl Waker {
     pub fn wake(&self) {
         let byte = 1u8;
         loop {
+            // SAFETY: one byte is read from a live local; `write_fd` stays
+            // open for as long as this Waker's Arc keeps the pipe alive.
             let n = unsafe { sys::write(self.0.write_fd, (&raw const byte).cast(), 1) };
             if n >= 0 {
                 return;

@@ -89,6 +89,9 @@
 //! | [`server`] | encode-once / combine-per-request content delivery |
 //! | [`net`] | framed TCP transport: `NetServer` / pooling `NetClient` |
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 pub use recoil_bitio as bitio;
 pub use recoil_conventional as conventional;
 pub use recoil_core as core;

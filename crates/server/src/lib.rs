@@ -45,6 +45,9 @@
 //!
 //! [`RecoilMetadata`]: recoil_core::RecoilMetadata
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 mod cache;
 mod client;
 mod server;

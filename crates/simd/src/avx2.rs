@@ -44,59 +44,65 @@ pub unsafe fn group_avx2(
     mask: u32,
     out: &mut [u16; 32],
 ) {
-    let zero = _mm256_setzero_si256();
-    let maskv = _mm256_set1_epi32(mask as i32);
-    let ncount = _mm_cvtsi32_si128(n as i32);
-    let sp = states.as_mut_ptr();
+    // SAFETY: the caller upholds the `# Safety` contract above — AVX2 is
+    // available and the cursor guards hold — so every pointer below stays
+    // in bounds: `sp`/`out` address the caller's fixed arrays and each
+    // renormalization load reads `words[base .. base+8]` inside the stream.
+    unsafe {
+        let zero = _mm256_setzero_si256();
+        let maskv = _mm256_set1_epi32(mask as i32);
+        let ncount = _mm_cvtsi32_si128(n as i32);
+        let sp = states.as_mut_ptr();
 
-    // Registers in descending lane order so the shared backward cursor is
-    // consumed exactly as the scalar decoder would.
-    for r in (0..4usize).rev() {
-        let mut x = _mm256_loadu_si256(sp.add(r * 8) as *const __m256i);
+        // Registers in descending lane order so the shared backward cursor is
+        // consumed exactly as the scalar decoder would.
+        for r in (0..4usize).rev() {
+            let mut x = _mm256_loadu_si256(sp.add(r * 8) as *const __m256i);
 
-        // Renormalization: lanes with x < 2^16 (i.e. high half zero).
-        let small = _mm256_cmpeq_epi32(_mm256_srli_epi32::<16>(x), zero);
-        let m = (_mm256_movemask_ps(_mm256_castsi256_ps(small)) & 0xFF) as usize;
-        if m != 0 {
-            let k = m.count_ones() as isize;
-            let base = *p - k + 1;
-            let w128 = _mm_loadu_si128(words.add(base as usize) as *const __m128i);
-            let w = _mm256_cvtepu16_epi32(w128);
-            let perm = _mm256_loadu_si256(PERM[m].as_ptr() as *const __m256i);
-            let wperm = _mm256_permutevar8x32_epi32(w, perm);
-            let renormed = _mm256_or_si256(_mm256_slli_epi32::<16>(x), wperm);
-            x = _mm256_blendv_epi8(x, renormed, small);
-            *p -= k;
+            // Renormalization: lanes with x < 2^16 (i.e. high half zero).
+            let small = _mm256_cmpeq_epi32(_mm256_srli_epi32::<16>(x), zero);
+            let m = (_mm256_movemask_ps(_mm256_castsi256_ps(small)) & 0xFF) as usize;
+            if m != 0 {
+                let k = m.count_ones() as isize;
+                let base = *p - k + 1;
+                let w128 = _mm_loadu_si128(words.add(base as usize) as *const __m128i);
+                let w = _mm256_cvtepu16_epi32(w128);
+                let perm = _mm256_loadu_si256(PERM[m].as_ptr() as *const __m256i);
+                let wperm = _mm256_permutevar8x32_epi32(w, perm);
+                let renormed = _mm256_or_si256(_mm256_slli_epi32::<16>(x), wperm);
+                x = _mm256_blendv_epi8(x, renormed, small);
+                *p -= k;
+            }
+
+            // Transform (Eq. 2).
+            let slot = _mm256_and_si256(x, maskv);
+            let (f, c, sym) = match *model {
+                SimdModel::Packed { lut, .. } => {
+                    let e = _mm256_i32gather_epi32::<4>(lut.as_ptr() as *const i32, slot);
+                    let field = _mm256_set1_epi32(0xFFF);
+                    (
+                        _mm256_and_si256(_mm256_srli_epi32::<12>(e), field),
+                        _mm256_and_si256(e, field),
+                        _mm256_srli_epi32::<24>(e),
+                    )
+                }
+                SimdModel::Wide { inv, ff, .. } => {
+                    let half = _mm256_set1_epi32(0xFFFF);
+                    let g1 = _mm256_i32gather_epi32::<2>(inv.as_ptr() as *const i32, slot);
+                    let sym = _mm256_and_si256(g1, half);
+                    let e = _mm256_i32gather_epi32::<4>(ff.as_ptr() as *const i32, sym);
+                    (_mm256_srli_epi32::<16>(e), _mm256_and_si256(e, half), sym)
+                }
+            };
+            let xsh = _mm256_srl_epi32(x, ncount);
+            x = _mm256_add_epi32(_mm256_mullo_epi32(f, xsh), _mm256_sub_epi32(slot, c));
+            _mm256_storeu_si256(sp.add(r * 8) as *mut __m256i, x);
+
+            // Narrow the 8 u32 symbols to u16 and store.
+            let lo = _mm256_castsi256_si128(sym);
+            let hi = _mm256_extracti128_si256::<1>(sym);
+            let pk = _mm_packus_epi32(lo, hi);
+            _mm_storeu_si128(out.as_mut_ptr().add(r * 8) as *mut __m128i, pk);
         }
-
-        // Transform (Eq. 2).
-        let slot = _mm256_and_si256(x, maskv);
-        let (f, c, sym) = match *model {
-            SimdModel::Packed { lut, .. } => {
-                let e = _mm256_i32gather_epi32::<4>(lut.as_ptr() as *const i32, slot);
-                let field = _mm256_set1_epi32(0xFFF);
-                (
-                    _mm256_and_si256(_mm256_srli_epi32::<12>(e), field),
-                    _mm256_and_si256(e, field),
-                    _mm256_srli_epi32::<24>(e),
-                )
-            }
-            SimdModel::Wide { inv, ff, .. } => {
-                let half = _mm256_set1_epi32(0xFFFF);
-                let g1 = _mm256_i32gather_epi32::<2>(inv.as_ptr() as *const i32, slot);
-                let sym = _mm256_and_si256(g1, half);
-                let e = _mm256_i32gather_epi32::<4>(ff.as_ptr() as *const i32, sym);
-                (_mm256_srli_epi32::<16>(e), _mm256_and_si256(e, half), sym)
-            }
-        };
-        let xsh = _mm256_srl_epi32(x, ncount);
-        x = _mm256_add_epi32(_mm256_mullo_epi32(f, xsh), _mm256_sub_epi32(slot, c));
-        _mm256_storeu_si256(sp.add(r * 8) as *mut __m256i, x);
-
-        // Narrow the 8 u32 symbols to u16 and store.
-        let lo = _mm256_castsi256_si128(sym);
-        let hi = _mm256_extracti128_si256::<1>(sym);
-        let pk = _mm_packus_epi32(lo, hi);
-        _mm_storeu_si128(out.as_mut_ptr().add(r * 8) as *mut __m128i, pk);
     }
 }

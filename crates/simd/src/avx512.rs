@@ -21,53 +21,59 @@ pub unsafe fn group_avx512(
     mask: u32,
     out: &mut [u16; 32],
 ) {
-    let lbound = _mm512_set1_epi32(1 << 16);
-    let maskv = _mm512_set1_epi32(mask as i32);
-    let ncount = _mm_cvtsi32_si128(n as i32);
-    let sp = states.as_mut_ptr();
+    // SAFETY: the caller upholds the `# Safety` contract above — AVX-512F is
+    // available and the cursor guards hold — so every pointer below stays
+    // in bounds: `sp`/`out` address the caller's fixed arrays and each
+    // renormalization load reads `words[base .. base+16]` inside the stream.
+    unsafe {
+        let lbound = _mm512_set1_epi32(1 << 16);
+        let maskv = _mm512_set1_epi32(mask as i32);
+        let ncount = _mm_cvtsi32_si128(n as i32);
+        let sp = states.as_mut_ptr();
 
-    for r in (0..2usize).rev() {
-        let mut x = _mm512_loadu_si512(sp.add(r * 16) as *const __m512i);
+        for r in (0..2usize).rev() {
+            let mut x = _mm512_loadu_si512(sp.add(r * 16) as *const __m512i);
 
-        // Renormalization via expand-load semantics.
-        let m: __mmask16 = _mm512_cmplt_epu32_mask(x, lbound);
-        if m != 0 {
-            let k = m.count_ones() as isize;
-            let base = *p - k + 1;
-            let w256 = _mm256_loadu_si256(words.add(base as usize) as *const __m256i);
-            let w = _mm512_cvtepu16_epi32(w256);
-            let expanded = _mm512_maskz_expand_epi32(m, w);
-            let renormed = _mm512_or_si512(_mm512_slli_epi32::<16>(x), expanded);
-            x = _mm512_mask_blend_epi32(m, x, renormed);
-            *p -= k;
+            // Renormalization via expand-load semantics.
+            let m: __mmask16 = _mm512_cmplt_epu32_mask(x, lbound);
+            if m != 0 {
+                let k = m.count_ones() as isize;
+                let base = *p - k + 1;
+                let w256 = _mm256_loadu_si256(words.add(base as usize) as *const __m256i);
+                let w = _mm512_cvtepu16_epi32(w256);
+                let expanded = _mm512_maskz_expand_epi32(m, w);
+                let renormed = _mm512_or_si512(_mm512_slli_epi32::<16>(x), expanded);
+                x = _mm512_mask_blend_epi32(m, x, renormed);
+                *p -= k;
+            }
+
+            // Transform (Eq. 2).
+            let slot = _mm512_and_si512(x, maskv);
+            let (f, c, sym) = match *model {
+                SimdModel::Packed { lut, .. } => {
+                    let e = _mm512_i32gather_epi32::<4>(slot, lut.as_ptr() as *const i32);
+                    let field = _mm512_set1_epi32(0xFFF);
+                    (
+                        _mm512_and_si512(_mm512_srli_epi32::<12>(e), field),
+                        _mm512_and_si512(e, field),
+                        _mm512_srli_epi32::<24>(e),
+                    )
+                }
+                SimdModel::Wide { inv, ff, .. } => {
+                    let half = _mm512_set1_epi32(0xFFFF);
+                    let g1 = _mm512_i32gather_epi32::<2>(slot, inv.as_ptr() as *const i32);
+                    let sym = _mm512_and_si512(g1, half);
+                    let e = _mm512_i32gather_epi32::<4>(sym, ff.as_ptr() as *const i32);
+                    (_mm512_srli_epi32::<16>(e), _mm512_and_si512(e, half), sym)
+                }
+            };
+            let xsh = _mm512_srl_epi32(x, ncount);
+            x = _mm512_add_epi32(_mm512_mullo_epi32(f, xsh), _mm512_sub_epi32(slot, c));
+            _mm512_storeu_si512(sp.add(r * 16) as *mut __m512i, x);
+
+            // Narrow 16 u32 symbols to u16 (vpmovdw) and store.
+            let pk = _mm512_cvtepi32_epi16(sym);
+            _mm256_storeu_si256(out.as_mut_ptr().add(r * 16) as *mut __m256i, pk);
         }
-
-        // Transform (Eq. 2).
-        let slot = _mm512_and_si512(x, maskv);
-        let (f, c, sym) = match *model {
-            SimdModel::Packed { lut, .. } => {
-                let e = _mm512_i32gather_epi32::<4>(slot, lut.as_ptr() as *const i32);
-                let field = _mm512_set1_epi32(0xFFF);
-                (
-                    _mm512_and_si512(_mm512_srli_epi32::<12>(e), field),
-                    _mm512_and_si512(e, field),
-                    _mm512_srli_epi32::<24>(e),
-                )
-            }
-            SimdModel::Wide { inv, ff, .. } => {
-                let half = _mm512_set1_epi32(0xFFFF);
-                let g1 = _mm512_i32gather_epi32::<2>(slot, inv.as_ptr() as *const i32);
-                let sym = _mm512_and_si512(g1, half);
-                let e = _mm512_i32gather_epi32::<4>(sym, ff.as_ptr() as *const i32);
-                (_mm512_srli_epi32::<16>(e), _mm512_and_si512(e, half), sym)
-            }
-        };
-        let xsh = _mm512_srl_epi32(x, ncount);
-        x = _mm512_add_epi32(_mm512_mullo_epi32(f, xsh), _mm512_sub_epi32(slot, c));
-        _mm512_storeu_si512(sp.add(r * 16) as *mut __m512i, x);
-
-        // Narrow 16 u32 symbols to u16 (vpmovdw) and store.
-        let pk = _mm512_cvtepi32_epi16(sym);
-        _mm256_storeu_si256(out.as_mut_ptr().add(r * 16) as *mut __m256i, pk);
     }
 }

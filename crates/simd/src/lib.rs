@@ -22,6 +22,9 @@
 //! they plug into the Recoil three-phase decoder and the Conventional
 //! baseline through the decode drivers.
 
+// Audited unsafe crate: every unsafe operation sits in an explicit block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 #[cfg(target_arch = "x86_64")]
 mod avx2;
 #[cfg(target_arch = "x86_64")]

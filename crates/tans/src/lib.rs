@@ -16,6 +16,9 @@
 //! synchronization prefixes are pure overhead. All of that is reproduced
 //! here on the CPU.
 
+// Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
+#![forbid(unsafe_code)]
+
 mod codec;
 mod multians;
 mod table;

@@ -1,0 +1,454 @@
+//! The lint rules. Each rule walks the masked view from
+//! [`crate::scanner`] and reports [`Finding`]s; the raw view is consulted
+//! only for comment-directed checks (`// SAFETY:` proofs and
+//! `// xtask: allow(...)` suppression markers).
+
+use crate::policy;
+use crate::report::{Finding, Report, Suppressed};
+use crate::scanner::{word_positions, SourceFile};
+
+/// Keywords that legitimately precede `[` without it being an index
+/// expression (`&mut [u8]`, `for w in [..]`, `return [..]`).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "in", "return", "const", "static", "ref", "else",
+];
+
+/// Runs every applicable rule over one file. `rel` is the
+/// workspace-relative path with `/` separators.
+pub fn check_file(rel: &str, sf: &SourceFile, report: &mut Report) {
+    check_unsafe(rel, sf, report);
+    check_crate_attr(rel, sf, report);
+    if policy::WIRE_FILES.contains(&rel) {
+        check_wire(rel, sf, report);
+    }
+}
+
+/// `safety-comment` + `unsafe-allowlist`: every `unsafe` keyword must be
+/// justified in place and must live in an audited file.
+fn check_unsafe(rel: &str, sf: &SourceFile, report: &mut Report) {
+    let allowlisted = policy::UNSAFE_ALLOWLIST.contains(&rel);
+    for li in 0..sf.masked.len() {
+        for col in word_positions(&sf.masked[li], "unsafe") {
+            if !allowlisted {
+                push(
+                    report,
+                    sf,
+                    rel,
+                    li,
+                    policy::UNSAFE_ALLOWLIST_RULE,
+                    "`unsafe` outside the audited allowlist; move the code into an \
+                     allowlisted module or extend crates/xtask/src/policy.rs with a \
+                     safety review"
+                        .to_string(),
+                );
+            }
+            let fn_form = matches!(
+                next_token(sf, li, col + "unsafe".len()).as_deref(),
+                Some("fn") | Some("extern")
+            );
+            if !has_safety_proof(sf, li, fn_form) {
+                let message = if fn_form {
+                    "`unsafe fn` without a `# Safety` doc section or `// SAFETY:` \
+                     comment stating the caller contract"
+                } else {
+                    "`unsafe` without an immediately preceding `// SAFETY:` comment \
+                     stating the invariant that makes it sound"
+                };
+                push(
+                    report,
+                    sf,
+                    rel,
+                    li,
+                    policy::SAFETY_COMMENT,
+                    message.to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Is the `unsafe` on line `li` covered by a proof comment? Accepts a
+/// trailing `// SAFETY:` on the same line or a contiguous run of comment
+/// and attribute lines immediately above; `unsafe fn` declarations may
+/// instead document the contract in a `/// # Safety` doc section.
+fn has_safety_proof(sf: &SourceFile, li: usize, fn_form: bool) -> bool {
+    let hit = |lj: usize, needle: &str| {
+        // Present in raw but not masked == inside a comment.
+        sf.raw[lj].contains(needle) && !sf.masked[lj].contains(needle)
+    };
+    if hit(li, "SAFETY:") {
+        return true;
+    }
+    for lj in (0..li).rev() {
+        let trimmed = sf.raw[lj].trim_start();
+        let comment = trimmed.starts_with("//");
+        let attr = trimmed.starts_with("#[") || trimmed.starts_with("#!");
+        if !comment && !attr {
+            return false;
+        }
+        if comment && (hit(lj, "SAFETY:") || (fn_form && hit(lj, "# Safety"))) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The next word or symbol in the masked text after `(li, col)`, looking
+/// across at most a few following lines.
+fn next_token(sf: &SourceFile, li: usize, col: usize) -> Option<String> {
+    let mut line = li;
+    let mut at = col;
+    loop {
+        let chars: Vec<char> = sf.masked.get(line)?.chars().collect();
+        while at < chars.len() && chars[at].is_whitespace() {
+            at += 1;
+        }
+        if at >= chars.len() {
+            line += 1;
+            at = 0;
+            if line > li + 4 {
+                return None;
+            }
+            continue;
+        }
+        let c = chars[at];
+        if !c.is_ascii_alphanumeric() && c != '_' {
+            return Some(c.to_string());
+        }
+        let mut word = String::new();
+        while at < chars.len() && (chars[at].is_ascii_alphanumeric() || chars[at] == '_') {
+            word.push(chars[at]);
+            at += 1;
+        }
+        return Some(word);
+    }
+}
+
+/// `crate-attr`: every crate's `lib.rs` must pin its unsafe posture —
+/// `#![forbid(unsafe_code)]` for safe crates, `#![deny(unsafe_op_in_unsafe_fn)]`
+/// for the audited unsafe ones.
+fn check_crate_attr(rel: &str, sf: &SourceFile, report: &mut Report) {
+    let Some(stripped) = rel.strip_suffix("/src/lib.rs") else {
+        return;
+    };
+    let Some(name) = stripped.rsplit('/').next() else {
+        return;
+    };
+    let unsafe_crate = policy::UNSAFE_CRATES.contains(&name);
+    let want = if unsafe_crate {
+        "#![deny(unsafe_op_in_unsafe_fn)]"
+    } else {
+        "#![forbid(unsafe_code)]"
+    };
+    let present = sf.masked.iter().any(|l| l.replace(' ', "").contains(want));
+    if !present {
+        let why = if unsafe_crate {
+            "audited unsafe crate: all unsafe operations must sit in explicit blocks"
+        } else {
+            "safe crate: unsafe may only enter via the audited allowlist crates"
+        };
+        push(
+            report,
+            sf,
+            rel,
+            0,
+            policy::CRATE_ATTR,
+            format!("crate `{name}` must declare `{want}` ({why})"),
+        );
+    }
+}
+
+/// The `wire-*` family: hostile-input hygiene for parsing code, skipping
+/// `#[cfg(test)]` regions.
+fn check_wire(rel: &str, sf: &SourceFile, report: &mut Report) {
+    for li in 0..sf.masked.len() {
+        if sf.in_test[li] {
+            continue;
+        }
+        let line = sf.masked[li].clone();
+        wire_unwrap(rel, sf, li, &line, report);
+        wire_cast(rel, sf, li, &line, report);
+        wire_index(rel, sf, li, &line, report);
+        wire_capacity(rel, sf, li, &line, report);
+    }
+}
+
+fn wire_unwrap(rel: &str, sf: &SourceFile, li: usize, line: &str, report: &mut Report) {
+    for pat in [".unwrap", ".expect"] {
+        let mut start = 0;
+        while let Some(off) = line[start..].find(pat) {
+            let at = start + off;
+            start = at + pat.len();
+            let rest = &line[at + pat.len()..];
+            // `.unwrap_or(...)` and friends are fine: they do not panic.
+            if rest.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
+                continue;
+            }
+            if rest.trim_start().starts_with('(') {
+                push(
+                    report,
+                    sf,
+                    rel,
+                    li,
+                    policy::WIRE_UNWRAP,
+                    format!(
+                        "`{pat}(` in wire-facing code: parse errors must become typed \
+                         `RecoilError`s, not panics"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn wire_cast(rel: &str, sf: &SourceFile, li: usize, line: &str, report: &mut Report) {
+    for col in word_positions(line, "as") {
+        let Some(target) = next_token(sf, li, col + 2) else {
+            continue;
+        };
+        if policy::NARROWING_CASTS.contains(&target.as_str()) {
+            push(
+                report,
+                sf,
+                rel,
+                li,
+                policy::WIRE_CAST,
+                format!(
+                    "`as {target}` can silently truncate wire-derived values; use \
+                     `{target}::try_from` (or `usize::from`) with a typed error"
+                ),
+            );
+        }
+    }
+}
+
+fn wire_index(rel: &str, sf: &SourceFile, li: usize, line: &str, report: &mut Report) {
+    let bytes = line.as_bytes();
+    for (ci, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let Some(pj) = (0..ci).rev().find(|&j| bytes[j] != b' ') else {
+            continue;
+        };
+        let prev = bytes[pj] as char;
+        let indexing = if prev == ']' || prev == ')' {
+            true
+        } else if prev.is_ascii_alphanumeric() || prev == '_' {
+            let mut s = pj;
+            while s > 0 && ((bytes[s - 1] as char).is_ascii_alphanumeric() || bytes[s - 1] == b'_')
+            {
+                s -= 1;
+            }
+            // `'a [u8]` is a lifetime in a slice type, not an index
+            // expression; `let [a, b] = ..` is a destructuring pattern.
+            let lifetime = s > 0 && bytes[s - 1] == b'\'';
+            !lifetime && !NON_INDEX_KEYWORDS.contains(&&line[s..=pj])
+        } else {
+            false
+        };
+        if indexing {
+            push(
+                report,
+                sf,
+                rel,
+                li,
+                policy::WIRE_INDEX,
+                "slice indexing in wire-facing code can panic on truncated input; \
+                 use `get`/`get_mut`/`split_at_checked`-style accessors with a typed \
+                 error"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn wire_capacity(rel: &str, sf: &SourceFile, li: usize, line: &str, report: &mut Report) {
+    for col in word_positions(line, "with_capacity") {
+        // `fn with_capacity` is a definition, not a length-driven call.
+        let before = line[..col].trim_end();
+        if before.ends_with("fn") {
+            continue;
+        }
+        push(
+            report,
+            sf,
+            rel,
+            li,
+            policy::WIRE_CAPACITY,
+            "`with_capacity` in wire-facing code lets a hostile length pre-allocate \
+             unbounded memory; allocate empty and grow, or bound the length against \
+             the remaining input first"
+                .to_string(),
+        );
+    }
+}
+
+/// Records a finding, honoring `// xtask: allow(rule): reason` markers on
+/// the finding line or the line above. A marker with an empty reason does
+/// not suppress: the reason is the audit trail.
+fn push(
+    report: &mut Report,
+    sf: &SourceFile,
+    rel: &str,
+    line0: usize,
+    rule: &'static str,
+    message: String,
+) {
+    for lj in [line0.checked_sub(1), Some(line0)].into_iter().flatten() {
+        if let Some(reason) = marker_reason(sf, lj, rule) {
+            report.suppressed.push(Suppressed {
+                file: rel.to_string(),
+                line: line0 + 1,
+                rule,
+                reason,
+            });
+            return;
+        }
+    }
+    report.findings.push(Finding {
+        file: rel.to_string(),
+        line: line0 + 1,
+        rule,
+        message,
+    });
+}
+
+/// Parses `xtask: allow(<rule>): <reason>` out of a comment on line `lj`.
+fn marker_reason(sf: &SourceFile, lj: usize, rule: &str) -> Option<String> {
+    let raw = sf.raw.get(lj)?;
+    let at = raw.find("xtask: allow(")?;
+    // Must be inside a comment: masked text blanks comments.
+    if sf.masked.get(lj)?.contains("xtask: allow(") {
+        return None;
+    }
+    let rest = &raw[at + "xtask: allow(".len()..];
+    let close = rest.find(')')?;
+    if &rest[..close] != rule {
+        return None;
+    }
+    let reason = rest[close + 1..].strip_prefix(':')?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some(reason.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Report {
+        let sf = SourceFile::parse(src);
+        let mut report = Report::default();
+        check_file(rel, &sf, &mut report);
+        report.sort();
+        report
+    }
+
+    #[test]
+    fn annotated_unsafe_in_allowlisted_file_is_clean() {
+        let r = run(
+            "crates/rans/src/fast.rs",
+            "fn f(w: &[u16]) -> u16 {\n    // SAFETY: p < w.len() by the entry assert.\n    unsafe { *w.get_unchecked(0) }\n}\n",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn missing_safety_comment_fires() {
+        let r = run(
+            "crates/rans/src/fast.rs",
+            "fn f(w: &[u16]) -> u16 {\n    unsafe { *w.get_unchecked(0) }\n}\n",
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, policy::SAFETY_COMMENT);
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_safety_doc_section() {
+        let src = "/// Does things.\n///\n/// # Safety\n/// Caller must pass avx2.\n#[target_feature(enable = \"avx2\")]\npub unsafe fn g() {}\n";
+        let r = run("crates/simd/src/avx2.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_fires() {
+        let r = run(
+            "crates/bitio/src/bits.rs",
+            "fn f() {\n    // SAFETY: justified but misplaced.\n    unsafe { core::hint::unreachable_unchecked() }\n}\n",
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, policy::UNSAFE_ALLOWLIST_RULE);
+    }
+
+    #[test]
+    fn unsafe_in_prose_or_strings_is_ignored() {
+        let r = run(
+            "crates/bitio/src/bits.rs",
+            "// unsafe is discussed here\nfn f() -> &'static str {\n    \"unsafe\"\n}\n",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn crate_attr_required_per_posture() {
+        let r = run("crates/bitio/src/lib.rs", "//! Docs.\npub mod bits {}\n");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, policy::CRATE_ATTR);
+        assert!(r.findings[0].message.contains("forbid(unsafe_code)"));
+        let r = run("crates/rans/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.message.contains("unsafe_op_in_unsafe_fn")));
+        let r = run(
+            "crates/bitio/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub mod bits {}\n",
+        );
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn wire_rules_fire_and_skip_tests() {
+        let src = "fn parse(b: &[u8]) -> u8 {\n    let n = b.len() as u32;\n    let v = Vec::<u8>::with_capacity(n as usize);\n    let x = b[0];\n    let y = b.first().unwrap();\n    drop(v);\n    x + y\n}\n#[cfg(test)]\nmod tests {\n    fn t(b: &[u8]) -> u8 {\n        b[0] + (b.len() as u8) + Vec::with_capacity(1).pop().unwrap()\n    }\n}\n";
+        let r = run("crates/net/src/frame.rs", src);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(
+            rules,
+            vec![
+                policy::WIRE_CAST,     // line 2: `b.len() as u32`
+                policy::WIRE_CAPACITY, // line 3 sorts capacity before cast
+                policy::WIRE_CAST,     // line 3: `n as usize`
+                policy::WIRE_INDEX,    // line 4: `b[0]`
+                policy::WIRE_UNWRAP    // line 5: `.unwrap()`
+            ],
+            "{:?}",
+            r.findings
+        );
+        // Same body in a non-wire file: clean.
+        assert!(run("crates/server/src/cache.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_and_type_slices_are_not_flagged() {
+        let src = "fn f(b: &[u8], o: Option<u8>) -> u8 {\n    let v: &mut [u8] = &mut [];\n    drop(v);\n    o.unwrap_or(0)\n}\n";
+        let r = run("crates/net/src/frame.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn allow_marker_suppresses_with_reason_only() {
+        let src = "fn f(v: &[u8]) -> u32 {\n    // xtask: allow(wire-cast): len bounded by MAX_FRAME above.\n    v.len() as u32\n}\n";
+        let r = run("crates/net/src/frame.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, policy::WIRE_CAST);
+        // No reason, no suppression.
+        let src =
+            "fn f(v: &[u8]) -> u32 {\n    // xtask: allow(wire-cast):\n    v.len() as u32\n}\n";
+        let r = run("crates/net/src/frame.rs", src);
+        assert_eq!(r.findings.len(), 1);
+    }
+}

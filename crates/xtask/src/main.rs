@@ -1,0 +1,71 @@
+//! CLI entry point: `cargo xtask check [--root DIR] [--report FILE]`.
+//!
+//! Exits 0 on a clean tree, 1 with one diagnostic per line on findings,
+//! 2 on usage errors. `--report` additionally writes the JSON report for
+//! the CI artifact.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo xtask check [--root DIR] [--report FILE]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => {}
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => Ok(PathBuf::from(v)),
+            None => {
+                eprintln!("{flag} needs a value\n{USAGE}");
+                Err(())
+            }
+        };
+        match flag.as_str() {
+            "--root" => match value("--root") {
+                Ok(v) => root = v,
+                Err(()) => return ExitCode::from(2),
+            },
+            "--report" => match value("--report") {
+                Ok(v) => report_path = Some(v),
+                Err(()) => return ExitCode::from(2),
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match xtask::run_check(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask check: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("xtask check: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

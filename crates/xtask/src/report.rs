@@ -1,0 +1,169 @@
+//! Diagnostics and the machine-readable lint report.
+//!
+//! Findings are sorted by `(file, line, rule)` so output is stable across
+//! filesystem iteration order, and the JSON rendering is hand-rolled (no
+//! serde in a registry-less build) for the CI artifact upload.
+
+use std::fmt::Write as _;
+
+/// One policy violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier from [`crate::policy`].
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// A violation silenced by an in-source `// xtask: allow(rule): reason`
+/// marker. Reported (not hidden) so suppressions stay auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub reason: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<Suppressed>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.suppressed
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Human-readable summary, one `file:line: [rule] message` per finding.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "xtask check: {} finding(s), {} suppression(s), {} file(s) scanned",
+            self.findings.len(),
+            self.suppressed.len(),
+            self.files_scanned
+        );
+        for s in &self.suppressed {
+            let _ = writeln!(
+                out,
+                "  suppressed {}:{}: [{}] {}",
+                s.file, s.line, s.rule, s.reason
+            );
+        }
+        out
+    }
+
+    /// JSON for the CI artifact: findings, suppressions, scan size.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.message)
+            );
+        }
+        out.push_str("\n  ],\n  \"suppressed\": [");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+                json_str(&s.file),
+                s.line,
+                json_str(s.rule),
+                json_str(&s.reason)
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"files_scanned\": {}\n}}\n",
+            self.files_scanned
+        );
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut r = Report {
+            findings: vec![Finding {
+                file: "a\\b.rs".into(),
+                line: 3,
+                rule: "wire-cast",
+                message: "say \"no\"".into(),
+            }],
+            ..Report::default()
+        };
+        r.files_scanned = 1;
+        let j = r.render_json();
+        assert!(j.contains("\"a\\\\b.rs\""));
+        assert!(j.contains("\\\"no\\\""));
+        assert!(j.contains("\"files_scanned\": 1"));
+    }
+
+    #[test]
+    fn sort_is_stable_by_file_line_rule() {
+        let f = |file: &str, line| Finding {
+            file: file.into(),
+            line,
+            rule: "wire-cast",
+            message: String::new(),
+        };
+        let mut r = Report {
+            findings: vec![f("b.rs", 1), f("a.rs", 9), f("a.rs", 2)],
+            ..Report::default()
+        };
+        r.sort();
+        let order: Vec<_> = r
+            .findings
+            .iter()
+            .map(|f| (f.file.clone(), f.line))
+            .collect();
+        assert_eq!(
+            order,
+            vec![("a.rs".into(), 2), ("a.rs".into(), 9), ("b.rs".into(), 1)]
+        );
+    }
+}

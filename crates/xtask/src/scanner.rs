@@ -1,0 +1,324 @@
+//! A minimal, dependency-free Rust source scanner.
+//!
+//! The lint rules in [`crate::lints`] are textual, so they must never look
+//! inside comments, string literals, or char literals — `// use unsafe
+//! here` in prose must not trip the allowlist rule, and `".unwrap("`
+//! inside a diagnostic string must not trip the wire rules. This module
+//! produces a *masked* view of a source file: byte-for-line identical to
+//! the original, but with comment bodies and literal contents replaced by
+//! spaces. Newlines are preserved so line numbers survive masking.
+//!
+//! The scanner understands:
+//!
+//! * line comments (`//`, `///`, `//!`),
+//! * nested block comments (`/* /* */ */`),
+//! * string literals with escapes (`"a\"b"`), byte strings (`b"..."`),
+//! * raw strings with hash fences (`r"..."`, `r#"..."#`, `br#"..."#`),
+//! * char and byte-char literals (`'a'`, `'\''`, `b'\n'`) — distinguished
+//!   from lifetimes (`'a`, `'_`) by the closing-quote lookahead.
+//!
+//! It also marks the line span of every `#[cfg(test)] mod … { … }` block
+//! (by brace matching on the masked text) so the wire-hardening rules can
+//! exempt test code, which legitimately uses `unwrap` and indexing.
+
+/// One scanned source file: raw lines for comment-directed rules
+/// (`// SAFETY:`, allow markers), masked lines for token rules, and a
+/// per-line "inside `#[cfg(test)]` mod" flag.
+pub struct SourceFile {
+    pub raw: Vec<String>,
+    pub masked: Vec<String>,
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    pub fn parse(src: &str) -> SourceFile {
+        let masked_text = mask(src);
+        let raw: Vec<String> = src.lines().map(str::to_string).collect();
+        let masked: Vec<String> = masked_text.lines().map(str::to_string).collect();
+        debug_assert_eq!(raw.len(), masked.len());
+        let in_test = mark_test_regions(&masked);
+        SourceFile {
+            raw,
+            masked,
+            in_test,
+        }
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Replaces comment bodies and literal contents with spaces, preserving
+/// newlines and the delimiters themselves (so `"..."` stays visibly a
+/// string and columns stay roughly aligned for diagnostics).
+fn mask(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    // The character preceding position `i` outside any skipped region;
+    // used to tell a raw-string prefix `r"` from an identifier ending in
+    // `r`, and a char literal from a lifetime after `<` or `&`.
+    let mut prev = '\0';
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < chars.len() {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        // Line-continuation escapes (`\` before a newline)
+                        // must keep the newline so line numbers survive.
+                        out.push(' ');
+                        out.push(blank(chars[i + 1]));
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if !is_ident(prev) && starts_raw_string(&chars, i) => {
+                // Skip the prefix letters (`r`, `b`, or `br`).
+                while chars[i] != '#' && chars[i] != '"' {
+                    out.push(chars[i]);
+                    i += 1;
+                }
+                let mut hashes = 0;
+                while chars.get(i) == Some(&'#') {
+                    out.push('#');
+                    hashes += 1;
+                    i += 1;
+                }
+                out.push('"');
+                i += 1;
+                'raw: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            out.push('"');
+                            for _ in 0..hashes {
+                                out.push('#');
+                            }
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                if chars.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: consume through the closing quote.
+                    out.push('\'');
+                    i += 1;
+                    while i < chars.len() && chars[i] != '\'' {
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                    // One char between two quotes: a char literal.
+                    out.push('\'');
+                    out.push(' ');
+                    out.push('\'');
+                    i += 3;
+                } else {
+                    // A lifetime (`'a`, `'static`, `'_`): keep as-is.
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+        prev = c;
+    }
+    out
+}
+
+/// Does `chars[at..]` start a raw/byte string prefix (`r"`, `r#`, `b"`,
+/// `br"`, `br#`)? Plain `b'x'` byte-char literals are left to the char
+/// branch.
+fn starts_raw_string(chars: &[char], at: usize) -> bool {
+    let mut j = at;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return chars.get(j) == Some(&'"');
+    }
+    // `b"..."` byte string: masked like a normal string but we must not
+    // treat the `b` as an identifier character before the quote.
+    j == at + 1 && chars.get(j) == Some(&'"')
+}
+
+/// Marks every line inside a `#[cfg(test)] mod … { … }` block (inclusive
+/// of the attribute and braces) by brace-matching on the masked text.
+fn mark_test_regions(masked: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; masked.len()];
+    for (li, line) in masked.iter().enumerate() {
+        if !line.contains("#[cfg(test)]") {
+            continue;
+        }
+        // Find the `{` that opens the annotated item (skipping further
+        // attribute lines), then match braces to its close.
+        let mut depth = 0usize;
+        let mut opened = false;
+        'scan: for (lj, l) in masked.iter().enumerate().skip(li) {
+            for c in l.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                    }
+                    ';' if !opened && depth == 0 => break 'scan, // `mod x;`
+                    _ => {}
+                }
+            }
+            if opened {
+                for flag in in_test.iter_mut().take(lj + 1).skip(li) {
+                    *flag = true;
+                }
+            }
+            if opened && depth == 0 {
+                break 'scan;
+            }
+        }
+    }
+    in_test
+}
+
+/// Yields the byte column of every whole-word occurrence of `word` in
+/// `line` (word characters: `[A-Za-z0-9_]`).
+pub fn word_positions(line: &str, word: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut found = Vec::new();
+    let mut start = 0;
+    while let Some(off) = line[start..].find(word) {
+        let at = start + off;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end] as char);
+        if before_ok && after_ok {
+            found.push(at);
+        }
+        start = at + word.len().max(1);
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let sf = SourceFile::parse(
+            "let x = \"unsafe\"; // unsafe in prose\nlet y = 'u'; /* unsafe */ call();\n",
+        );
+        assert!(!sf.masked[0].contains("unsafe"));
+        assert!(!sf.masked[1].contains("unsafe"));
+        assert!(sf.masked[1].contains("call()"));
+        assert!(sf.raw[0].contains("unsafe in prose"));
+    }
+
+    #[test]
+    fn raw_strings_do_not_escape() {
+        let sf = SourceFile::parse("let p = r#\"a \\\" unsafe \"#; done();\n");
+        assert!(!sf.masked[0].contains("unsafe"));
+        assert!(sf.masked[0].contains("done()"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_masked() {
+        let sf = SourceFile::parse("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(sf.masked[0].contains("<'a>"));
+        assert!(!sf.masked[0].contains("'x'"));
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_count() {
+        let sf = SourceFile::parse("let s = \"a \\\n   b\";\nnext();\n");
+        assert_eq!(sf.raw.len(), 3);
+        assert_eq!(sf.masked.len(), 3);
+        assert!(sf.masked[2].contains("next()"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let sf = SourceFile::parse("let q = '\\''; let n = b'\\n'; f();\n");
+        assert!(sf.masked[0].contains("f();"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let sf = SourceFile::parse("/* outer /* unsafe */ still */ code();\n");
+        assert!(!sf.masked[0].contains("unsafe"));
+        assert!(sf.masked[0].contains("code()"));
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let sf = SourceFile::parse(src);
+        assert_eq!(sf.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn whole_words_only() {
+        assert_eq!(word_positions("unsafe_op unsafe x", "unsafe"), vec![10]);
+        assert!(word_positions("deny(unsafe_op_in_unsafe_fn)", "unsafe").is_empty());
+    }
+}

@@ -1,0 +1,5 @@
+//! A safe crate that forgot to pin its unsafe posture.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,5 @@
+//! An audited unsafe crate missing `#![deny(unsafe_op_in_unsafe_fn)]`.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,3 @@
+pub fn read(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

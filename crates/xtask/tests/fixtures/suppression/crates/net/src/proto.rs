@@ -1,0 +1,4 @@
+pub fn parse(len: u32) -> u16 {
+    // xtask: allow(wire-cast): fixture proving the suppression plumbing records a reason.
+    len as u16
+}

@@ -1,0 +1,15 @@
+pub fn double(v: u16) -> u16 {
+    v * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_and_indexing_are_fine_in_tests() {
+        let v = 300u32;
+        assert_eq!(v as u16, 300);
+        let xs = [1u8];
+        assert_eq!(xs[0], 1);
+        assert_eq!(xs.first().copied().unwrap(), 1);
+    }
+}

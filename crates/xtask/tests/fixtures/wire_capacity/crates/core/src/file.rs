@@ -1,0 +1,3 @@
+pub fn alloc(len: usize) -> Vec<u8> {
+    Vec::with_capacity(len)
+}

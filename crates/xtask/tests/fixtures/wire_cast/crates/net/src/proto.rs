@@ -1,0 +1,3 @@
+pub fn parse(len: u32) -> u16 {
+    len as u16
+}

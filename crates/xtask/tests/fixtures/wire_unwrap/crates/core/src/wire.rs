@@ -1,0 +1,3 @@
+pub fn parse(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap()
+}
