@@ -15,8 +15,10 @@
 
 use recoil::prelude::*;
 use recoil::server::{Client, ContentServer, ServerConfig};
+use recoil::telemetry::{Histogram, HistogramSnapshot, Telemetry, TelemetryLevel};
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Capacity mix, most popular first; the last entry exceeds every item's
@@ -125,6 +127,10 @@ fn main() {
         tier_cache_capacity: TIERS.len() + 2,
         ..ServerConfig::default()
     });
+    // The server feeds its tier-cache and combine instruments into this
+    // handle; the JSON's stage columns come from the snapshot below.
+    let telemetry = Arc::new(Telemetry::new(TelemetryLevel::Counters));
+    server.attach_telemetry(Arc::clone(&telemetry));
     let config = EncoderConfig {
         max_segments: args.max_segments,
         ..EncoderConfig::default()
@@ -161,21 +167,34 @@ fn main() {
     }
 
     // --- Phase 1: concurrent single requests (the serving hot path). ---
+    // Each client thread records its request latencies into a lock-free
+    // telemetry histogram; the merged snapshot yields the percentile
+    // columns in BENCH_serve.json.
     let ok = AtomicU64::new(0);
+    let mut request_hist = HistogramSnapshot::default();
     let t0 = Instant::now();
     std::thread::scope(|s| {
-        for c in 0..args.clients {
-            let server = &server;
-            let ok = &ok;
-            s.spawn(move || {
-                let mut rng = 0x5eed ^ ((c as u64) << 32);
-                for _ in 0..args.requests {
-                    let name = item_name(next_u64(&mut rng) as usize % args.items);
-                    let t = server.request(&name, pick_tier(&mut rng)).unwrap();
-                    std::hint::black_box(t.total_bytes());
-                    ok.fetch_add(1, Ordering::Relaxed);
-                }
-            });
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let server = &server;
+                let ok = &ok;
+                s.spawn(move || {
+                    let hist = Histogram::new();
+                    let mut rng = 0x5eed ^ ((c as u64) << 32);
+                    for _ in 0..args.requests {
+                        let name = item_name(next_u64(&mut rng) as usize % args.items);
+                        let t = Instant::now();
+                        let tx = server.request(&name, pick_tier(&mut rng)).unwrap();
+                        hist.record(t.elapsed().as_nanos() as u64);
+                        std::hint::black_box(tx.total_bytes());
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    hist.snapshot()
+                })
+            })
+            .collect();
+        for h in handles {
+            request_hist.merge(&h.join().unwrap());
         }
     });
     let wall = t0.elapsed().as_secs_f64();
@@ -199,9 +218,21 @@ fn main() {
     let batch_rps = batch.len() as f64 / batch_wall;
 
     let stats = server.stats();
+    let tel = telemetry.snapshot();
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let combine_p99_us = tel.hist("combine_ns").map_or(0.0, |h| us(h.p99()));
     println!(
         "phase 1: {total} requests on {} threads in {wall:.3}s => {rps:.0} req/s",
         args.clients
+    );
+    println!(
+        "phase 1 latency: p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us \
+         (telemetry histogram, {} samples); combine p99 {combine_p99_us:.1}us",
+        us(request_hist.p50()),
+        us(request_hist.p90()),
+        us(request_hist.p99()),
+        us(request_hist.max),
+        request_hist.count,
     );
     println!(
         "phase 2: batch of {} over {} pool threads in {batch_wall:.3}s => {batch_rps:.0} req/s",
@@ -221,7 +252,9 @@ fn main() {
          \"requests_per_client\": {},\n  \"items\": {},\n  \"bytes_per_item\": {},\n  \
          \"max_segments\": {},\n  \"total_requests\": {},\n  \"wall_seconds\": {:.6},\n  \
          \"requests_per_sec\": {:.1},\n  \"batch_size\": {},\n  \
-         \"batch_requests_per_sec\": {:.1},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"batch_requests_per_sec\": {:.1},\n  \"request_us_p50\": {:.3},\n  \
+         \"request_us_p90\": {:.3},\n  \"request_us_p99\": {:.3},\n  \"request_us_max\": {:.3},\n  \
+         \"combine_us_p99\": {:.3},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
          \"cache_evictions\": {},\n  \"cache_hit_rate\": {:.6},\n  \"verified_decodes\": {}\n}}\n",
         args.smoke,
         args.clients,
@@ -234,6 +267,11 @@ fn main() {
         rps,
         batch.len(),
         batch_rps,
+        us(request_hist.p50()),
+        us(request_hist.p90()),
+        us(request_hist.p99()),
+        us(request_hist.max),
+        combine_p99_us,
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_evictions,

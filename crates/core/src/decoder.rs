@@ -25,7 +25,9 @@ use recoil_bitio::BackwardWordReader;
 use recoil_models::{ModelProvider, Symbol};
 use recoil_parallel::ThreadPool;
 use recoil_rans::params::LOWER_BOUND;
-use recoil_rans::{decode_span, decode_transform, renorm_read, EncodedStream, RansError};
+use recoil_rans::{
+    decode_span_with_stats, decode_transform, renorm_read, EncodedStream, RansError,
+};
 use std::ops::Range;
 
 /// Number of parallel decode tasks this metadata yields.
@@ -254,7 +256,20 @@ fn decode_task<S: Symbol, P: ModelProvider + ?Sized>(
     // Decoding Phase + Cross-Boundary Phase: positions lo .. lo+len, writing
     // real output, stopping at the previous split's sync completion point —
     // run through the fast-loop/careful-tail engine (`recoil_rans::fast`).
-    decode_span(provider, words, reader.offset(), &mut states, lo, seg)?;
+    let (_, stats) =
+        decode_span_with_stats(provider, words, reader.offset(), &mut states, lo, seg)?;
+
+    // Fold the span's engine stats into the process-global decode metrics
+    // when some Telemetry handle armed them — one enabled-check per *span*
+    // (a whole task), so the disabled cost is a single relaxed load.
+    let metrics = recoil_telemetry::decode_metrics();
+    if metrics.enabled() {
+        metrics.spans.bump();
+        metrics.fast_groups.add(stats.fast_groups);
+        metrics.fast_symbols.add(stats.fast_symbols);
+        metrics.careful_symbols.add(stats.careful_symbols);
+        metrics.words_consumed.add(stats.words_consumed);
+    }
     Ok(())
 }
 

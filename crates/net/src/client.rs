@@ -4,9 +4,11 @@
 
 use crate::frame::{
     decode_error, io_err, read_frame, write_frame, FrameType, ReadOutcome, CAP_CHUNKED,
-    MAX_FRAME_LEN, PROTOCOL_VERSION,
+    CAP_TELEMETRY, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-use crate::proto::{encode_publish, ContentRequest, Hello, PublishOk, StatsReply, TransmitHeader};
+use crate::proto::{
+    encode_publish, ContentRequest, Hello, PublishOk, StatsReply, TelemetryReply, TransmitHeader,
+};
 use parking_lot::Mutex;
 use recoil_core::codec::{DecodeBackend, DecodeRequest, EncoderConfig};
 use recoil_core::{
@@ -15,8 +17,10 @@ use recoil_core::{
 use recoil_models::{CdfTable, StaticModelProvider};
 use recoil_rans::EncodedStream;
 use recoil_simd::AutoBackend;
+use recoil_telemetry::{Stage, Telemetry, TelemetryLevel};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Construction knobs for [`NetClient`].
@@ -38,6 +42,12 @@ pub struct NetClientConfig {
     /// receive loop blocks (backpressure). Memory beyond the output buffer
     /// and the word store stays constant at roughly `budget × chunk size`.
     pub streaming_inflight_chunks: usize,
+    /// Client-side observability. Defaults to `Counters` (unlike the
+    /// server): the client records only a handful of histogram samples per
+    /// *call*, not per hot-loop iteration, so the cost is negligible and
+    /// the streaming latency breakdown is available by default through
+    /// [`NetClient::telemetry`].
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for NetClientConfig {
@@ -48,6 +58,7 @@ impl Default for NetClientConfig {
             response_timeout: Duration::from_secs(60),
             write_timeout: Duration::from_secs(10),
             streaming_inflight_chunks: 4,
+            telemetry: TelemetryLevel::Counters,
         }
     }
 }
@@ -159,6 +170,11 @@ pub struct NetClient {
     config: NetClientConfig,
     pool: Mutex<Vec<TcpStream>>,
     backend: Box<dyn DecodeBackend>,
+    /// Client-side instruments (streaming latency breakdown lands here).
+    telemetry: Arc<Telemetry>,
+    /// Capability bits the server granted in the most recent HELLO
+    /// exchange; gates [`NetClient::remote_telemetry`].
+    server_caps: AtomicU32,
 }
 
 impl NetClient {
@@ -179,6 +195,7 @@ impl NetClient {
             .map_err(|e| io_err("resolve", e))?
             .next()
             .ok_or_else(|| RecoilError::net("address resolved to nothing"))?;
+        let telemetry = Arc::new(Telemetry::new(config.telemetry));
         let client = Self {
             addr,
             config,
@@ -186,6 +203,8 @@ impl NetClient {
             backend: Box::new(AutoBackend::with_threads(
                 std::thread::available_parallelism().map_or(1, |p| p.get()),
             )),
+            telemetry,
+            server_caps: AtomicU32::new(0),
         };
         let probe = client.dial()?;
         client.checkin(probe);
@@ -237,7 +256,40 @@ impl NetClient {
                 "server did not negotiate the chunked-streaming capability",
             ));
         }
+        self.server_caps
+            .store(hello.capabilities, Ordering::Relaxed);
         Ok(conn)
+    }
+
+    /// This client's own instruments — streaming fetch latency breakdowns
+    /// land in `stream_first_segment_ns` / `stream_transfer_ns` /
+    /// `stream_total_ns` when [`NetClientConfig::telemetry`] is at least
+    /// `Counters`.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Fetches the **server's** telemetry snapshot over the wire (counters,
+    /// gauges, histograms, and — at `Trace` level — the drained stage-event
+    /// ring). Requires the server to have negotiated the TELEMETRY
+    /// capability; servers predating it yield a typed error without
+    /// touching the wire.
+    pub fn remote_telemetry(&self) -> Result<TelemetryReply, RecoilError> {
+        if self.server_caps.load(Ordering::Relaxed) & CAP_TELEMETRY == 0 {
+            return Err(RecoilError::net(
+                "server did not negotiate the telemetry capability",
+            ));
+        }
+        self.with_conn(true, |client, conn| {
+            write_frame(conn, FrameType::Telemetry, &[]).map_err(OpError::Transport)?;
+            let (ty, payload) = client.await_frame(conn)?;
+            if ty != FrameType::TelemetryReply {
+                return Err(OpError::Transport(RecoilError::net(format!(
+                    "expected TELEMETRY_REPLY, got {ty:?}"
+                ))));
+            }
+            TelemetryReply::decode(&payload).map_err(OpError::Transport)
+        })
     }
 
     fn checkout(&self) -> Result<(TcpStream, bool), RecoilError> {
@@ -701,6 +753,14 @@ impl NetClient {
             }
             (Ok(RecvEnd::Complete { .. }), Err(e)) => Err(OpError::Transport(e)),
             (Ok(RecvEnd::Complete { transfer_nanos }), Ok((data, first, batches))) => {
+                let total_nanos = t0.elapsed().as_nanos() as u64;
+                if self.telemetry.counters_enabled() {
+                    let h = &self.telemetry.hists;
+                    h.stream_first_segment_ns.record(first);
+                    h.stream_transfer_ns.record(transfer_nanos);
+                    h.stream_total_ns.record(total_nanos);
+                    self.telemetry.trace(Stage::StreamFirstSegment, 0, first);
+                }
                 Ok(StreamedFetch {
                     data,
                     segments: header.segments,
@@ -711,7 +771,7 @@ impl NetClient {
                     decode_batches: batches,
                     first_segment_nanos: first,
                     transfer_nanos,
-                    total_nanos: t0.elapsed().as_nanos() as u64,
+                    total_nanos,
                 })
             }
         }

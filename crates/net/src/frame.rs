@@ -23,8 +23,13 @@ pub const HELLO_MAGIC: u32 = 0x524E_4554;
 /// frames after a [`FrameType::Transmit`] header.
 pub const CAP_CHUNKED: u32 = 1;
 
+/// Capability bit: the peer answers [`FrameType::Telemetry`] requests with
+/// a [`FrameType::TelemetryReply`] snapshot. Negotiated, not assumed — an
+/// old peer that never learned these frame bytes still handshakes cleanly.
+pub const CAP_TELEMETRY: u32 = 2;
+
 /// Every capability this build implements.
-pub const SUPPORTED_CAPS: u32 = CAP_CHUNKED;
+pub const SUPPORTED_CAPS: u32 = CAP_CHUNKED | CAP_TELEMETRY;
 
 /// Hard ceiling on one frame's payload (64 MiB): bigger payloads must be
 /// chunked. Checked before allocating.
@@ -54,6 +59,12 @@ pub enum FrameType {
     Stats = 0x07,
     /// Server → client: the counter snapshot.
     StatsReply = 0x08,
+    /// Client → server: ask for the full telemetry snapshot (requires the
+    /// negotiated [`CAP_TELEMETRY`] capability).
+    Telemetry = 0x09,
+    /// Server → client: versioned telemetry snapshot — named counters,
+    /// gauges, histograms, and (at trace level) the drained event ring.
+    TelemetryReply = 0x0A,
     /// Either direction: a typed error (maps onto [`RecoilError`]).
     Error = 0x0E,
 }
@@ -70,6 +81,8 @@ impl FrameType {
             0x06 => Self::Chunk,
             0x07 => Self::Stats,
             0x08 => Self::StatsReply,
+            0x09 => Self::Telemetry,
+            0x0A => Self::TelemetryReply,
             0x0E => Self::Error,
             other => {
                 return Err(RecoilError::net(format!(

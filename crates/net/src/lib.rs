@@ -27,6 +27,8 @@
 //! | `CHUNK` (0x06) | S→C | sequence number + one bitstream slice |
 //! | `STATS` (0x07) | C→S | *(empty)* |
 //! | `STATS_REPLY` (0x08) | S→C | counter snapshot + item count |
+//! | `TELEMETRY` (0x09) | C→S | *(empty)*; requires the negotiated `CAP_TELEMETRY` bit |
+//! | `TELEMETRY_REPLY` (0x0A) | S→C | full telemetry snapshot (counters, gauges, stage histograms) + drained stage-trace events |
 //! | `ERROR` (0x0E) | both | error code + detail, maps onto [`RecoilError`] |
 //!
 //! Large bitstreams are **chunked**: `TRANSMIT` carries everything except
@@ -89,6 +91,19 @@
 //! The original thread-per-connection backend completed its deprecation
 //! cycle and has been removed.
 //!
+//! ## Observability
+//!
+//! [`NetConfig::telemetry`] selects a [`recoil_telemetry`] level for the
+//! reactor: `Off` (default, near-zero cost), `Counters` (pipeline counters,
+//! gauges, and stage histograms; hot-path spans are sampled), or `Trace`
+//! (adds a lock-free stage-event ring and times every span). Either side of
+//! the wire can hold the instruments: servers expose theirs through the
+//! `TELEMETRY` frame ([`NetClient::remote_telemetry`]) when both ends
+//! negotiated [`CAP_TELEMETRY`], and clients keep their own handle
+//! ([`NetClient::telemetry`]) recording streaming-fetch latencies. Both
+//! gauges published over STATS and TELEMETRY are written at one point in
+//! the event loop, so the two frames always agree.
+//!
 //! ## Client
 //!
 //! [`NetClient`] keeps a small pool of negotiated connections (idempotent
@@ -120,9 +135,12 @@ mod server;
 
 pub use client::{NetClient, NetClientConfig, RemoteContent, StreamedFetch};
 pub use frame::{
-    FrameType, CAP_CHUNKED, HELLO_MAGIC, MAX_FRAME_LEN, PROTOCOL_VERSION, SUPPORTED_CAPS,
+    FrameType, CAP_CHUNKED, CAP_TELEMETRY, HELLO_MAGIC, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    SUPPORTED_CAPS,
 };
-pub use proto::{ContentRequest, Hello, PublishOk, PublishRequest, StatsReply, TransmitHeader};
+pub use proto::{
+    ContentRequest, Hello, PublishOk, PublishRequest, StatsReply, TelemetryReply, TransmitHeader,
+};
 pub use recoil_reactor::SlabStats;
 pub use server::{NetConfig, NetServer, NetServerHandle};
 

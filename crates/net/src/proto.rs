@@ -7,6 +7,9 @@
 use crate::frame::{PayloadReader, PayloadWriter, HELLO_MAGIC, PROTOCOL_VERSION, SUPPORTED_CAPS};
 use recoil_core::RecoilError;
 use recoil_server::{ServerStats, StoredContent, Transmission};
+use recoil_telemetry::{
+    HistogramSnapshot, Stage, TelemetryLevel, TelemetrySnapshot, TraceEvent, BUCKETS,
+};
 
 /// Version + capability negotiation, first frame in each direction.
 ///
@@ -327,6 +330,176 @@ impl StatsReply {
     }
 }
 
+/// Wire version of the TELEMETRY reply payload. Instruments are *named* on
+/// the wire, so new counters or histograms can appear without a version
+/// bump; the version only changes if the framing itself does.
+pub const TELEMETRY_REPLY_VERSION: u8 = 1;
+
+/// Most named instruments (counters + gauges + histograms each) a reply
+/// may carry — a hostile count cannot drive a large allocation.
+const TELEMETRY_MAX_SERIES: u16 = 1024;
+
+/// Most trace events a reply may carry (the server ring holds 1024; the
+/// cap leaves headroom for bigger rings without a version bump).
+const TELEMETRY_MAX_TRACE: u32 = 65_536;
+
+/// Server → client: a full telemetry snapshot — named counters, gauges,
+/// histograms (sparse non-zero buckets), and, when the server runs at
+/// [`TelemetryLevel::Trace`], the drained event ring.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReply {
+    pub snapshot: TelemetrySnapshot,
+    /// `(ticket, event)` pairs in ticket order; empty below trace level.
+    pub trace: Vec<(u64, TraceEvent)>,
+}
+
+impl TelemetryReply {
+    pub fn encode(&self) -> Vec<u8> {
+        let s = &self.snapshot;
+        let mut w = PayloadWriter::new();
+        w.u8(TELEMETRY_REPLY_VERSION);
+        w.u8(s.level.byte());
+        debug_assert!(
+            s.counters.len().max(s.gauges.len()).max(s.hists.len())
+                <= usize::from(TELEMETRY_MAX_SERIES),
+            "snapshot exceeds the wire series cap"
+        );
+        // xtask: allow(wire-cast): encode path — snapshots carry a fixed small set of named instruments, asserted above.
+        w.u16(s.counters.len() as u16);
+        for (name, v) in &s.counters {
+            w.name(name);
+            w.u64(*v);
+        }
+        // xtask: allow(wire-cast): encode path — see the series-cap assertion above.
+        w.u16(s.gauges.len() as u16);
+        for (name, v) in &s.gauges {
+            w.name(name);
+            w.u64(*v);
+        }
+        // xtask: allow(wire-cast): encode path — see the series-cap assertion above.
+        w.u16(s.hists.len() as u16);
+        for (name, h) in &s.hists {
+            w.name(name);
+            w.u64(h.count);
+            w.u64(h.sum);
+            w.u64(h.max);
+            let nonzero = h.buckets.iter().filter(|&&n| n != 0).count();
+            // xtask: allow(wire-cast): encode path — at most BUCKETS (64) buckets exist.
+            w.u8(nonzero as u8);
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n != 0 {
+                    // xtask: allow(wire-cast): encode path — bucket indices are < BUCKETS (64).
+                    w.u8(b as u8);
+                    w.u64(n);
+                }
+            }
+        }
+        debug_assert!(
+            u32::try_from(self.trace.len()).is_ok_and(|n| n <= TELEMETRY_MAX_TRACE),
+            "trace exceeds the wire event cap"
+        );
+        // xtask: allow(wire-cast): encode path — the server ring is far below the event cap, asserted above.
+        w.u32(self.trace.len() as u32);
+        for (ticket, ev) in &self.trace {
+            w.u64(*ticket);
+            w.u64(ev.conn_gen);
+            // xtask: allow(wire-cast): encode path — Stage is repr(u8), the cast is its byte value.
+            w.u8(ev.stage as u8);
+            w.u64(ev.t_ns);
+            w.u64(ev.detail);
+        }
+        w.0
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, RecoilError> {
+        let mut r = PayloadReader::new(payload);
+        let version = r.u8()?;
+        if version != TELEMETRY_REPLY_VERSION {
+            return Err(RecoilError::net(format!(
+                "unsupported telemetry reply version {version}"
+            )));
+        }
+        let level = TelemetryLevel::from_u8(r.u8()?)
+            .ok_or_else(|| RecoilError::net("bad telemetry level byte"))?;
+        let n_counters = Self::series_count(r.u16()?)?;
+        let mut counters = Vec::new();
+        for _ in 0..n_counters {
+            let name = r.name()?;
+            counters.push((name, r.u64()?));
+        }
+        let n_gauges = Self::series_count(r.u16()?)?;
+        let mut gauges = Vec::new();
+        for _ in 0..n_gauges {
+            let name = r.name()?;
+            gauges.push((name, r.u64()?));
+        }
+        let n_hists = Self::series_count(r.u16()?)?;
+        let mut hists = Vec::new();
+        for _ in 0..n_hists {
+            let name = r.name()?;
+            let mut h = HistogramSnapshot {
+                count: r.u64()?,
+                sum: r.u64()?,
+                max: r.u64()?,
+                ..HistogramSnapshot::default()
+            };
+            let nonzero = r.u8()?;
+            if usize::from(nonzero) > BUCKETS {
+                return Err(RecoilError::net(format!(
+                    "bad bucket count {nonzero} in telemetry histogram"
+                )));
+            }
+            for _ in 0..nonzero {
+                let b = usize::from(r.u8()?);
+                let n = r.u64()?;
+                *h.buckets
+                    .get_mut(b)
+                    .ok_or_else(|| RecoilError::net(format!("bad bucket index {b}")))? = n;
+            }
+            hists.push((name, h));
+        }
+        let n_trace = r.u32()?;
+        if n_trace > TELEMETRY_MAX_TRACE {
+            return Err(RecoilError::net(format!(
+                "bad telemetry trace count {n_trace}"
+            )));
+        }
+        let mut trace = Vec::new();
+        for _ in 0..n_trace {
+            let ticket = r.u64()?;
+            let conn_gen = r.u64()?;
+            let stage = Stage::from_u8(r.u8()?)
+                .ok_or_else(|| RecoilError::net("bad telemetry stage byte"))?;
+            trace.push((
+                ticket,
+                TraceEvent {
+                    conn_gen,
+                    stage,
+                    t_ns: r.u64()?,
+                    detail: r.u64()?,
+                },
+            ));
+        }
+        r.finish()?;
+        Ok(Self {
+            snapshot: TelemetrySnapshot {
+                level,
+                counters,
+                gauges,
+                hists,
+            },
+            trace,
+        })
+    }
+
+    fn series_count(n: u16) -> Result<u16, RecoilError> {
+        if n > TELEMETRY_MAX_SERIES {
+            return Err(RecoilError::net(format!("bad telemetry series count {n}")));
+        }
+        Ok(n)
+    }
+}
+
 /// Encodes the TRANSMIT payload for `(transmission, item)` straight into
 /// `w` — byte-for-byte the image [`TransmitHeader::encode`] produces, but
 /// built from the stored content without the owned struct (no metadata
@@ -429,6 +602,67 @@ mod tests {
             items: 12,
         };
         assert_eq!(StatsReply::decode(&stats.encode()).unwrap(), stats);
+
+        let mut hist = HistogramSnapshot::default();
+        hist.buckets[0] = 2;
+        hist.buckets[11] = 5;
+        hist.buckets[BUCKETS - 1] = 1;
+        hist.count = 8;
+        hist.sum = 123_456;
+        hist.max = u64::MAX;
+        let telemetry = TelemetryReply {
+            snapshot: TelemetrySnapshot {
+                level: TelemetryLevel::Trace,
+                counters: vec![("frames_read".into(), 42), ("evictions".into(), 0)],
+                gauges: vec![("queue_depth".into(), 3)],
+                hists: vec![("inline_serve_ns".into(), hist)],
+            },
+            trace: vec![
+                (
+                    7,
+                    TraceEvent {
+                        conn_gen: 99,
+                        stage: Stage::FrameRead,
+                        t_ns: 1_000,
+                        detail: 4,
+                    },
+                ),
+                (
+                    8,
+                    TraceEvent {
+                        conn_gen: 99,
+                        stage: Stage::WriteFlush,
+                        t_ns: 2_000,
+                        detail: 512,
+                    },
+                ),
+            ],
+        };
+        assert_eq!(
+            TelemetryReply::decode(&telemetry.encode()).unwrap(),
+            telemetry
+        );
+    }
+
+    #[test]
+    fn hostile_telemetry_replies_are_rejected() {
+        let good = TelemetryReply::default().encode();
+        // Unknown version.
+        let mut bad = good.clone();
+        bad[0] = 99;
+        assert!(TelemetryReply::decode(&bad).is_err());
+        // Bad level byte.
+        let mut bad = good.clone();
+        bad[1] = 7;
+        assert!(TelemetryReply::decode(&bad).is_err());
+        // Hostile series count (offset 2 is the counter count).
+        let mut bad = good.clone();
+        bad[2..4].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(TelemetryReply::decode(&bad).is_err());
+        // Trailing garbage.
+        let mut bad = good;
+        bad.push(0);
+        assert!(TelemetryReply::decode(&bad).is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::frame::{io_err, MAX_FRAME_LEN};
 use recoil_core::RecoilError;
 use recoil_reactor::SlabStats;
 use recoil_server::ContentServer;
+use recoil_telemetry::{Telemetry, TelemetryLevel};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,6 +50,13 @@ pub struct NetConfig {
     /// Force the reactor's portable level-triggered `poll(2)` backend
     /// instead of edge-triggered epoll (tests, exotic targets).
     pub poll_fallback: bool,
+    /// How much the pipeline observes itself. `Off` (the default) reduces
+    /// every instrument to one branch on the hot path; `Counters` adds
+    /// counters, gauges, and latency histograms; `Trace` additionally keeps
+    /// the last N stage events in a lock-free ring. Snapshots are served
+    /// over the wire via the negotiated TELEMETRY capability and locally
+    /// via [`NetServerHandle::telemetry`].
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for NetConfig {
@@ -61,6 +69,7 @@ impl Default for NetConfig {
             write_timeout: Duration::from_secs(10),
             chunk_bytes: 256 * 1024,
             poll_fallback: false,
+            telemetry: TelemetryLevel::Off,
         }
     }
 }
@@ -120,6 +129,13 @@ impl NetServerHandle {
     /// how tests assert it.
     pub fn slab_stats(&self) -> SlabStats {
         self.backend.slab_stats()
+    }
+
+    /// The server's telemetry handle — the same instruments the TELEMETRY
+    /// wire frame snapshots, for in-process consumers (benches, tests,
+    /// `examples/telemetry_dump.rs`).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.backend.telemetry()
     }
 
     /// Stops accepting, lets in-flight requests finish, and joins every

@@ -55,14 +55,15 @@
 use super::NetConfig;
 use crate::frame::{
     append_frame, begin_frame, encode_error, end_frame, io_err, FrameType, PayloadReader,
-    PayloadWriter, CAP_CHUNKED, MAX_FRAME_LEN, PROTOCOL_VERSION, SUPPORTED_CAPS,
+    PayloadWriter, CAP_CHUNKED, CAP_TELEMETRY, MAX_FRAME_LEN, PROTOCOL_VERSION, SUPPORTED_CAPS,
 };
-use crate::proto::{self, Hello, PublishOk, PublishRequest, StatsReply};
+use crate::proto::{self, Hello, PublishOk, PublishRequest, StatsReply, TelemetryReply};
 use parking_lot::{Condvar, Mutex};
 use recoil_core::{plan_chunks_into, ChunkPlan, EncoderConfig, RecoilError};
 use recoil_parallel::ThreadPool;
 use recoil_reactor::{DeadlineQueue, Event, Interest, Poller, Slab, SlabStats, Token, WakePipe};
 use recoil_server::{ContentServer, StoredContent, Transmission};
+use recoil_telemetry::{Stage, Telemetry};
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::mem;
@@ -114,14 +115,29 @@ struct Shared {
     active: AtomicUsize,
     slab_allocations: AtomicU64,
     slab_reuses: AtomicU64,
+    /// Pipeline telemetry (level fixed at bind; `Off` reduces every
+    /// instrument to one branch).
+    telemetry: Arc<Telemetry>,
+    /// Mirror of the locked job queue's length, written under the job lock
+    /// on every push/pop, so the event loop publishes the queue-depth gauge
+    /// at its own consistent point without taking the job lock.
+    queue_len: AtomicU64,
 }
 
 impl Shared {
     fn push_job(&self, job: Job) {
+        let token = job.token();
         let mut jobs = self.jobs.lock();
         jobs.push_back(job);
-        self.content.set_queue_depth(jobs.len() as u64);
+        let depth = jobs.len() as u64;
+        self.queue_len.store(depth, Ordering::Relaxed);
         self.jobs_cv.notify_one();
+        drop(jobs);
+        let tel = &self.telemetry;
+        if tel.counters_enabled() {
+            tel.counters.dispatched_jobs.bump();
+            tel.trace(Stage::DispatchQueue, token.0, depth);
+        }
     }
 }
 
@@ -136,13 +152,29 @@ enum Job {
         buf: Vec<u8>,
         payload: Range<usize>,
         consumed: usize,
+        queued_at: Instant,
     },
     /// A request whose tier missed the cache: the combine runs off-loop.
     Fetch {
         token: Token,
         name: String,
         parallel_segments: u64,
+        queued_at: Instant,
     },
+}
+
+impl Job {
+    fn token(&self) -> Token {
+        match self {
+            Job::Publish { token, .. } | Job::Fetch { token, .. } => *token,
+        }
+    }
+
+    fn queued_at(&self) -> Instant {
+        match self {
+            Job::Publish { queued_at, .. } | Job::Fetch { queued_at, .. } => *queued_at,
+        }
+    }
 }
 
 enum Reply {
@@ -196,6 +228,16 @@ struct Conn {
     /// The deadline currently armed in the queue, if any.
     armed: Option<Instant>,
     drain_deadline: Instant,
+    /// Capabilities negotiated in this connection's HELLO (zero until the
+    /// handshake completes). Gates capability-bound frames like TELEMETRY.
+    caps: u32,
+    /// When the current pending write first hit the socket phase — the
+    /// write-flush histogram measures from here to the buffer draining.
+    write_started: Option<Instant>,
+    /// Completed flush bursts on this connection — the sampling phase for
+    /// the write-flush span (timed 1-in-8 at `Counters`, always at
+    /// `Trace`; the `write_flushes` counter itself stays exact).
+    flushes: u64,
 }
 
 impl Conn {
@@ -214,6 +256,9 @@ impl Conn {
             last_progress: now,
             armed: None,
             drain_deadline: now,
+            caps: 0,
+            write_started: None,
+            flushes: 0,
         }
     }
 
@@ -231,6 +276,8 @@ impl Conn {
         self.last_progress = now;
         self.armed = None;
         self.drain_deadline = now;
+        self.caps = 0;
+        self.write_started = None;
     }
 
     /// Parks the slot: drops the socket (closing it) and any streamed
@@ -248,6 +295,8 @@ impl Conn {
         self.next_chunk = 0;
         self.close_after_write = false;
         self.armed = None;
+        self.caps = 0;
+        self.write_started = None;
     }
 
     /// The progress deadline this phase wants, if any. Idle connections
@@ -444,6 +493,7 @@ fn handle_hello(conn: &mut Conn, ty: FrameType, end: usize) {
         );
         return;
     }
+    conn.caps = negotiated.capabilities;
     conn.phase = Phase::ReadFrame;
     stage_payload(conn, FrameType::Hello, &negotiated.encode(), false);
 }
@@ -479,6 +529,7 @@ fn handle_frame(
                 buf,
                 payload: 5..end,
                 consumed: end,
+                queued_at: Instant::now(),
             });
             Handled::Dispatched
         }
@@ -514,6 +565,7 @@ fn handle_frame(
                         token,
                         name,
                         parallel_segments,
+                        queued_at: Instant::now(),
                     });
                     Handled::Dispatched
                 }
@@ -532,6 +584,34 @@ fn handle_frame(
             stage_payload(conn, FrameType::StatsReply, &reply.encode(), false);
             Handled::Continue
         }
+        FrameType::Telemetry => {
+            let well_formed = end == 5;
+            conn.read_buf.drain(..end);
+            if conn.caps & CAP_TELEMETRY == 0 {
+                let e = RecoilError::net("telemetry capability was not negotiated");
+                stage_error(conn, &e, true);
+                return Handled::Continue;
+            }
+            if !well_formed {
+                let e = RecoilError::net("telemetry request carries an unexpected payload");
+                stage_error(conn, &e, true);
+                return Handled::Continue;
+            }
+            let tel = &shared.telemetry;
+            // Draining is consuming: each buffered trace event is delivered
+            // to exactly one TELEMETRY response.
+            let trace = if tel.trace_enabled() {
+                tel.drain_trace()
+            } else {
+                Vec::new()
+            };
+            let reply = TelemetryReply {
+                snapshot: tel.snapshot(),
+                trace,
+            };
+            stage_payload(conn, FrameType::TelemetryReply, &reply.encode(), false);
+            Handled::Continue
+        }
         other => {
             let e = RecoilError::net(format!("unexpected {other:?} frame from client"));
             stage_error(conn, &e, true);
@@ -540,11 +620,45 @@ fn handle_frame(
     }
 }
 
+/// Per-`pump` instrument tallies, kept in plain locals on the stack and
+/// flushed to the sharded counters once per call — one atomic add per
+/// counter per socket wakeup instead of per frame, which keeps the
+/// `Counters` level within noise of `Off` on the pipelined hot path.
+#[derive(Default)]
+struct PumpTally {
+    frames: u64,
+    inline: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
 /// Drives one connection until it blocks: parse and serve every complete
 /// frame, read until `WouldBlock`, flush and refill until `WouldBlock`.
 /// This *must* exhaust the socket in both directions before returning —
 /// under edge-triggered polling an unconsumed edge never fires again.
 fn pump(conn: &mut Conn, token: Token, shared: &Shared) -> Pumped {
+    let mut tally = PumpTally::default();
+    let out = pump_inner(conn, token, shared, &mut tally);
+    let tel = &shared.telemetry;
+    if tel.counters_enabled() {
+        let c = &tel.counters;
+        if tally.frames > 0 {
+            c.frames_read.add(tally.frames);
+        }
+        if tally.inline > 0 {
+            c.inline_serves.add(tally.inline);
+        }
+        if tally.bytes_read > 0 {
+            c.bytes_read.add(tally.bytes_read);
+        }
+        if tally.bytes_written > 0 {
+            c.bytes_written.add(tally.bytes_written);
+        }
+    }
+    out
+}
+
+fn pump_inner(conn: &mut Conn, token: Token, shared: &Shared, tally: &mut PumpTally) -> Pumped {
     let mut scratch = [0u8; READ_CHUNK];
     let mut dispatched = 0;
     loop {
@@ -552,11 +666,37 @@ fn pump(conn: &mut Conn, token: Token, shared: &Shared) -> Pumped {
             Phase::Handshake | Phase::ReadFrame => match parse_frame(&conn.read_buf) {
                 Err(e) => stage_error(conn, &e, true),
                 Ok(Some((ty, end))) => {
+                    let tel = &shared.telemetry;
+                    tally.frames += 1;
+                    if tel.trace_enabled() {
+                        tel.trace(Stage::FrameRead, token.0, u64::from(ty.byte()));
+                    }
                     if conn.phase == Phase::Handshake {
                         handle_hello(conn, ty, end);
-                    } else if let Handled::Dispatched = handle_frame(conn, token, shared, ty, end) {
-                        dispatched += 1;
-                        return Pumped::keep(dispatched);
+                    } else {
+                        // Span timing needs two clock reads, which are not
+                        // cheap on every host (~40 ns each here): `Counters`
+                        // samples 1 frame in 32 (the histogram stays
+                        // statistically sound at serving rates), `Trace`
+                        // times every frame.
+                        let sampled = tel.counters_enabled()
+                            && (tel.trace_enabled() || tally.frames & 31 == 1);
+                        let started = sampled.then(Instant::now);
+                        if let Handled::Dispatched = handle_frame(conn, token, shared, ty, end) {
+                            dispatched += 1;
+                            return Pumped::keep(dispatched);
+                        }
+                        // Anything that went straight from a parsed frame to
+                        // staged response bytes was served inline on the
+                        // event loop, without touching the dispatch pool.
+                        if conn.phase == Phase::Write {
+                            tally.inline += 1;
+                            if let Some(t0) = started {
+                                let ns = elapsed_ns(t0);
+                                tel.hists.inline_serve_ns.record(ns);
+                                tel.trace(Stage::InlineServe, token.0, ns);
+                            }
+                        }
                     }
                     // Response batching: if the response landed whole in
                     // the write buffer and another complete request is
@@ -578,6 +718,7 @@ fn pump(conn: &mut Conn, token: Token, shared: &Shared) -> Pumped {
                         Ok(n) => {
                             conn.read_buf.extend_from_slice(&scratch[..n]);
                             conn.last_progress = Instant::now();
+                            tally.bytes_read += n as u64;
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {
                             return Pumped::keep(dispatched)
@@ -589,6 +730,12 @@ fn pump(conn: &mut Conn, token: Token, shared: &Shared) -> Pumped {
             },
             Phase::Dispatching => return Pumped::keep(dispatched),
             Phase::Write => {
+                if conn.write_started.is_none() {
+                    let tel = &shared.telemetry;
+                    if tel.counters_enabled() && (tel.trace_enabled() || conn.flushes & 7 == 0) {
+                        conn.write_started = Some(Instant::now());
+                    }
+                }
                 loop {
                     while conn.write_pos < conn.write_buf.len() {
                         let mut s = conn.stream.as_ref().expect("live conn has a stream");
@@ -597,6 +744,7 @@ fn pump(conn: &mut Conn, token: Token, shared: &Shared) -> Pumped {
                             Ok(n) => {
                                 conn.write_pos += n;
                                 conn.last_progress = Instant::now();
+                                tally.bytes_written += n as u64;
                             }
                             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                                 return Pumped::keep(dispatched)
@@ -612,6 +760,23 @@ fn pump(conn: &mut Conn, token: Token, shared: &Shared) -> Pumped {
                         continue;
                     }
                     break;
+                }
+                // The staged response (header + every chunk) is fully on the
+                // wire: count the burst, and close out the flush span when
+                // this burst was one of the sampled ones.
+                {
+                    let tel = &shared.telemetry;
+                    if tel.counters_enabled() {
+                        conn.flushes = conn.flushes.wrapping_add(1);
+                        tel.counters.write_flushes.bump();
+                        if let Some(t0) = conn.write_started.take() {
+                            let ns = elapsed_ns(t0);
+                            tel.hists.write_flush_ns.record(ns);
+                            tel.trace(Stage::WriteFlush, token.0, ns);
+                        }
+                    } else {
+                        conn.write_started = None;
+                    }
                 }
                 conn.item = None;
                 if conn.close_after_write {
@@ -730,8 +895,25 @@ impl EventLoop {
                 }
             }
             self.events = events;
+            self.publish_gauges();
             self.drive_morgue();
             self.check_deadlines();
+        }
+    }
+
+    /// Publishes `queue_depth` and `open_slots` from one consistent point
+    /// per loop iteration, to both the legacy STATS gauges on
+    /// [`ContentServer`] and the telemetry gauges — so a STATS and a
+    /// TELEMETRY request served in the same burst always agree.
+    fn publish_gauges(&self) {
+        let depth = self.shared.queue_len.load(Ordering::Relaxed);
+        let open = self.conns.open_slots() as u64;
+        self.shared.content.set_queue_depth(depth);
+        self.shared.content.set_open_slots(open);
+        let tel = &self.shared.telemetry;
+        if tel.counters_enabled() {
+            tel.gauges.queue_depth.set(depth);
+            tel.gauges.open_slots.set(open);
         }
     }
 
@@ -815,7 +997,7 @@ impl EventLoop {
         }
         self.shared.content.connection_opened();
         self.shared.active.fetch_add(1, Ordering::Relaxed);
-        self.publish_slab_gauges();
+        self.publish_slab_stats();
         self.pump_token(token);
     }
 
@@ -929,7 +1111,7 @@ impl EventLoop {
         self.deadlines.clear(token);
         self.shared.content.connection_closed();
         self.shared.active.fetch_sub(1, Ordering::Relaxed);
-        self.publish_slab_gauges();
+        self.publish_slab_stats();
     }
 
     fn process_completions(&mut self) {
@@ -1034,6 +1216,7 @@ impl EventLoop {
                     // handshake) and stopped feeding it. Tell it why,
                     // then drain out.
                     self.shared.content.connection_evicted();
+                    self.note_eviction(token);
                     if let Some(conn) = self.conns.get_mut(token) {
                         stage_error(conn, &RecoilError::net("peer stalled mid-frame"), true);
                     }
@@ -1044,9 +1227,18 @@ impl EventLoop {
                 // The peer stopped consuming its response; nothing more
                 // can be said on a jammed pipe.
                 self.shared.content.connection_evicted();
+                self.note_eviction(token);
                 self.close_conn(token);
             }
             Action::Drop => self.close_conn(token),
+        }
+    }
+
+    fn note_eviction(&self, token: Token) {
+        let tel = &self.shared.telemetry;
+        if tel.counters_enabled() {
+            tel.counters.evictions.bump();
+            tel.trace(Stage::Evict, token.0, 0);
         }
     }
 
@@ -1070,10 +1262,11 @@ impl EventLoop {
         }
     }
 
-    fn publish_slab_gauges(&self) {
-        self.shared
-            .content
-            .set_open_slots(self.conns.open_slots() as u64);
+    /// Mirrors the slab's allocation/reuse tallies into `Shared` for the
+    /// handle. The `open_slots` gauge is *not* published here — that
+    /// happens once per loop iteration in [`Self::publish_gauges`] so the
+    /// STATS and TELEMETRY views stay consistent.
+    fn publish_slab_stats(&self) {
         let stats = self.conns.stats();
         self.shared
             .slab_allocations
@@ -1091,8 +1284,14 @@ fn dispatch_worker(shared: &Shared) {
     let mut jobs = shared.jobs.lock();
     loop {
         if let Some(job) = jobs.pop_front() {
-            shared.content.set_queue_depth(jobs.len() as u64);
+            shared.queue_len.store(jobs.len() as u64, Ordering::Relaxed);
             drop(jobs);
+            let tel = &shared.telemetry;
+            if tel.counters_enabled() {
+                let wait = elapsed_ns(job.queued_at());
+                tel.hists.dispatch_wait_ns.record(wait);
+                tel.trace(Stage::DispatchRun, job.token().0, wait);
+            }
             let completion = run_job(shared, job);
             shared.completions.lock().push(completion);
             shared.waker.wake();
@@ -1103,6 +1302,11 @@ fn dispatch_worker(shared: &Shared) {
             shared.jobs_cv.wait(&mut jobs);
         }
     }
+}
+
+/// Saturating nanoseconds since `t0`, sized for histogram/trace fields.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn error_frame(e: &RecoilError) -> Vec<u8> {
@@ -1119,8 +1323,15 @@ fn run_job(shared: &Shared, job: Job) -> Completion {
             buf,
             payload,
             consumed,
+            queued_at: _,
         } => {
+            let started = shared.telemetry.counters_enabled().then(Instant::now);
             let (reply, close_after) = publish_reply(shared, &buf[payload]);
+            if let Some(t0) = started {
+                let ns = elapsed_ns(t0);
+                shared.telemetry.hists.encode_ns.record(ns);
+                shared.telemetry.trace(Stage::Encode, token.0, ns);
+            }
             Completion {
                 token,
                 buf: Some((buf, consumed)),
@@ -1132,13 +1343,23 @@ fn run_job(shared: &Shared, job: Job) -> Completion {
             token,
             name,
             parallel_segments,
+            queued_at: _,
         } => match shared.content.fetch(&name, parallel_segments) {
-            Ok((tx, item)) => Completion {
-                token,
-                buf: None,
-                reply: Reply::Stream(tx, item),
-                close_after: false,
-            },
+            Ok((tx, item)) => {
+                // The combine-vs-hit histograms live in ContentServer (which
+                // times the combine itself); here we only leave the trace
+                // breadcrumb with the measured cost.
+                if shared.telemetry.counters_enabled() {
+                    let ns = u64::try_from(tx.combine_nanos).unwrap_or(u64::MAX);
+                    shared.telemetry.trace(Stage::Combine, token.0, ns);
+                }
+                Completion {
+                    token,
+                    buf: None,
+                    reply: Reply::Stream(tx, item),
+                    close_after: false,
+                }
+            }
             Err(e) => Completion {
                 token,
                 buf: None,
@@ -1204,10 +1425,15 @@ pub(super) fn bind(
     let chunk_words = config.effective_chunk_words().max(1);
     let workers = config.workers.max(1);
     let max_connections = config.max_connections;
+    let telemetry = Arc::new(Telemetry::new(config.telemetry));
+    // Hand the same instruments to the content layer so tier-cache and
+    // combine metrics land in the snapshot this server exports.
+    content.attach_telemetry(Arc::clone(&telemetry));
     let shared = Arc::new(Shared {
         content,
         config,
         chunk_words,
+        telemetry,
         shutdown: AtomicBool::new(false),
         jobs_closed: AtomicBool::new(false),
         jobs: Mutex::new(VecDeque::new()),
@@ -1215,6 +1441,7 @@ pub(super) fn bind(
         completions: Mutex::new(Vec::new()),
         waker: wake.waker(),
         active: AtomicUsize::new(0),
+        queue_len: AtomicU64::new(0),
         slab_allocations: AtomicU64::new(0),
         slab_reuses: AtomicU64::new(0),
     });
@@ -1276,6 +1503,10 @@ impl ReactorHandle {
             allocations: self.shared.slab_allocations.load(Ordering::Relaxed),
             reuses: self.shared.slab_reuses.load(Ordering::Relaxed),
         }
+    }
+
+    pub(super) fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
     }
 
     pub(super) fn shutdown_impl(&mut self) {

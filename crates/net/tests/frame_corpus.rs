@@ -40,12 +40,17 @@ fn corpus() -> Vec<(&'static str, Vec<u8>)> {
     let mut entries: Vec<(&'static str, Vec<u8>)> = Vec::new();
 
     // Unknown frame types, including the extremes.
-    for ty in [0x00u8, 0x09, 0x7F, 0xAB, 0xFF] {
+    for ty in [0x00u8, 0x0B, 0x7F, 0xAB, 0xFF] {
         let mut b = vec![ty];
         b.extend_from_slice(&4u32.to_le_bytes());
         b.extend_from_slice(&[1, 2, 3, 4]);
         entries.push(("unknown type", b));
     }
+
+    // A TELEMETRY request must carry an empty payload.
+    let mut fat_telemetry = Vec::new();
+    write_frame(&mut fat_telemetry, FrameType::Telemetry, &[1, 2, 3, 4]).unwrap();
+    entries.push(("telemetry with unexpected payload", fat_telemetry));
 
     // Length field exactly at the cap, but the payload never arrives.
     let mut at_cap = vec![FrameType::Request as u8];
@@ -71,6 +76,7 @@ fn corpus() -> Vec<(&'static str, Vec<u8>)> {
         FrameType::Transmit,
         FrameType::Chunk,
         FrameType::StatsReply,
+        FrameType::TelemetryReply,
         FrameType::Error,
     ] {
         let mut b = Vec::new();

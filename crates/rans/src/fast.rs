@@ -56,6 +56,43 @@ use recoil_models::{ModelProvider, Symbol};
 /// one word per symbol".
 pub const GROUP: usize = 32;
 
+/// Per-span decode-engine statistics, filled by
+/// [`decode_span_with_stats`]: how much work the branchless fast loop did
+/// versus the careful tail, and how many compressed words the span ate.
+///
+/// Plain data by design — `recoil-rans` is leaf code and knows nothing
+/// about telemetry handles; callers fold these into whatever counters they
+/// keep. The cost of collecting them is one add per *group* (not per
+/// symbol) plus arithmetic on the already-tracked cursor, so the stats
+/// variant is the implementation and [`decode_span`] is a thin wrapper.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Full `GROUP`-symbol iterations the branchless fast loop ran.
+    pub fast_groups: u64,
+    /// Symbols decoded by the fast loop (`fast_groups * GROUP`).
+    pub fast_symbols: u64,
+    /// Symbols decoded by the bounds-checked careful tail.
+    pub careful_symbols: u64,
+    /// Compressed u16 words consumed by renormalizations in this span.
+    pub words_consumed: u64,
+}
+
+impl SpanStats {
+    /// Folds another span's stats into this one (for per-task or global
+    /// accumulation across chained spans).
+    pub fn merge(&mut self, other: &SpanStats) {
+        self.fast_groups = self.fast_groups.wrapping_add(other.fast_groups);
+        self.fast_symbols = self.fast_symbols.wrapping_add(other.fast_symbols);
+        self.careful_symbols = self.careful_symbols.wrapping_add(other.careful_symbols);
+        self.words_consumed = self.words_consumed.wrapping_add(other.words_consumed);
+    }
+
+    /// Total symbols this span decoded.
+    pub fn symbols(&self) -> u64 {
+        self.fast_symbols.wrapping_add(self.careful_symbols)
+    }
+}
+
 /// Decodes positions `lo .. lo + out.len()` (descending) of a
 /// `states.len()`-way interleaved stream, starting from the backward word
 /// cursor `next_read` (`None` = exhausted). Returns the cursor after the
@@ -86,6 +123,20 @@ pub fn decode_span<S: Symbol, P: ModelProvider + ?Sized>(
     lo: u64,
     out: &mut [S],
 ) -> Result<Option<u64>, RansError> {
+    decode_span_with_stats(provider, words, next_read, states, lo, out).map(|(cursor, _)| cursor)
+}
+
+/// [`decode_span`] plus [`SpanStats`] describing how the span decoded. On
+/// error the stats are lost along with the (partial) output — underflow
+/// already means the whole span is unusable.
+pub fn decode_span_with_stats<S: Symbol, P: ModelProvider + ?Sized>(
+    provider: &P,
+    words: &[u16],
+    next_read: Option<u64>,
+    states: &mut [u32],
+    lo: u64,
+    out: &mut [S],
+) -> Result<(Option<u64>, SpanStats), RansError> {
     assert!(!states.is_empty(), "need at least one lane state");
     let ways = states.len();
     let n = provider.quant_bits();
@@ -107,6 +158,9 @@ pub fn decode_span<S: Symbol, P: ModelProvider + ?Sized>(
         None => -1,
     };
 
+    let entry_p = p;
+    let mut fast_groups = 0u64;
+
     let mut remaining = out.len();
     // Lane owning the highest (first-decoded) position, then maintained by
     // rotation — the one `% ways` of the whole span.
@@ -119,6 +173,7 @@ pub fn decode_span<S: Symbol, P: ModelProvider + ?Sized>(
     // Fast loop: GROUP symbols per iteration, no underflow Result, no
     // bounds checks, branchless renorm.
     while remaining >= GROUP && p >= GROUP as isize - 1 {
+        fast_groups += 1;
         let base = remaining - GROUP;
         let mut pos = lo + remaining as u64;
         // One checked slice per group; the iterator below is exact-length.
@@ -155,14 +210,23 @@ pub fn decode_span<S: Symbol, P: ModelProvider + ?Sized>(
     // stream is nearly drained (underflow is now possible and must be
     // reported). `decode_span_careful` re-derives the lane by modulo; the
     // states and cursor hand over exactly.
-    decode_span_careful(
+    let cursor = decode_span_careful(
         provider,
         words,
         (p >= 0).then_some(p as u64),
         states,
         lo,
         &mut out[..remaining],
-    )
+    )?;
+
+    let final_p = cursor.map_or(-1, |o| o as isize);
+    let stats = SpanStats {
+        fast_groups,
+        fast_symbols: (out.len() - remaining) as u64,
+        careful_symbols: remaining as u64,
+        words_consumed: (entry_p - final_p) as u64,
+    };
+    Ok((cursor, stats))
 }
 
 /// The retained careful reference loop: one [`LaneDecoder::step`] per
@@ -317,6 +381,49 @@ mod tests {
             (Err(a), Err(b)) => assert_eq!(a, b),
             (a, b) => panic!("expected matching underflow errors, got {a:?} vs {b:?}"),
         }
+    }
+
+    /// The stats account for every symbol and every consumed word, and the
+    /// stats variant stays bit-identical to the plain one.
+    #[test]
+    fn span_stats_account_for_symbols_and_words() {
+        for (len, ways) in [(40_000usize, 32u32), (100, 4), (31, 32)] {
+            let data = sample(len, 77);
+            let (stream, p) = encode(&data, 10, ways);
+            let next = stream.end_cursor();
+            let mut states = stream.final_states.clone();
+            let mut out = vec![0u8; len];
+            let (cursor, stats) =
+                decode_span_with_stats(&p, &stream.words, next, &mut states, 0, &mut out).unwrap();
+            assert_eq!(out, data, "len={len} ways={ways}");
+            assert_eq!(stats.symbols(), len as u64, "every symbol is accounted");
+            assert_eq!(
+                stats.fast_symbols,
+                stats.fast_groups * GROUP as u64,
+                "fast symbols come in whole groups"
+            );
+            let entry = next.map_or(0, |o| o + 1);
+            let left = cursor.map_or(0, |o| o + 1);
+            assert_eq!(stats.words_consumed, entry - left, "len={len} ways={ways}");
+            if len >= 2 * GROUP {
+                assert!(stats.fast_groups > 0, "long spans must hit the fast loop");
+            }
+        }
+        let mut total = SpanStats::default();
+        total.merge(&SpanStats {
+            fast_groups: 1,
+            fast_symbols: 32,
+            careful_symbols: 3,
+            words_consumed: 20,
+        });
+        total.merge(&SpanStats {
+            fast_groups: 2,
+            fast_symbols: 64,
+            careful_symbols: 0,
+            words_consumed: 40,
+        });
+        assert_eq!(total.symbols(), 99);
+        assert_eq!(total.words_consumed, 60);
     }
 
     #[test]

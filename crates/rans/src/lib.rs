@@ -36,7 +36,9 @@ mod step;
 mod stream;
 
 pub use error::RansError;
-pub use fast::{decode_span, decode_span_careful, GROUP as FAST_GROUP};
+pub use fast::{
+    decode_span, decode_span_careful, decode_span_with_stats, SpanStats, GROUP as FAST_GROUP,
+};
 pub use interleaved::{decode_interleaved, decode_interleaved_into, InterleavedEncoder};
 pub use single::{decode_single, SingleEncoder};
 pub use sink::{NullSink, RenormEvent, RenormSink, VecSink, NO_SYMBOL};

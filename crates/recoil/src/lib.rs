@@ -103,6 +103,7 @@ pub use recoil_rans as rans;
 pub use recoil_server as server;
 pub use recoil_simd as simd;
 pub use recoil_tans as tans;
+pub use recoil_telemetry as telemetry;
 
 #[doc(no_inline)]
 pub use recoil_core::codec::{Codec, DecodeBackend, Encoded, EncoderConfig};

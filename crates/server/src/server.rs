@@ -132,6 +132,15 @@ pub struct ContentServer {
     pool: ThreadPool,
     stats: StatsCounters,
     tier_cache_capacity: usize,
+    /// Optional pipeline telemetry, attached once by the transport layer
+    /// (or a bench harness). Never replaces [`StatsCounters`] — STATS keeps
+    /// its fixed wire shape; telemetry adds distributions on top.
+    telemetry: OnceLock<Arc<recoil_telemetry::Telemetry>>,
+    /// The attached handle's level as a plain byte (0 = none/off,
+    /// 1 = counters, 2 = trace), so the per-request hit path decides
+    /// whether to record with one owned-line load instead of chasing the
+    /// `OnceLock -> Arc -> level` pointers on every request.
+    tel_level: std::sync::atomic::AtomicU8,
 }
 
 impl Default for ContentServer {
@@ -155,6 +164,54 @@ impl ContentServer {
             pool: ThreadPool::new(config.batch_workers),
             stats: StatsCounters::default(),
             tier_cache_capacity: config.tier_cache_capacity.max(1),
+            telemetry: OnceLock::new(),
+            tel_level: std::sync::atomic::AtomicU8::new(0),
+        }
+    }
+
+    /// Attaches a telemetry handle; the serve path then records tier-cache
+    /// hit/miss segment distributions and combine latencies into it. First
+    /// attach wins (idempotent for the common single-transport case).
+    pub fn attach_telemetry(&self, telemetry: Arc<recoil_telemetry::Telemetry>) {
+        if self.telemetry.set(Arc::clone(&telemetry)).is_ok() {
+            let level = if telemetry.trace_enabled() {
+                2
+            } else if telemetry.counters_enabled() {
+                1
+            } else {
+                0
+            };
+            self.tel_level
+                .store(level, std::sync::atomic::Ordering::Release);
+        }
+    }
+
+    /// The attached telemetry handle, if any — handed out so transports and
+    /// benches snapshot the same instruments the serve path records into.
+    pub fn telemetry(&self) -> Option<&Arc<recoil_telemetry::Telemetry>> {
+        self.telemetry.get()
+    }
+
+    /// The attached handle, only when it actually records.
+    fn tel(&self) -> Option<&recoil_telemetry::Telemetry> {
+        self.telemetry
+            .get()
+            .map(Arc::as_ref)
+            .filter(|t| t.counters_enabled())
+    }
+
+    /// Tier-cache hit instrumentation for the serving hot loop. The level
+    /// check is one relaxed byte load ([`ContentServer::tel_level`]); at
+    /// `Counters` the histogram samples 1-in-32 using the already-bumped
+    /// hit counter as the phase, at `Trace` every hit records. Exact hit
+    /// counts always live in the server's own stats.
+    #[inline]
+    fn record_tier_hit(&self, hits: u64, segments: u64) {
+        let level = self.tel_level.load(std::sync::atomic::Ordering::Relaxed);
+        if level >= 2 || (level == 1 && hits & 31 == 0) {
+            if let Some(t) = self.telemetry.get() {
+                t.hists.tier_hit_segments.record(segments);
+            }
         }
     }
 
@@ -318,7 +375,11 @@ impl ContentServer {
             return Ok(None);
         };
         bump(&self.stats.requests);
-        bump(&self.stats.cache_hits);
+        let hits = self
+            .stats
+            .cache_hits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.record_tier_hit(hits, segments);
         let transmission = Transmission {
             stream_bytes: item.stream.payload_bytes(),
             tier,
@@ -340,7 +401,11 @@ impl ContentServer {
         // an exact maximum-capacity request share one entry.
         let segments = parallel_segments.min(item.max_segments());
         if let Some(tier) = item.cache.get(segments) {
-            bump(&self.stats.cache_hits);
+            let hits = self
+                .stats
+                .cache_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.record_tier_hit(hits, segments);
             let transmission = Transmission {
                 stream_bytes,
                 tier,
@@ -358,6 +423,12 @@ impl ContentServer {
         // `cache_hits + cache_misses` equal to successfully served requests
         // even if stored metadata ever fails validation.
         bump(&self.stats.cache_misses);
+        if let Some(t) = self.tel() {
+            t.hists.tier_miss_segments.record(segments);
+            t.hists
+                .combine_ns
+                .record(u64::try_from(combine_nanos).unwrap_or(u64::MAX));
+        }
         let tier = item.cache.insert(
             Arc::new(ShrunkTier {
                 segments,

@@ -1,0 +1,274 @@
+//! Fixed-size log2-bucketed latency histograms.
+//!
+//! [`Histogram::record`] is the hot-path entry: one leading-zeros
+//! instruction to find the bucket, then four relaxed atomic adds (bucket,
+//! count, sum, max). No allocation, no lock, mergeable across threads by
+//! summing bucket arrays. Percentiles come out of the cumulative bucket
+//! walk with log2 resolution — exactly enough to tell a 100 µs tail from a
+//! 10 ms one, which is what per-stage latency monitoring needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: bucket 0 holds the value zero, bucket `b >= 1` holds
+/// values in `[2^(b-1), 2^b - 1]`, and the last bucket saturates (it also
+/// absorbs everything from `2^62` up).
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in: its bit length, clamped into the table.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The largest value bucket `b` can hold (used as the percentile
+/// representative, so reported quantiles are conservative upper bounds).
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ if b >= BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+/// Concurrent log2 histogram. All methods take `&self`; share it behind an
+/// `Arc` or a `&'static` and record from any thread.
+///
+/// The total count is not stored separately — it is the sum of the bucket
+/// array, computed at snapshot time — so `record` costs two atomic adds
+/// plus (rarely, once the running max stabilises) a max update.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (nanoseconds by convention, but any u64
+    /// works — the tier histograms record segment counts).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        // `fetch_max` is a CAS loop on x86; the plain load in front makes
+        // the common no-update case branch-and-skip. Racy reads are fine:
+        // the max only ever grows, so a stale read just retries the CAS.
+        if v > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time copy (each field individually exact; the set is
+    /// consistent once writers quiesce).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state — what snapshots,
+/// the TELEMETRY wire frame, and the text exposition work on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self` — the cross-thread merge: bucket-wise sum,
+    /// summed count/sum, max of maxes.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst = dst.wrapping_add(*src);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)`, clamped to
+    /// the recorded max. Returns 0 when nothing was recorded.
+    ///
+    /// Upper bounds make the estimate conservative (never under-reports a
+    /// tail), and clamping to `max` keeps `p99 <= max` exact even when the
+    /// max sits mid-bucket. Monotone in `q` by construction.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_upper_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_land_where_documented() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for b in 2..BUCKETS - 1 {
+            let lo = 1u64 << (b - 1);
+            let hi = (1u64 << b) - 1;
+            assert_eq!(bucket_index(lo), b, "2^{} low edge", b - 1);
+            assert_eq!(bucket_index(hi), b, "2^{b}-1 high edge");
+            assert_eq!(bucket_index(hi + 1), b + 1, "2^{b} rolls over");
+        }
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(5), 31);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn saturation_at_the_max_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 62);
+        h.record(1u64 << 63);
+        let s = h.snapshot();
+        assert_eq!(
+            s.buckets[BUCKETS - 1],
+            3,
+            "all huge values share the top bucket"
+        );
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded_by_max() {
+        // Deterministic skewed sample: mostly small with a long tail.
+        let h = Histogram::new();
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) % 1000 + if x.is_multiple_of(50) { 1_000_000 } else { 0 };
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let mut last = 0;
+        for q in qs {
+            let v = s.percentile(q);
+            assert!(v >= last, "percentile({q}) = {v} < {last}");
+            assert!(v <= s.max, "percentile({q}) = {v} above max {}", s.max);
+            last = v;
+        }
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+        assert!(s.p99() >= 1_000_000 / 2, "the tail must show in p99");
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_histogram() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..5_000u64 {
+            let v = i * i % 77_777;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(merged.percentile(q), all.snapshot().percentile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.max), (0, 0, 0));
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 100);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 40_000);
+    }
+}
