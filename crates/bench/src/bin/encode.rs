@@ -1,0 +1,207 @@
+//! Encode throughput: the branchless fast-loop engine vs the retained
+//! careful reference, the codec end-to-end path, the plan (scan) pass, and
+//! segment-parallel pooled encode.
+//!
+//! The encode column of the perf trajectory, sibling of `BENCH_decode.json`.
+//! Reports MB/s to stdout and as JSON to `BENCH_encode.json`; the headline
+//! number is `fast_over_careful` — the speedup of
+//! `recoil_rans::fast_encode::encode_span` over `encode_span_careful` on
+//! the same input, same thread, same machine. Every timed encode is also
+//! checked byte-identical to the careful reference.
+//!
+//! ```sh
+//! cargo run --release -p recoil-bench --bin encode
+//! cargo run --release -p recoil-bench --bin encode -- --smoke       # CI
+//! cargo run --release -p recoil-bench --bin encode -- --bytes 64000000 --iters 9
+//! ```
+
+use recoil::prelude::*;
+use recoil::rans::params::INITIAL_STATE;
+use recoil::rans::{encode_span, encode_span_careful, scan_span, NullSink};
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    bytes: usize,
+    iters: usize,
+    max_segments: u64,
+    threads: usize,
+    smoke: bool,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().collect();
+        let mut a = Self {
+            bytes: 32_000_000,
+            iters: 7,
+            max_segments: 64,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            smoke: false,
+        };
+        let mut i = 1;
+        while i < argv.len() {
+            let next = |i: &mut usize| {
+                *i += 1;
+                argv[*i].parse().expect("numeric argument")
+            };
+            match argv[i].as_str() {
+                "--bytes" => a.bytes = next(&mut i),
+                "--iters" => a.iters = next(&mut i),
+                "--max-segments" => a.max_segments = next(&mut i) as u64,
+                "--threads" => a.threads = next(&mut i),
+                "--smoke" => a.smoke = true,
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        if a.smoke {
+            a.bytes = a.bytes.min(4_000_000);
+            a.iters = a.iters.min(3);
+        }
+        a
+    }
+}
+
+/// Best-of-`iters` wall time for `run`, after one warmup; the minimum is
+/// the stable estimator on shared machines.
+fn measure(iters: usize, mut run: impl FnMut()) -> f64 {
+    run();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = Args::parse();
+    let quant_bits = 11u32;
+    let ways = 32u32;
+    println!(
+        "encode bench: {} bytes, best of {} iters{}",
+        args.bytes,
+        args.iters,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+
+    let data = recoil::data::text_like_bytes(args.bytes, 5.1, 99);
+    let codec = Codec::builder()
+        .max_segments(args.max_segments)
+        .quant_bits(quant_bits)
+        .build()
+        .unwrap();
+    let model = StaticModelProvider::new(CdfTable::of_bytes(&data, quant_bits));
+
+    let mbps = |secs: f64| data.len() as f64 / secs / 1e6;
+    let mut results: Vec<(String, f64)> = Vec::new();
+
+    // The raw engines: whole-input single-thread encode into a reused
+    // buffer, no planner — the purest fast-vs-careful comparison.
+    let mut reference: Vec<u16> = Vec::new();
+    let careful = measure(args.iters, || {
+        let mut states = vec![INITIAL_STATE; ways as usize];
+        reference.clear();
+        encode_span_careful(
+            &model,
+            &data,
+            0,
+            &mut states,
+            &mut reference,
+            0,
+            &mut NullSink,
+        )
+        .unwrap();
+        std::hint::black_box(&reference);
+    });
+    results.push(("careful_reference".into(), mbps(careful)));
+    println!(
+        "payload: {} symbols -> {} words",
+        data.len(),
+        reference.len()
+    );
+
+    let mut words: Vec<u16> = Vec::new();
+    let fast = measure(args.iters, || {
+        let mut states = vec![INITIAL_STATE; ways as usize];
+        words.clear();
+        encode_span(&model, &data, 0, &mut states, &mut words, 0, &mut NullSink).unwrap();
+        std::hint::black_box(&words);
+    });
+    assert_eq!(words, reference, "fast engine diverged from careful");
+    results.push(("fast_scalar".into(), mbps(fast)));
+    let speedup = careful / fast;
+
+    // The plan pass alone: state evolution + word counting, no word
+    // traffic. This is the serial prefix the pooled encode pays.
+    let scan = measure(args.iters, || {
+        let mut states = vec![INITIAL_STATE; ways as usize];
+        let n = scan_span(&model, &data, 0, &mut states, 0, &mut NullSink).unwrap();
+        std::hint::black_box(n);
+    });
+    results.push(("scan_pass".into(), mbps(scan)));
+
+    // Codec end-to-end: model reuse via the provider path, planner
+    // listening, container assembly — what a publish actually runs.
+    let serial = codec.encode_with_provider(&data, &model).unwrap();
+    assert_eq!(serial.stream.words, reference);
+    let secs = measure(args.iters, || {
+        let c = codec.encode_with_provider(&data, &model).unwrap();
+        std::hint::black_box(&c);
+    });
+    results.push(("codec_serial".into(), mbps(secs)));
+
+    // Segment-parallel pooled encode (two-pass: serial scan + parallel
+    // encode); byte-identical to the serial container by construction.
+    let pool = ThreadPool::new(args.threads.saturating_sub(1));
+    let pooled = codec
+        .encode_with_provider_pooled(&data, &model, &pool)
+        .unwrap();
+    assert_eq!(pooled.stream, serial.stream, "pooled encode diverged");
+    assert_eq!(pooled.metadata, serial.metadata, "pooled metadata diverged");
+    let pooled_name = format!("pooled_{}t_segments", args.threads);
+    let secs = measure(args.iters, || {
+        let c = codec
+            .encode_with_provider_pooled(&data, &model, &pool)
+            .unwrap();
+        std::hint::black_box(&c);
+    });
+    results.push((pooled_name, mbps(secs)));
+
+    println!("\n{:<24} {:>10}", "config", "MB/s");
+    for (name, v) in &results {
+        println!("{name:<24} {v:>10.1}");
+    }
+    println!("fast over careful reference: {speedup:.2}x");
+    if speedup < 1.3 {
+        eprintln!("WARNING: fast loop under the 1.3x target on this run");
+    }
+
+    let mut rows = String::new();
+    for (i, (name, v)) in results.iter().enumerate() {
+        rows.push_str(&format!(
+            "    {{\"config\": \"{name}\", \"mb_per_s\": {v:.1}}}{}\n",
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"encode\",\n  \"smoke\": {},\n  \
+         \"payload_bytes\": {},\n  \"stream_words\": {},\n  \
+         \"quant_bits\": {quant_bits},\n  \"ways\": {ways},\n  \
+         \"segments\": {},\n  \"iters\": {},\n  \"threads\": {},\n  \
+         \"fast_over_careful\": {speedup:.3},\n  \"results\": [\n{rows}  ]\n}}\n",
+        args.smoke,
+        data.len(),
+        reference.len(),
+        serial.metadata.num_segments(),
+        args.iters,
+        args.threads,
+    );
+    let path = "BENCH_encode.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+    println!("[results written to {path}]");
+}

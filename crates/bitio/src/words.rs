@@ -53,6 +53,15 @@ impl WordStream {
         &self.words
     }
 
+    /// Mutable access to the backing vector, for bulk writers: the fast
+    /// encode engine appends whole renorm groups at once instead of going
+    /// through per-word [`WordStream::push`] calls. The stream stays
+    /// append-only by convention — callers must only extend the vector.
+    #[inline]
+    pub fn vec_mut(&mut self) -> &mut Vec<u16> {
+        &mut self.words
+    }
+
     /// Consume the stream, returning the raw words.
     pub fn into_words(self) -> Vec<u16> {
         self.words

@@ -30,8 +30,9 @@
 //! mistakes are rejected at [`CodecBuilder::build`], not deep inside a
 //! decode loop.
 
-use crate::container::{encode_container, RecoilContainer};
+use crate::container::RecoilContainer;
 use crate::decoder::{decode_into_impl, decode_segments_impl};
+use crate::encoder::{encode_container, encode_container_pooled};
 use crate::error::RecoilError;
 use crate::metadata::RecoilMetadata;
 use crate::planner::{Heuristic, PlannerConfig};
@@ -557,10 +558,9 @@ impl Codec {
         self.backend.as_ref()
     }
 
-    /// Encodes bytes: builds an order-0 static model at the configured
-    /// quantization level, encodes one interleaved bitstream, and plans
-    /// split metadata for up to `max_segments` parallel decoders.
-    pub fn encode(&self, data: &[u8]) -> Result<Encoded, RecoilError> {
+    /// Builds the order-0 byte model [`Codec::encode`] uses, rejecting
+    /// alphabets whose support cannot fit in `2^quant_bits`.
+    fn build_model_u8(&self, data: &[u8]) -> Result<StaticModelProvider, RecoilError> {
         let table = if data.is_empty() {
             // A zero-symbol payload still needs a well-formed model for the
             // container; an even two-symbol split satisfies every quantizer
@@ -577,17 +577,11 @@ impl Codec {
             self.check_support(seen.iter().filter(|&&s| s).count())?;
             CdfTable::of_bytes(data, self.config.quant_bits)
         };
-        let model = StaticModelProvider::new(table);
-        let container = self.encode_with_provider(data, &model)?;
-        Ok(Encoded {
-            container,
-            model,
-            symbol_bits: 8,
-        })
+        Ok(StaticModelProvider::new(table))
     }
 
-    /// Encodes 16-bit symbols; the model's alphabet covers `0..=max(data)`.
-    pub fn encode_u16(&self, data: &[u16]) -> Result<Encoded, RecoilError> {
+    /// Order-0 model for 16-bit symbols; the alphabet covers `0..=max(data)`.
+    fn build_model_u16(&self, data: &[u16]) -> Result<StaticModelProvider, RecoilError> {
         let table = if data.is_empty() {
             CdfTable::from_freqs(
                 vec![1 << (self.config.quant_bits - 1); 2],
@@ -602,8 +596,55 @@ impl Codec {
             self.check_support(seen.iter().filter(|&&s| s).count())?;
             CdfTable::of_u16(data, alphabet, self.config.quant_bits)
         };
-        let model = StaticModelProvider::new(table);
+        Ok(StaticModelProvider::new(table))
+    }
+
+    /// Encodes bytes: builds an order-0 static model at the configured
+    /// quantization level, encodes one interleaved bitstream, and plans
+    /// split metadata for up to `max_segments` parallel decoders.
+    pub fn encode(&self, data: &[u8]) -> Result<Encoded, RecoilError> {
+        let model = self.build_model_u8(data)?;
         let container = self.encode_with_provider(data, &model)?;
+        Ok(Encoded {
+            container,
+            model,
+            symbol_bits: 8,
+        })
+    }
+
+    /// [`Codec::encode`], with the encode pass parallelized over `pool`.
+    /// The output is byte-identical to the serial encode — the pool changes
+    /// wall-clock time, never bytes (see `crate::encoder`).
+    pub fn encode_pooled(&self, data: &[u8], pool: &ThreadPool) -> Result<Encoded, RecoilError> {
+        let model = self.build_model_u8(data)?;
+        let container = self.encode_with_provider_pooled(data, &model, pool)?;
+        Ok(Encoded {
+            container,
+            model,
+            symbol_bits: 8,
+        })
+    }
+
+    /// Encodes 16-bit symbols; the model's alphabet covers `0..=max(data)`.
+    pub fn encode_u16(&self, data: &[u16]) -> Result<Encoded, RecoilError> {
+        let model = self.build_model_u16(data)?;
+        let container = self.encode_with_provider(data, &model)?;
+        Ok(Encoded {
+            container,
+            model,
+            symbol_bits: 16,
+        })
+    }
+
+    /// [`Codec::encode_u16`] parallelized over `pool`; bytes are identical
+    /// to the serial encode.
+    pub fn encode_u16_pooled(
+        &self,
+        data: &[u16],
+        pool: &ThreadPool,
+    ) -> Result<Encoded, RecoilError> {
+        let model = self.build_model_u16(data)?;
+        let container = self.encode_with_provider_pooled(data, &model, pool)?;
         Ok(Encoded {
             container,
             model,
@@ -631,11 +672,46 @@ impl Codec {
     /// Encodes against a caller-supplied model (the adaptive/hyperprior
     /// path, or a pre-built static model shared across payloads). The
     /// caller keeps the provider; only the container is returned.
+    ///
+    /// A symbol the model assigns zero frequency — possible exactly here,
+    /// where the model does not come from the data — is reported as
+    /// [`RecoilError::UnsupportedSymbol`] with its position, instead of the
+    /// divide-by-zero this used to hit inside the encode loop.
     pub fn encode_with_provider<S: Symbol, P: ModelProvider>(
         &self,
         data: &[S],
         provider: &P,
     ) -> Result<RecoilContainer, RecoilError> {
+        self.check_provider(provider)?;
+        encode_container(
+            data,
+            provider,
+            self.config.ways,
+            self.config.planner_config(),
+        )
+        .map_err(RecoilError::from)
+    }
+
+    /// [`Codec::encode_with_provider`] with the encode pass parallelized
+    /// over `pool` (segment-parallel; output bytes identical to serial).
+    pub fn encode_with_provider_pooled<S: Symbol, P: ModelProvider>(
+        &self,
+        data: &[S],
+        provider: &P,
+        pool: &ThreadPool,
+    ) -> Result<RecoilContainer, RecoilError> {
+        self.check_provider(provider)?;
+        encode_container_pooled(
+            data,
+            provider,
+            self.config.ways,
+            self.config.planner_config(),
+            pool,
+        )
+        .map_err(RecoilError::from)
+    }
+
+    fn check_provider<P: ModelProvider>(&self, provider: &P) -> Result<(), RecoilError> {
         if provider.quant_bits() != self.config.quant_bits {
             return Err(RecoilError::config(
                 "quant_bits",
@@ -646,12 +722,7 @@ impl Codec {
                 ),
             ));
         }
-        Ok(encode_container(
-            data,
-            provider,
-            self.config.ways,
-            self.config.planner_config(),
-        ))
+        Ok(())
     }
 
     /// Decodes through the codec's configured backend.
@@ -858,6 +929,42 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn out_of_alphabet_symbol_is_typed_error_not_panic() {
+        // Regression: a release build used to die on a raw divide-by-zero
+        // inside the encode loop when a caller-supplied model lacked a
+        // symbol present in the data.
+        let mut data: Vec<u8> = sample(50_000, 4).iter().map(|&b| b % 64).collect();
+        let model = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        data[12_345] = 200; // not in the model's support
+        let codec = Codec::builder().build().unwrap();
+        match codec.encode_with_provider(&data, &model) {
+            Err(RecoilError::UnsupportedSymbol { pos, sym }) => {
+                assert_eq!((pos, sym), (12_345, 200));
+            }
+            other => panic!("expected UnsupportedSymbol, got {other:?}"),
+        }
+        // The pooled path reports the same typed error.
+        let pool = recoil_parallel::ThreadPool::new(3);
+        assert!(matches!(
+            codec.encode_with_provider_pooled(&data, &model, &pool),
+            Err(RecoilError::UnsupportedSymbol { sym: 200, .. })
+        ));
+    }
+
+    #[test]
+    fn pooled_encode_is_byte_identical_to_serial() {
+        let data = sample(200_000, 5);
+        let codec = Codec::builder().max_segments(24).build().unwrap();
+        let serial = codec.encode(&data).unwrap();
+        let pool = recoil_parallel::ThreadPool::new(3);
+        let pooled = codec.encode_pooled(&data, &pool).unwrap();
+        assert_eq!(pooled.container.stream, serial.container.stream);
+        assert_eq!(pooled.container.metadata, serial.container.metadata);
+        let back: Vec<u8> = codec.decode(&pooled).unwrap();
+        assert_eq!(back, data);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! One-call encode API and the stream+metadata container.
 
 use crate::metadata::RecoilMetadata;
-use crate::planner::{PlannerConfig, SplitPlanner};
+use crate::planner::PlannerConfig;
 use crate::wire::metadata_to_bytes;
 use recoil_models::{ModelProvider, Symbol};
-use recoil_rans::{EncodedStream, InterleavedEncoder};
+use recoil_rans::EncodedStream;
 
 /// An encoded bitstream together with its (independent) Recoil metadata.
 ///
@@ -37,23 +37,6 @@ impl RecoilContainer {
     }
 }
 
-/// The Recoil encode path: one interleaved bitstream plus planned split
-/// metadata. Shared engine behind [`crate::codec::Codec`] and the
-/// deprecated [`encode_with_splits`] shim.
-pub(crate) fn encode_container<S: Symbol, P: ModelProvider>(
-    data: &[S],
-    provider: &P,
-    ways: u32,
-    planner_config: PlannerConfig,
-) -> RecoilContainer {
-    let mut planner = SplitPlanner::new(ways, data.len() as u64, planner_config);
-    let mut enc = InterleavedEncoder::new(provider, ways);
-    enc.encode_all(data, &mut planner);
-    let stream = enc.finish();
-    let metadata = planner.finish(stream.words.len() as u64, provider.quant_bits());
-    RecoilContainer { stream, metadata }
-}
-
 /// Encodes `data` with `ways` interleaved lanes while planning split
 /// metadata for `segments` parallel decoders.
 #[deprecated(
@@ -67,7 +50,11 @@ pub fn encode_with_splits<S: Symbol, P: ModelProvider>(
     ways: u32,
     segments: u64,
 ) -> RecoilContainer {
-    encode_container(data, provider, ways, PlannerConfig::with_segments(segments))
+    // The pre-codec signature is infallible; symbols outside the model's
+    // support used to die on a divide-by-zero in release builds, so the
+    // typed error surfacing as a panic message here is strictly an upgrade.
+    crate::encoder::encode_container(data, provider, ways, PlannerConfig::with_segments(segments))
+        .expect("symbol outside the model's support")
 }
 
 #[cfg(test)]

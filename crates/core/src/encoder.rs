@@ -1,0 +1,293 @@
+//! The segment-parallel encode driver: plan pass + concurrent segment
+//! encode + deterministic stitch.
+//!
+//! rANS lane states form one serial dependency chain, so an exact parallel
+//! encode cannot simply cut the input and start every piece from scratch —
+//! each segment needs the lane states the serial encoder would have at its
+//! boundary. The driver gets them with a **two-pass** scheme built on the
+//! engines in `recoil_rans::fast_encode`:
+//!
+//! 1. **Plan pass** ([`scan_span`], serial): evolves the lane states over
+//!    the whole input *without materializing words*, streams every renorm
+//!    event to the [`SplitPlanner`] (so the metadata is final before any
+//!    word is written), and snapshots `(position, word count, lane states)`
+//!    checkpoints every [`CHECKPOINT_INTERVAL`] symbols.
+//! 2. **Encode pass** ([`encode_span`], parallel): the input is cut at the
+//!    metadata's own segment bounds — the same boundaries the decode side
+//!    parallelizes over — and each segment is encoded concurrently on the
+//!    caller's [`ThreadPool`]. A segment's entry states come from the
+//!    nearest checkpoint plus a short (`< CHECKPOINT_INTERVAL` symbols)
+//!    scan replay; its words go into a private buffer, stitched back in
+//!    segment order afterwards.
+//!
+//! Determinism is by construction, not by convention: the scan pass and the
+//! encode pass share one state-transform implementation, so every segment
+//! starts from exactly the states the serial encoder would have, writes
+//! exactly the words the serial encoder would write, and the planner sees
+//! exactly the serial event stream. **The output container is byte-identical
+//! to the serial encoder's** — `tests/differential_encode.rs` enforces it
+//! across the corpus. The stitch is also self-checking: the concatenated
+//! word count must equal the plan pass's count.
+//!
+//! The win is on multi-core publishers: the serial plan pass is cheaper than
+//! a full encode (no word traffic), and the expensive pass fans out. On one
+//! thread (or input below [`PARALLEL_MIN_SYMBOLS`]) the driver falls back to
+//! the serial fast engine, which is the same bytes either way.
+
+use crate::container::RecoilContainer;
+use crate::planner::{PlannerConfig, SplitPlanner};
+use parking_lot::Mutex;
+use recoil_models::{ModelProvider, Symbol};
+use recoil_parallel::ThreadPool;
+use recoil_rans::fast_encode::{encode_span, scan_span};
+use recoil_rans::params::INITIAL_STATE;
+use recoil_rans::{EncodedStream, NullSink, RansError};
+
+/// One parallel task's output slot: the encoded words of its segment, or
+/// the first error it hit.
+type SegmentSlot = Mutex<Option<Result<Vec<u16>, RansError>>>;
+
+/// Symbols between lane-state checkpoints in the plan pass. Bounds both the
+/// checkpoint memory (`ways * 4 + 16` bytes each) and the per-segment scan
+/// replay a parallel task runs to reach its entry states.
+pub(crate) const CHECKPOINT_INTERVAL: usize = 8 * 1024;
+
+/// Inputs shorter than this encode serially even when a pool is offered:
+/// below it the plan pass + fan-out overhead outweighs the parallel gain.
+pub const PARALLEL_MIN_SYMBOLS: usize = 64 * 1024;
+
+/// Serial encode through the branchless fast engine — the default
+/// [`crate::codec::Codec::encode`] path and the fallback of
+/// [`encode_container_pooled`]. Byte-identical to the retained per-symbol
+/// reference encoder.
+pub(crate) fn encode_container<S: Symbol, P: ModelProvider>(
+    data: &[S],
+    provider: &P,
+    ways: u32,
+    planner_config: PlannerConfig,
+) -> Result<RecoilContainer, RansError> {
+    let mut planner = SplitPlanner::new(ways, data.len() as u64, planner_config);
+    let mut states = vec![INITIAL_STATE; ways as usize];
+    let mut words = Vec::new();
+    encode_span(provider, data, 0, &mut states, &mut words, 0, &mut planner)?;
+    let metadata = planner.finish(words.len() as u64, provider.quant_bits());
+    let stream = EncodedStream {
+        words,
+        final_states: states,
+        num_symbols: data.len() as u64,
+        ways,
+    };
+    Ok(RecoilContainer { stream, metadata })
+}
+
+/// One plan-pass snapshot: the lane states (and cumulative word count)
+/// *before* encoding the symbol at `pos`.
+struct Checkpoint {
+    pos: u64,
+    states: Vec<u32>,
+}
+
+/// Plan-pass result: final metadata plus everything the encode pass needs.
+struct PlanPass {
+    metadata: crate::metadata::RecoilMetadata,
+    total_words: u64,
+    final_states: Vec<u32>,
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl PlanPass {
+    /// Lane states immediately before position `pos`, reconstructed from
+    /// the nearest checkpoint at or before it plus a short scan replay.
+    fn states_at<S: Symbol, P: ModelProvider>(
+        &self,
+        data: &[S],
+        provider: &P,
+        pos: u64,
+    ) -> Result<Vec<u32>, RansError> {
+        let cp = &self.checkpoints[pos as usize / CHECKPOINT_INTERVAL];
+        debug_assert!(cp.pos <= pos);
+        let mut states = cp.states.clone();
+        if pos > cp.pos {
+            // The replay feeds no planner (metadata is final) and its word
+            // offsets are irrelevant without a sink, so base 0 is fine.
+            scan_span(
+                provider,
+                &data[cp.pos as usize..pos as usize],
+                cp.pos,
+                &mut states,
+                0,
+                &mut NullSink,
+            )?;
+        }
+        Ok(states)
+    }
+}
+
+/// Runs the serial plan pass: metadata, word count, final states, and
+/// checkpointed boundary states — everything except the words themselves.
+fn plan_pass<S: Symbol, P: ModelProvider>(
+    data: &[S],
+    provider: &P,
+    ways: u32,
+    planner_config: PlannerConfig,
+) -> Result<PlanPass, RansError> {
+    let mut planner = SplitPlanner::new(ways, data.len() as u64, planner_config);
+    let mut states = vec![INITIAL_STATE; ways as usize];
+    let mut checkpoints = Vec::with_capacity(data.len() / CHECKPOINT_INTERVAL + 1);
+    let mut words = 0u64;
+    for (k, chunk) in data.chunks(CHECKPOINT_INTERVAL).enumerate() {
+        let pos = (k * CHECKPOINT_INTERVAL) as u64;
+        checkpoints.push(Checkpoint {
+            pos,
+            states: states.clone(),
+        });
+        words += scan_span(provider, chunk, pos, &mut states, words, &mut planner)?;
+    }
+    let metadata = planner.finish(words, provider.quant_bits());
+    Ok(PlanPass {
+        metadata,
+        total_words: words,
+        final_states: states,
+        checkpoints,
+    })
+}
+
+/// Segment-parallel encode on `pool`, byte-identical to
+/// [`encode_container`]. Falls back to the serial fast engine when the pool
+/// has one thread, the input is below [`PARALLEL_MIN_SYMBOLS`], or the
+/// metadata ends up with a single segment.
+pub(crate) fn encode_container_pooled<S: Symbol, P: ModelProvider>(
+    data: &[S],
+    provider: &P,
+    ways: u32,
+    planner_config: PlannerConfig,
+    pool: &ThreadPool,
+) -> Result<RecoilContainer, RansError> {
+    if pool.threads() <= 1 || planner_config.segments <= 1 || data.len() < PARALLEL_MIN_SYMBOLS {
+        return encode_container(data, provider, ways, planner_config);
+    }
+
+    let plan = plan_pass(data, provider, ways, planner_config)?;
+    let bounds = plan.metadata.segment_bounds();
+    let nseg = bounds.len() - 1;
+    if nseg <= 1 {
+        // Sparse streams can defeat the planner; nothing to fan out over.
+        return encode_container(data, provider, ways, PlannerConfig::with_segments(1));
+    }
+
+    // Fan out: one task per metadata segment, words into private buffers.
+    let slots: Vec<SegmentSlot> = (0..nseg).map(|_| Mutex::new(None)).collect();
+    let words_per_symbol = plan.total_words as f64 / data.len().max(1) as f64;
+    pool.run(nseg, |m| {
+        let result = (|| {
+            let (start, end) = (bounds[m] as usize, bounds[m + 1] as usize);
+            let mut states = plan.states_at(data, provider, bounds[m])?;
+            let mut words =
+                Vec::with_capacity(((end - start) as f64 * words_per_symbol) as usize + 16);
+            // Metadata is already planned, so no sink; word offsets are
+            // rebased by the stitch below, so base 0 per segment.
+            encode_span(
+                provider,
+                &data[start..end],
+                bounds[m],
+                &mut states,
+                &mut words,
+                0,
+                &mut NullSink,
+            )?;
+            Ok(words)
+        })();
+        *slots[m].lock() = Some(result);
+    });
+
+    // Stitch in segment order. Word ranges are disjoint and contiguous by
+    // construction; the count check makes a stitching bug loud instead of a
+    // silent corruption.
+    let mut words: Vec<u16> = Vec::with_capacity(plan.total_words as usize);
+    for slot in slots {
+        let segment = slot.into_inner().expect("pool ran every task")?;
+        words.extend_from_slice(&segment);
+    }
+    assert_eq!(
+        words.len() as u64,
+        plan.total_words,
+        "parallel stitch disagrees with the plan pass"
+    );
+
+    let stream = EncodedStream {
+        words,
+        final_states: plan.final_states,
+        num_symbols: data.len() as u64,
+        ways,
+    };
+    Ok(RecoilContainer {
+        stream,
+        metadata: plan.metadata,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recoil_models::{CdfTable, StaticModelProvider};
+
+    fn sample(len: usize, seed: u32) -> Vec<u8> {
+        (0..len as u32)
+            .map(|i| ((i.wrapping_add(seed).wrapping_mul(2654435761)) >> 22) as u8)
+            .collect()
+    }
+
+    /// Pooled encode is byte-identical to serial across segment counts and
+    /// boundary shapes, including checkpoint-straddling bounds.
+    #[test]
+    fn pooled_matches_serial_bytes_and_metadata() {
+        let data = sample(300_000, 1);
+        let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        let pool = ThreadPool::new(3);
+        for segments in [2u64, 7, 64] {
+            let cfg = PlannerConfig::with_segments(segments);
+            let serial = encode_container(&data, &p, 32, cfg.clone()).unwrap();
+            let pooled = encode_container_pooled(&data, &p, 32, cfg, &pool).unwrap();
+            assert_eq!(pooled.stream, serial.stream, "segments={segments}");
+            assert_eq!(pooled.metadata, serial.metadata, "segments={segments}");
+        }
+    }
+
+    /// The serial fallbacks (tiny input, single segment, single thread) are
+    /// also identical — there is exactly one byte encoding per input.
+    #[test]
+    fn fallback_paths_stay_identical() {
+        let pool1 = ThreadPool::new(0);
+        let pool4 = ThreadPool::new(3);
+        for (len, segments) in [(1_000usize, 8u64), (300_000, 1)] {
+            let data = sample(len, 9);
+            let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+            let cfg = PlannerConfig::with_segments(segments);
+            let serial = encode_container(&data, &p, 32, cfg.clone()).unwrap();
+            for pool in [&pool1, &pool4] {
+                let pooled = encode_container_pooled(&data, &p, 32, cfg.clone(), pool).unwrap();
+                assert_eq!(
+                    pooled.stream, serial.stream,
+                    "len={len} segments={segments}"
+                );
+                assert_eq!(pooled.metadata, serial.metadata);
+            }
+        }
+    }
+
+    /// A zero-frequency symbol surfaces as the typed error from the pooled
+    /// path too (whichever pass hits it first).
+    #[test]
+    fn pooled_propagates_zero_frequency() {
+        let mut data: Vec<u8> = sample(200_000, 3).iter().map(|&b| b % 100).collect();
+        let p = StaticModelProvider::new(CdfTable::of_bytes(&data, 11));
+        data[150_000] = 200; // absent from the model
+        let pool = ThreadPool::new(3);
+        let err = encode_container_pooled(&data, &p, 32, PlannerConfig::with_segments(8), &pool)
+            .unwrap_err();
+        assert!(
+            matches!(err, RansError::ZeroFrequency { sym: 200, .. }),
+            "{err:?}"
+        );
+    }
+}

@@ -15,6 +15,16 @@ pub enum RecoilError {
     /// A decode-layer failure (bitstream underflow, malformed stream or
     /// metadata) surfaced from the rANS substrate.
     Decode(RansError),
+    /// An encode was asked to code a symbol the model assigns zero
+    /// probability mass — e.g. a byte outside the alphabet a caller-supplied
+    /// model was built from. (Models the codec builds itself always cover
+    /// the data.)
+    UnsupportedSymbol {
+        /// 0-based position of the unencodable symbol in the input.
+        pos: u64,
+        /// The symbol value itself.
+        sym: u16,
+    },
     /// Serialized bytes (metadata wire format, container files) failed to
     /// parse: truncated, corrupt, or version-incompatible input.
     Wire {
@@ -80,6 +90,13 @@ impl fmt::Display for RecoilError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Decode(e) => write!(f, "decode failed: {e}"),
+            Self::UnsupportedSymbol { pos, sym } => {
+                write!(
+                    f,
+                    "encode failed: symbol {sym} at position {pos} is outside \
+                     the model's support"
+                )
+            }
             Self::Wire { detail } => write!(f, "wire parse failed: {detail}"),
             Self::InvalidConfig { field, detail } => {
                 write!(f, "invalid codec config: {field}: {detail}")
@@ -107,7 +124,13 @@ impl std::error::Error for RecoilError {
 
 impl From<RansError> for RecoilError {
     fn from(e: RansError) -> Self {
-        Self::Decode(e)
+        match e {
+            // The one encode-side failure gets its own surface variant; the
+            // rANS name talks about quantized frequencies, which is substrate
+            // vocabulary callers shouldn't need.
+            RansError::ZeroFrequency { pos, sym } => Self::UnsupportedSymbol { pos, sym },
+            e => Self::Decode(e),
+        }
     }
 }
 

@@ -37,6 +37,7 @@ mod combine;
 mod container;
 mod crc;
 mod decoder;
+mod encoder;
 mod error;
 mod file;
 mod incremental;
@@ -52,6 +53,7 @@ pub use combine::{combine_splits, try_combine_splits};
 pub use container::RecoilContainer;
 pub use crc::{crc32, update_crc32};
 pub use decoder::{decode_split_count, sync_split_states, validate_segment_decode};
+pub use encoder::PARALLEL_MIN_SYMBOLS;
 pub use error::RecoilError;
 pub use file::{container_from_bytes, container_to_bytes};
 pub use incremental::IncrementalDecoder;

@@ -402,6 +402,7 @@ pub fn encode_error(e: &RecoilError) -> Vec<u8> {
         RecoilError::Decode(_) => (5, e.to_string()),
         RecoilError::Wire { detail } => (6, detail.clone()),
         RecoilError::Net { detail } => (7, detail.clone()),
+        RecoilError::UnsupportedSymbol { .. } => (8, e.to_string()),
     };
     let mut w = PayloadWriter::preallocated(2 + 4 + detail.len());
     w.u16(code);
@@ -561,6 +562,13 @@ mod tests {
         let dec = RecoilError::Decode(RansError::BitstreamUnderflow { pos: 3 });
         match decode_error(&encode_error(&dec)) {
             RecoilError::Net { detail } => assert!(detail.contains("position 3")),
+            other => panic!("{other:?}"),
+        }
+        let unsup = RecoilError::UnsupportedSymbol { pos: 42, sym: 200 };
+        match decode_error(&encode_error(&unsup)) {
+            RecoilError::Net { detail } => {
+                assert!(detail.contains("200") && detail.contains("42"));
+            }
             other => panic!("{other:?}"),
         }
     }

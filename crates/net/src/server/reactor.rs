@@ -1327,10 +1327,12 @@ fn run_job(shared: &Shared, job: Job) -> Completion {
         } => {
             let started = shared.telemetry.counters_enabled().then(Instant::now);
             let (reply, close_after) = publish_reply(shared, &buf[payload]);
+            // The encode_ns histogram is recorded by ContentServer::publish
+            // (successful encodes only); this trace covers the whole job.
             if let Some(t0) = started {
-                let ns = elapsed_ns(t0);
-                shared.telemetry.hists.encode_ns.record(ns);
-                shared.telemetry.trace(Stage::Encode, token.0, ns);
+                shared
+                    .telemetry
+                    .trace(Stage::Encode, token.0, elapsed_ns(t0));
             }
             Completion {
                 token,

@@ -1,8 +1,11 @@
-//! Error type shared by the rANS decode paths.
+//! Error type shared by the rANS codec paths.
 
 use std::fmt;
 
-/// Decode-side failures. Encoding cannot fail (given a valid model).
+/// Failures of the rANS substrate. Decoding can fail on truncated or
+/// inconsistent input; encoding can fail only one way — a symbol the model
+/// assigns zero probability mass, which no finite state transform can
+/// represent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RansError {
     /// A lane needed a renormalization word but the bitstream was exhausted.
@@ -16,6 +19,15 @@ pub enum RansError {
     MalformedStream(String),
     /// Split metadata references positions or offsets outside the stream.
     MalformedMetadata(String),
+    /// An encoder was asked to encode a symbol whose quantized frequency is
+    /// zero — the model cannot represent it at any stream length (the state
+    /// transform would divide by zero).
+    ZeroFrequency {
+        /// 0-based position of the unencodable symbol.
+        pos: u64,
+        /// The symbol value itself.
+        sym: u16,
+    },
 }
 
 impl fmt::Display for RansError {
@@ -29,6 +41,13 @@ impl fmt::Display for RansError {
             }
             Self::MalformedStream(msg) => write!(f, "malformed stream: {msg}"),
             Self::MalformedMetadata(msg) => write!(f, "malformed metadata: {msg}"),
+            Self::ZeroFrequency { pos, sym } => {
+                write!(
+                    f,
+                    "symbol {sym} at position {pos} has zero quantized frequency \
+                     and cannot be encoded"
+                )
+            }
         }
     }
 }

@@ -22,12 +22,20 @@
 //! global read order the exact reverse of the encoder's write order — and is
 //! what lets Recoil initialize a lane "immediately before the first time
 //! it reads the bitstream" (paper §4.1.1).
+//!
+//! Both directions have a branchless fast-loop engine over whole 32-symbol
+//! groups with a retained careful reference: [`fast`] for decode (fast loop
+//! while both the symbol and word budgets allow it), [`fast_encode`] for
+//! encode (no underflow hazard, so the fast loop covers every whole group,
+//! with zero-frequency symbols detected branchlessly and reported as
+//! [`RansError::ZeroFrequency`] at the first offending position).
 
 // Audited unsafe crate: every unsafe operation sits in an explicit block.
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod error;
 pub mod fast;
+pub mod fast_encode;
 mod interleaved;
 pub mod params;
 mod single;
@@ -39,6 +47,7 @@ pub use error::RansError;
 pub use fast::{
     decode_span, decode_span_careful, decode_span_with_stats, SpanStats, GROUP as FAST_GROUP,
 };
+pub use fast_encode::{encode_span, encode_span_careful, scan_span};
 pub use interleaved::{decode_interleaved, decode_interleaved_into, InterleavedEncoder};
 pub use single::{decode_single, SingleEncoder};
 pub use sink::{NullSink, RenormEvent, RenormSink, VecSink, NO_SYMBOL};

@@ -12,7 +12,7 @@ use recoil_models::StaticModelProvider;
 use recoil_parallel::ThreadPool;
 use recoil_rans::EncodedStream;
 use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -96,6 +96,20 @@ impl Transmission {
     }
 }
 
+/// RAII claim on a name in [`ContentServer`]'s in-flight publish set; the
+/// drop releases the name on every exit path, so a failed publish (bad
+/// config, unsupported symbol) frees it for retry.
+struct InflightGuard<'a> {
+    set: &'a Mutex<HashSet<String>>,
+    name: &'a str,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.set.lock().remove(self.name);
+    }
+}
+
 /// Construction knobs for [`ContentServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -128,7 +142,12 @@ impl Default for ServerConfig {
 /// server instance is shared freely across request threads.
 pub struct ContentServer {
     shards: Vec<RwLock<HashMap<String, Arc<StoredContent>>>>,
-    /// Persistent pool for [`ContentServer::request_batch`].
+    /// Names with a publish currently encoding. Claimed before the encode
+    /// starts, so a racing duplicate publish fails fast instead of running
+    /// the whole (expensive, pooled) encode and losing at the store insert.
+    publishing: Mutex<HashSet<String>>,
+    /// Persistent pool for [`ContentServer::request_batch`] and the
+    /// segment-parallel encode behind [`ContentServer::publish`].
     pool: ThreadPool,
     stats: StatsCounters,
     tier_cache_capacity: usize,
@@ -161,6 +180,7 @@ impl ContentServer {
         let shards = config.shards.max(1);
         Self {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            publishing: Mutex::new(HashSet::new()),
             pool: ThreadPool::new(config.batch_workers),
             stats: StatsCounters::default(),
             tier_cache_capacity: config.tier_cache_capacity.max(1),
@@ -223,15 +243,20 @@ impl ContentServer {
     }
 
     /// Encodes `data` once under `config` (lane width, split budget,
-    /// quantization) and publishes it as `name`.
+    /// quantization) and publishes it as `name`. The encode itself is
+    /// segment-parallel over the server's pool when the input is large
+    /// enough; the stored bytes are identical to a serial encode either way.
     ///
-    /// Encoding happens outside any lock — a slow publish never stalls
+    /// Encoding happens outside any store lock — a slow publish never stalls
     /// requests, not even for other names on the same shard.
     ///
     /// Publishing over an existing name is rejected with
     /// [`RecoilError::AlreadyPublished`] — republishing would silently
     /// invalidate bitstreams clients may still be downloading. Use
-    /// [`ContentServer::unpublish`] first to replace content.
+    /// [`ContentServer::unpublish`] first to replace content. Two *racing*
+    /// publishes of one name are also arbitrated here: the name is claimed
+    /// in an in-flight set before any encoding work, so the loser fails
+    /// fast instead of burning a full encode it can never store.
     pub fn publish(
         &self,
         name: &str,
@@ -241,12 +266,25 @@ impl ContentServer {
         let taken = || RecoilError::AlreadyPublished {
             name: name.to_string(),
         };
-        // Fast-fail before the expensive encode; racy, so re-checked below.
-        if self.shard(name).read().contains_key(name) {
-            return Err(taken());
-        }
+        let _inflight = {
+            let mut publishing = self.publishing.lock();
+            if self.shard(name).read().contains_key(name) || publishing.contains(name) {
+                return Err(taken());
+            }
+            publishing.insert(name.to_string());
+            InflightGuard {
+                set: &self.publishing,
+                name,
+            }
+        };
         let codec = Codec::from_config(config.clone())?;
-        let encoded = codec.encode(data)?;
+        let t0 = Instant::now();
+        let encoded = codec.encode_pooled(data, &self.pool)?;
+        if let Some(t) = self.tel() {
+            t.hists
+                .encode_ns
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         let RecoilContainer { stream, metadata } = encoded.container;
         let content = Arc::new(StoredContent {
             stream: Arc::new(stream),
@@ -256,7 +294,8 @@ impl ContentServer {
             payload_crc: OnceLock::new(),
         });
         match self.shard(name).write().entry(name.to_string()) {
-            // A concurrent publish won the race while we were encoding.
+            // Unreachable while every insert goes through the in-flight
+            // claim above; kept as a cheap belt-and-braces re-check.
             Entry::Occupied(_) => Err(taken()),
             Entry::Vacant(v) => {
                 v.insert(Arc::clone(&content));
@@ -627,6 +666,61 @@ mod tests {
         assert!(server.unpublish("x"));
         server.publish("x", &data, &config(4)).unwrap();
         assert_eq!(server.len(), 1);
+    }
+
+    #[test]
+    fn racing_same_name_publishes_run_exactly_one_encode() {
+        // Regression: the old fast-fail read the store *before* encoding,
+        // so two concurrent publishes of one name could both pass it, both
+        // run the expensive encode, and one would lose only at the final
+        // store insert. The in-flight claim makes the loser fail before
+        // encoding — observable as exactly one encode_ns sample.
+        let data = sample(600_000);
+        let server = small_server();
+        let telemetry = Arc::new(recoil_telemetry::Telemetry::new(
+            recoil_telemetry::TelemetryLevel::Counters,
+        ));
+        server.attach_telemetry(Arc::clone(&telemetry));
+        let barrier = std::sync::Barrier::new(2);
+        let outcomes: Vec<Result<_, _>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let (server, data, barrier) = (&server, &data, &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        server.publish("contested", data, &config(32))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let oks = outcomes.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(oks, 1, "exactly one publisher wins");
+        assert!(outcomes.iter().any(
+            |r| matches!(r, Err(RecoilError::AlreadyPublished { name }) if name == "contested")
+        ));
+        assert_eq!(
+            telemetry.snapshot().hist("encode_ns").map(|h| h.count),
+            Some(1),
+            "the losing publish must fail before encoding"
+        );
+        // The winner's content is served normally.
+        assert!(server.request("contested", 4).is_ok());
+    }
+
+    #[test]
+    fn failed_publish_releases_the_inflight_claim() {
+        // An in-flight claim must not leak when the encode errors out, or
+        // the name would be poisoned forever.
+        let data = sample(10_000);
+        let server = small_server();
+        let bad = EncoderConfig {
+            quant_bits: 0,
+            ..EncoderConfig::default()
+        };
+        assert!(server.publish("x", &data, &bad).is_err());
+        server.publish("x", &data, &config(8)).unwrap();
+        assert!(server.get("x").is_some());
     }
 
     #[test]

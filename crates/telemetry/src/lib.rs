@@ -131,7 +131,8 @@ pub struct PipelineHistograms {
     pub inline_serve_ns: Histogram,
     /// ns a job waited in the dispatch queue before a worker picked it up.
     pub dispatch_wait_ns: Histogram,
-    /// ns a publish encode took on a dispatch worker.
+    /// ns a successful publish encode took (recorded by the content
+    /// server's publish path, whichever transport drove it).
     pub encode_ns: Histogram,
     /// ns a tier combine took on a dispatch worker.
     pub combine_ns: Histogram,

@@ -11,6 +11,7 @@
 pub const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/parallel/src/pool.rs",
     "crates/rans/src/fast.rs",
+    "crates/rans/src/fast_encode.rs",
     "crates/reactor/src/poller.rs",
     "crates/reactor/src/sys.rs",
     "crates/reactor/src/wake.rs",

@@ -1,0 +1,195 @@
+//! Cross-engine differential encode harness — the encode-side sibling of
+//! `differential_decode.rs`.
+//!
+//! Three encoders must produce **byte-identical containers** for every
+//! input: the retained per-symbol careful encoder
+//! (`InterleavedEncoder::encode_all`), the branchless fast engine behind
+//! `Codec::encode*` (`recoil_rans::fast_encode`), and the segment-parallel
+//! pooled encode (`Codec::encode_*_pooled`). One seeded corpus covers
+//! empty and one-symbol inputs, heavily skewed streams, alphabets from
+//! binary to the full byte range, lane counts 1 and 32, and planner
+//! segment budgets 1/2/7/64 — and every container must round-trip through
+//! every decode backend this host can run.
+
+use recoil::prelude::*;
+use recoil::rans::InterleavedEncoder;
+
+/// SplitMix-style deterministic generator — the corpus is fully seeded.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One corpus entry: `len` symbols drawn from `alphabet` distinct values,
+/// with a skewed distribution so streams stay compressible.
+fn corpus_entry(len: usize, alphabet: u16, seed: u64) -> Vec<u8> {
+    let mut rng = seed;
+    (0..len)
+        .map(|_| {
+            let r = next_u64(&mut rng);
+            // Square the draw to skew mass toward small symbols.
+            let frac = (r % 1000) as f64 / 1000.0;
+            ((frac * frac * alphabet as f64) as u16).min(alphabet - 1) as u8
+        })
+        .collect()
+}
+
+/// The reference encode: the careful per-symbol encoder driving the split
+/// planner, exactly as the codec did before the fast engine existed.
+fn careful_container(
+    data: &[u8],
+    model: &StaticModelProvider,
+    ways: u32,
+    planner_config: PlannerConfig,
+) -> RecoilContainer {
+    let mut planner = SplitPlanner::new(ways, data.len() as u64, planner_config);
+    let mut enc = InterleavedEncoder::new(model, ways);
+    enc.encode_all(data, &mut planner);
+    let stream = enc.finish();
+    let metadata = planner.finish(stream.words.len() as u64, model.quant_bits());
+    RecoilContainer { stream, metadata }
+}
+
+/// Every decode backend that can read a `ways`-lane stream on this host
+/// (the SIMD kernels are hardwired to the 32-way interleave).
+fn backends(ways: u32) -> Vec<(&'static str, Box<dyn DecodeBackend>)> {
+    let mut b: Vec<(&'static str, Box<dyn DecodeBackend>)> = vec![
+        ("scalar", Box::new(ScalarBackend)),
+        ("pooled", Box::new(PooledBackend::new(4))),
+    ];
+    if ways == 32 {
+        b.push(("auto", Box::new(AutoBackend::with_threads(2))));
+        let avx2 = Avx2Backend::new();
+        if avx2.is_available() {
+            b.push(("avx2", Box::new(avx2)));
+        }
+        let avx512 = Avx512Backend::new();
+        if avx512.is_available() {
+            b.push(("avx512", Box::new(avx512)));
+        }
+    }
+    b
+}
+
+#[test]
+fn fast_and_pooled_encodes_match_careful_serial_everywhere() {
+    // (len, alphabet, quant_bits): empty, 1-symbol, sub-lane-width, a
+    // binary (heavily skewed) stream, odd sizes, and bulk entries big
+    // enough that the pooled path actually fans out (>= 64k symbols).
+    let shapes: [(usize, u16, u32); 8] = [
+        (0, 2, 11),
+        (1, 2, 8),
+        (31, 7, 9),
+        (100, 2, 11),
+        (4_097, 251, 11),
+        (20_000, 2, 10),
+        (90_000, 16, 10),
+        (150_000, 256, 11),
+    ];
+    let segment_budgets: [u64; 4] = [1, 2, 7, 64];
+    let pool = ThreadPool::new(3);
+    let mut seed = 0xE4C0_DE5E_u64;
+
+    for &(len, alphabet, quant_bits) in &shapes {
+        let data = corpus_entry(len, alphabet, next_u64(&mut seed));
+        let model = StaticModelProvider::new(if data.is_empty() {
+            // The codec's own empty-input model, reproduced for the
+            // reference encoder.
+            CdfTable::from_freqs(vec![1 << (quant_bits - 1); 2], quant_bits)
+        } else {
+            CdfTable::of_bytes(&data, quant_bits)
+        });
+
+        for ways in [1u32, 32] {
+            let backends = backends(ways);
+            for &segments in &segment_budgets {
+                let codec = Codec::builder()
+                    .ways(ways)
+                    .max_segments(segments)
+                    .quant_bits(quant_bits)
+                    .build()
+                    .unwrap();
+                let ctx = format!(
+                    "len={len} alphabet={alphabet} n={quant_bits} ways={ways} \
+                     segments={segments}"
+                );
+
+                let reference =
+                    careful_container(&data, &model, ways, codec.config().planner_config());
+                let fast = codec.encode_with_provider(&data, &model).unwrap();
+                assert_eq!(fast.stream, reference.stream, "fast stream: {ctx}");
+                assert_eq!(fast.metadata, reference.metadata, "fast metadata: {ctx}");
+
+                let pooled = codec
+                    .encode_with_provider_pooled(&data, &model, &pool)
+                    .unwrap();
+                assert_eq!(pooled.stream, reference.stream, "pooled stream: {ctx}");
+                assert_eq!(
+                    pooled.metadata, reference.metadata,
+                    "pooled metadata: {ctx}"
+                );
+
+                // Every decode backend reads the (shared) bytes back.
+                let enc = Encoded {
+                    container: pooled,
+                    model: model.clone(),
+                    symbol_bits: 8,
+                };
+                for (name, backend) in &backends {
+                    let got: Vec<u8> = codec.decode_with(backend.as_ref(), &enc).unwrap();
+                    assert_eq!(got, data, "round-trip {name}: {ctx}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn u16_fast_and_pooled_encodes_agree_and_round_trip() {
+    let mut seed = 0x16E4_C0DE_u64;
+    let raw = corpus_entry(120_000, 256, next_u64(&mut seed));
+    let data: Vec<u16> = raw.iter().map(|&b| (b as u16) << 2).collect();
+    let codec = Codec::builder()
+        .quant_bits(12)
+        .max_segments(16)
+        .build()
+        .unwrap();
+    let serial = codec.encode_u16(&data).unwrap();
+    let pool = ThreadPool::new(3);
+    let pooled = codec.encode_u16_pooled(&data, &pool).unwrap();
+    assert_eq!(pooled.container.stream, serial.container.stream);
+    assert_eq!(pooled.container.metadata, serial.container.metadata);
+    for (name, backend) in &backends(32) {
+        let got: Vec<u16> = codec.decode_with(backend.as_ref(), &pooled).unwrap();
+        assert_eq!(got, data, "u16 round-trip {name}");
+    }
+}
+
+#[test]
+fn byte_facade_pooled_encode_matches_serial() {
+    // The `Codec::encode` / `Codec::encode_pooled` pair (model built from
+    // the data) rather than the explicit-provider path.
+    let mut seed = 0xFACADE_u64;
+    let data = corpus_entry(200_000, 200, next_u64(&mut seed));
+    let codec = Codec::builder().max_segments(64).build().unwrap();
+    let serial = codec.encode(&data).unwrap();
+    let pool = ThreadPool::new(3);
+    let pooled = codec.encode_pooled(&data, &pool).unwrap();
+    assert_eq!(pooled.container.stream, serial.container.stream);
+    assert_eq!(pooled.container.metadata, serial.container.metadata);
+    // And a combined-down tier of the pooled container still decodes.
+    let meta = try_combine_splits(&pooled.container.metadata, 4).unwrap();
+    let shrunk = Encoded {
+        container: RecoilContainer {
+            stream: pooled.container.stream.clone(),
+            metadata: meta,
+        },
+        model: pooled.model.clone(),
+        symbol_bits: 8,
+    };
+    let got: Vec<u8> = codec.decode(&shrunk).unwrap();
+    assert_eq!(got, data);
+}
