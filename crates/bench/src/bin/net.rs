@@ -19,12 +19,20 @@
 //! the crowd, reporting `concurrent_req_s` plus the rejection/eviction
 //! counters.
 //!
+//! With `--chaos`, a failover-cost phase runs two-node fabrics and
+//! seeded-kills the serving node mid-transfer ([`FaultPlan`] via
+//! `recoil::fabric`): time-to-first-segment and total latency with the
+//! node killed land in `BENCH_net.json` beside an undisturbed two-node
+//! baseline, and every failed-over decode is asserted byte-identical.
+//!
 //! ```sh
 //! cargo run --release -p recoil-bench --bin net
-//! cargo run --release -p recoil-bench --bin net -- --smoke --streaming --connections 256  # CI
+//! cargo run --release -p recoil-bench --bin net -- --smoke --streaming --chaos --connections 256  # CI
 //! cargo run --release -p recoil-bench --bin net -- --clients 16 --requests 2000
 //! cargo run --release -p recoil-bench --bin net -- --connections 4096
 //! ```
+//!
+//! [`FaultPlan`]: recoil::net::FaultPlan
 
 use recoil::net::raw::{read_frame, write_frame, ReadOutcome};
 use recoil::net::{ContentRequest, FrameType, Hello, NetClient, NetConfig, NetServer};
@@ -50,6 +58,7 @@ struct Args {
     smoke: bool,
     streaming: bool,
     trace: bool,
+    chaos: bool,
 }
 
 impl Args {
@@ -65,6 +74,7 @@ impl Args {
             smoke: false,
             streaming: false,
             trace: false,
+            chaos: false,
         };
         let mut i = 1;
         while i < argv.len() {
@@ -82,6 +92,7 @@ impl Args {
                 "--smoke" => a.smoke = true,
                 "--streaming" => a.streaming = true,
                 "--trace" => a.trace = true,
+                "--chaos" => a.chaos = true,
                 other => panic!("unknown argument {other}"),
             }
             i += 1;
@@ -200,6 +211,147 @@ fn percentile(sorted_nanos: &[u64], p: f64) -> u64 {
     }
     let idx = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
     sorted_nanos[idx]
+}
+
+/// Failover-cost phase (`--chaos`): fabric fetches with the serving node
+/// seeded-killed mid-transfer, measured against an undisturbed two-node
+/// baseline. Every killed fetch is asserted byte-identical — the number
+/// reported is the price of surviving, not of degrading.
+fn chaos_phase(args: &Args) -> String {
+    use recoil::fabric::{FabricRouter, RouterConfig};
+    use recoil::net::{FaultPlan, NetClientConfig};
+
+    let iters = if args.smoke { 6 } else { 20 };
+    let bytes = args.bytes.min(400_000);
+    let data = recoil::data::exponential_bytes(bytes, 90.0, 7);
+    let config = EncoderConfig {
+        max_segments: args.max_segments,
+        ..EncoderConfig::default()
+    };
+    let node = |fault: Option<FaultPlan>| {
+        NetServer::bind(
+            Arc::new(ContentServer::new()),
+            "127.0.0.1:0",
+            NetConfig {
+                workers: 2,
+                chunk_bytes: 64 * 1024,
+                fault_plan: fault,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let router_config = || RouterConfig {
+        rebalance_interval: 0,
+        client: NetClientConfig {
+            retry_budget: 0,
+            ..NetClientConfig::default()
+        },
+        ..RouterConfig::default()
+    };
+    // A name whose rendezvous primary is node 0 of a two-node fabric, so
+    // every run starts its stream on the (potentially faulty) node.
+    let pick_name = |router: &FabricRouter| {
+        (0..256)
+            .map(|k| format!("chaos-{k}"))
+            .find(|n| router.primary(n) == 0)
+            .expect("some name lands on node 0")
+    };
+
+    // Undisturbed baseline: both nodes clean and holding the content.
+    let mut base_first = Vec::new();
+    let mut base_total = Vec::new();
+    let stream_bytes;
+    {
+        let a = node(None);
+        let b = node(None);
+        let router = FabricRouter::connect(&[a.addr(), b.addr()], router_config()).unwrap();
+        let name = pick_name(&router);
+        let ok = NetClient::connect(a.addr())
+            .unwrap()
+            .publish(&name, &data, &config)
+            .unwrap();
+        stream_bytes = ok.stream_bytes;
+        NetClient::connect(b.addr())
+            .unwrap()
+            .publish(&name, &data, &config)
+            .unwrap();
+        for _ in 0..iters {
+            let fetched = router.fetch(&name, args.max_segments).unwrap();
+            assert_eq!(fetched.data, data);
+            assert_eq!(fetched.failovers, 0);
+            base_first.push(fetched.first_segment_nanos);
+            base_total.push(fetched.total_nanos);
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    // Seeded mid-stream kills: node 0 severs every connection at a
+    // deterministic offset well inside the bitstream; the router fails
+    // over and resumes on node 1.
+    let mut fail_first = Vec::new();
+    let mut fail_total = Vec::new();
+    let (lo, hi) = (stream_bytes / 4, stream_bytes);
+    for i in 0..iters {
+        let plan = FaultPlan::seeded_kill(0xFA11_0000 + i as u64, lo, hi);
+        let killer = node(Some(plan));
+        let clean = node(None);
+        let router =
+            FabricRouter::connect(&[killer.addr(), clean.addr()], router_config()).unwrap();
+        let name = pick_name(&router);
+        for handle in [&killer, &clean] {
+            NetClient::connect(handle.addr())
+                .unwrap()
+                .publish(&name, &data, &config)
+                .unwrap();
+        }
+        let fetched = router.fetch(&name, args.max_segments).unwrap();
+        assert_eq!(fetched.data, data, "failover decode must be byte-identical");
+        assert_eq!(fetched.failovers, 1, "seeded cut must land mid-stream");
+        fail_first.push(fetched.first_segment_nanos);
+        fail_total.push(fetched.total_nanos);
+        killer.shutdown();
+        clean.shutdown();
+    }
+
+    for samples in [
+        &mut base_first,
+        &mut base_total,
+        &mut fail_first,
+        &mut fail_total,
+    ] {
+        samples.sort_unstable();
+    }
+    println!(
+        "chaos: undisturbed ttfs p50 {:.1} us, total p50 {:.1} us; killed mid-stream: \
+         ttfs p50 {:.1} us, total p50 {:.1} us (p99 {:.1}) over {} verified failovers",
+        percentile(&base_first, 0.50) as f64 / 1e3,
+        percentile(&base_total, 0.50) as f64 / 1e3,
+        percentile(&fail_first, 0.50) as f64 / 1e3,
+        percentile(&fail_total, 0.50) as f64 / 1e3,
+        percentile(&fail_total, 0.99) as f64 / 1e3,
+        fail_total.len(),
+    );
+    format!(
+        ",\n  \"chaos\": true,\n  \
+         \"chaos_iterations\": {},\n  \
+         \"undisturbed_ttfs_us_p50\": {:.1},\n  \
+         \"undisturbed_total_us_p50\": {:.1},\n  \
+         \"undisturbed_total_us_p99\": {:.1},\n  \
+         \"failover_ttfs_us_p50\": {:.1},\n  \
+         \"failover_total_us_p50\": {:.1},\n  \
+         \"failover_total_us_p99\": {:.1},\n  \
+         \"failovers_verified\": {}",
+        iters,
+        percentile(&base_first, 0.50) as f64 / 1e3,
+        percentile(&base_total, 0.50) as f64 / 1e3,
+        percentile(&base_total, 0.99) as f64 / 1e3,
+        percentile(&fail_first, 0.50) as f64 / 1e3,
+        percentile(&fail_total, 0.50) as f64 / 1e3,
+        percentile(&fail_total, 0.99) as f64 / 1e3,
+        fail_total.len(),
+    )
 }
 
 fn main() {
@@ -628,6 +780,11 @@ fn main() {
     } else {
         ",\n  \"streaming\": false".to_string()
     };
+    let chaos_json = if args.chaos {
+        chaos_phase(&args)
+    } else {
+        ",\n  \"chaos\": false".to_string()
+    };
     let json = format!(
         "{{\n  \"experiment\": \"net\",\n  \"smoke\": {},\n  \"clients\": {},\n  \
          \"requests_per_client\": {},\n  \"items\": {},\n  \"bytes_per_item\": {},\n  \
@@ -638,7 +795,7 @@ fn main() {
          \"cache_hit_rate\": {:.6},\n  \"verified_decodes\": {},\n  \
          \"connections\": {},\n  \"concurrent_requests\": {},\n  \
          \"concurrent_req_s\": {:.1},\n  \"rejected_connections\": {},\n  \
-         \"evicted_connections\": {}{}{}\n}}\n",
+         \"evicted_connections\": {}{}{}{}\n}}\n",
         args.smoke,
         args.clients,
         args.requests,
@@ -663,6 +820,7 @@ fn main() {
         after.stats.evicted_connections,
         telemetry_json,
         streaming_json,
+        chaos_json,
     );
     let path = "BENCH_net.json";
     std::fs::File::create(path)

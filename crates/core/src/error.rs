@@ -60,6 +60,15 @@ pub enum RecoilError {
         /// What went wrong on the connection.
         detail: String,
     },
+    /// The server shed the request because it was at capacity — connection
+    /// slots exhausted or the dispatch queue full. Unlike [`RecoilError::Net`]
+    /// this is a *typed* overload signal: the request was never started, so
+    /// retrying (after the hint) is always safe, even for non-idempotent
+    /// operations.
+    Busy {
+        /// Server-suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 impl RecoilError {
@@ -83,6 +92,11 @@ impl RecoilError {
         Self::Net {
             detail: detail.into(),
         }
+    }
+
+    /// Convenience constructor for overload shedding.
+    pub fn busy(retry_after_ms: u32) -> Self {
+        Self::Busy { retry_after_ms }
     }
 }
 
@@ -109,6 +123,9 @@ impl fmt::Display for RecoilError {
             }
             Self::NotFound { name } => write!(f, "content `{name}` is not published"),
             Self::Net { detail } => write!(f, "transport failed: {detail}"),
+            Self::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -153,6 +170,7 @@ mod tests {
         assert!(RecoilError::BackendUnavailable { backend: "avx512" }
             .to_string()
             .contains("avx512"));
+        assert!(RecoilError::busy(25).to_string().contains("25 ms"));
     }
 
     #[test]

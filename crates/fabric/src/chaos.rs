@@ -1,0 +1,202 @@
+//! [`ChaosProxy`]: a deterministic, faulty TCP relay.
+//!
+//! [`recoil_net::FaultPlan`] injects faults inside the server's event
+//! loop; the proxy injects them from *outside* the process, between a
+//! real client and a real server — the network's side of the failure
+//! story. A proxy listens on its own loopback port, relays every
+//! connection to the target address, and applies one [`ProxyFault`] to
+//! the server→client direction at exact byte counts, so the same test
+//! sees the same torn frame on every run.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use recoil_core::RecoilError;
+
+/// What the proxy does to the server→client byte stream. The
+/// client→server direction always relays faithfully (requests get
+/// through; responses suffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyFault {
+    /// Faithful relay (control case).
+    None,
+    /// Accept every connection and immediately drop it — the client's
+    /// HELLO is never read, so the close turns into a TCP reset.
+    AcceptRst,
+    /// Relay exactly this many response bytes, then sever both
+    /// directions mid-frame.
+    KillAfter(u64),
+    /// After this many response bytes, stall the relay for the given
+    /// duration before continuing faithfully.
+    StallAfter(u64, Duration),
+    /// Shred the response into writes of at most this many bytes —
+    /// frame headers arrive torn across reads.
+    Torn(usize),
+}
+
+/// A running chaos proxy; dropping or [`ChaosProxy::shutdown`]ing it
+/// stops the relay threads.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// How long relay loops block in `read` before re-checking the stop
+/// flag; bounds shutdown latency, not throughput.
+const TICK: Duration = Duration::from_millis(25);
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral loopback port relaying to
+    /// `target` with `fault` applied to every connection's responses.
+    pub fn launch(target: SocketAddr, fault: ProxyFault) -> Result<Self, RecoilError> {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| RecoilError::net(format!("chaos proxy bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| RecoilError::net(format!("chaos proxy local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| RecoilError::net(format!("chaos proxy nonblocking: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(&listener, target, fault, &accept_stop);
+        });
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should dial instead of the target.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins every relay thread. Idempotent (also
+    /// runs on drop).
+    pub fn shutdown(mut self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    target: SocketAddr,
+    fault: ProxyFault,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut relays: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                if fault == ProxyFault::AcceptRst {
+                    // The client has already written HELLO into a socket
+                    // we never read; dropping it makes the kernel answer
+                    // with RST instead of a graceful FIN.
+                    drop(client);
+                    continue;
+                }
+                let Ok(server) = TcpStream::connect(target) else {
+                    drop(client);
+                    continue;
+                };
+                let up_stop = Arc::clone(stop);
+                let down_stop = Arc::clone(stop);
+                let (Ok(client_r), Ok(server_w)) = (client.try_clone(), server.try_clone()) else {
+                    continue;
+                };
+                relays.push(std::thread::spawn(move || {
+                    relay(client_r, server_w, ProxyFault::None, &up_stop);
+                }));
+                relays.push(std::thread::spawn(move || {
+                    relay(server, client, fault, &down_stop);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    for relay in relays {
+        let _ = relay.join();
+    }
+}
+
+/// Pumps bytes `src` → `dst` applying `fault` until EOF, error, a kill
+/// threshold, or the stop flag.
+fn relay(mut src: TcpStream, mut dst: TcpStream, fault: ProxyFault, stop: &AtomicBool) {
+    let _ = src.set_read_timeout(Some(TICK));
+    let mut relayed = 0u64;
+    let mut stalled = false;
+    let mut buf = [0u8; 16 * 1024];
+    while !stop.load(Ordering::Acquire) {
+        let n = match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => break,
+        };
+        let mut chunk = &buf[..n];
+        match fault {
+            ProxyFault::KillAfter(at) => {
+                // Truncate to the exact byte threshold, deliver, sever.
+                let room = at.saturating_sub(relayed);
+                if (chunk.len() as u64) >= room {
+                    let keep = &chunk[..room as usize];
+                    if !keep.is_empty() {
+                        let _ = dst.write_all(keep);
+                        let _ = dst.flush();
+                    }
+                    let _ = dst.shutdown(Shutdown::Both);
+                    let _ = src.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            ProxyFault::StallAfter(at, pause) => {
+                if !stalled && relayed + chunk.len() as u64 >= at {
+                    stalled = true;
+                    std::thread::sleep(pause);
+                }
+            }
+            ProxyFault::Torn(cap) => {
+                let cap = cap.max(1);
+                while chunk.len() > cap {
+                    if dst.write_all(&chunk[..cap]).is_err() || dst.flush().is_err() {
+                        return;
+                    }
+                    relayed += cap as u64;
+                    chunk = &chunk[cap..];
+                }
+            }
+            ProxyFault::None | ProxyFault::AcceptRst => {}
+        }
+        if dst.write_all(chunk).is_err() {
+            break;
+        }
+        let _ = dst.flush();
+        relayed += chunk.len() as u64;
+    }
+    let _ = dst.shutdown(Shutdown::Both);
+    let _ = src.shutdown(Shutdown::Both);
+}

@@ -1,0 +1,56 @@
+//! Multi-node content fabric: rendezvous routing, hot-content
+//! replication, and typed failover with segment-resume streaming.
+//!
+//! The paper's serving story (§1, §3.3) is a single content server that
+//! shrinks metadata per request. This crate scales that sideways without
+//! touching the wire protocol: a [`Fabric`] launches N independent
+//! [`recoil_net::NetServer`] nodes (real loopback sockets, nothing
+//! shared), and a client-side [`FabricRouter`] decides which node holds
+//! which name and what to do when one dies.
+//!
+//! ## Placement
+//!
+//! Names map to nodes by **rendezvous (highest-random-weight) hashing**:
+//! every node gets a deterministic score per name and the argmax holds
+//! the content. Adding or losing a node moves only the names whose argmax
+//! changed — no ring rebuild, no shared directory service. The router
+//! additionally tracks per-name hit counts; under zipf-like demand (the
+//! realistic case for content delivery) the hot head of the distribution
+//! is **promoted** onto extra replicas ([`RouterConfig::replicas`] total
+//! holders) by re-encoding on the target node. The encoder is
+//! deterministic, so every replica serves a byte-identical stream — which
+//! is what makes cross-node resume sound.
+//!
+//! ## Failover
+//!
+//! [`FabricRouter::fetch`] streams chunks from the best holder into an
+//! [`recoil_core::IncrementalDecoder`], decoding segments as they become
+//! resident. If the node dies mid-stream (connection severed, frame torn)
+//! the router marks it unhealthy, picks the next holder, and re-issues
+//! the fetch as a RESUME at the exact word offset it already holds —
+//! already-decoded segments are never re-sent or re-decoded, and the
+//! final bytes are verified (whole-stream CRC-32 cross-checked against
+//! every node's TRANSMIT header) to be identical to an undisturbed
+//! fetch. Recoil's split metadata is why this is nearly free: segment
+//! readiness is a strict prefix of the word stream, so "how many words I
+//! have" is the complete resume state.
+//!
+//! ## Chaos
+//!
+//! Failures are injected deterministically from both sides of the wire:
+//! server-side via [`recoil_net::FaultPlan`] (seeded node-kill offsets,
+//! accept-RST, delayed and torn writes) and client-side via the
+//! [`ChaosProxy`] — a faulty TCP relay that can kill, stall, or shred a
+//! stream at exact byte counts. The same plans drive the chaos test
+//! suite and `bench net --chaos`, so failover cost is a number in
+//! BENCH_net.json, not an anecdote.
+
+#![forbid(unsafe_code)]
+
+mod chaos;
+mod cluster;
+mod router;
+
+pub use chaos::{ChaosProxy, ProxyFault};
+pub use cluster::Fabric;
+pub use router::{FabricFetch, FabricRouter, FetchAttempt, RouterConfig};

@@ -1,0 +1,547 @@
+//! [`FabricRouter`]: client-side placement, promotion, and failover.
+//!
+//! The router is the fabric's brain and it lives entirely on the client:
+//! nodes never talk to each other and hold no cluster state, so a "node"
+//! is just a stock [`recoil_net::NetServer`]. Placement is rendezvous
+//! hashing (stable under membership change), replication is re-publish
+//! (the encoder is deterministic, so replicas are byte-identical), and
+//! failover is RESUME at the exact word offset already received — split
+//! metadata makes that offset the complete resume state.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use recoil_core::codec::DecodeBackend;
+use recoil_core::{update_crc32, EncoderConfig, IncrementalDecoder, RecoilError};
+use recoil_net::{splitmix64, NetClient, NetClientConfig, PublishOk, StatsReply};
+use recoil_simd::AutoBackend;
+use recoil_telemetry::{Telemetry, TelemetryLevel};
+
+/// Construction knobs for [`FabricRouter`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Target holder count for promoted (hot) names, primary included.
+    /// Cold names live on their rendezvous primary only.
+    pub replicas: usize,
+    /// Router-observed fetch count after which a name is hot enough to
+    /// promote onto extra replicas.
+    pub promote_min_hits: u64,
+    /// Run a promotion pass automatically every this many fetches
+    /// (0 disables; call [`FabricRouter::rebalance`] manually).
+    pub rebalance_interval: u64,
+    /// Per-node client knobs (retry policy, timeouts, pool size).
+    pub client: NetClientConfig,
+    /// Level for the router's shared instruments ([`FabricRouter::telemetry`]).
+    pub telemetry: TelemetryLevel,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            promote_min_hits: 8,
+            rebalance_interval: 64,
+            client: NetClientConfig::default(),
+            telemetry: TelemetryLevel::Counters,
+        }
+    }
+}
+
+struct RouterNode {
+    addr: SocketAddr,
+    client: NetClient,
+    healthy: AtomicBool,
+}
+
+/// One node's slice of a (possibly failed-over) fetch — the wire-level
+/// byte accounting chaos tests assert resume correctness with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchAttempt {
+    /// Node index the attempt was served by.
+    pub node: usize,
+    /// Word offset the attempt resumed from (0 for the first).
+    pub from_word: u64,
+    /// Bitstream bytes this node actually delivered (whole words).
+    pub chunk_bytes: u64,
+    /// False when the node died mid-stream and the fetch moved on.
+    pub completed: bool,
+}
+
+/// A completed (possibly failed-over) fabric fetch.
+#[derive(Debug)]
+pub struct FabricFetch {
+    /// The decoded content — byte-identical to an undisturbed fetch.
+    pub data: Vec<u8>,
+    /// Segments in the served metadata tier.
+    pub segments: u64,
+    /// Every node attempt in order; `attempts.len() - failovers` always
+    /// equals the number of nodes that declined to even start a stream.
+    pub attempts: Vec<FetchAttempt>,
+    /// Mid-stream deaths survived during this fetch.
+    pub failovers: u32,
+    /// Nanoseconds until the first segment was decoded.
+    pub first_segment_nanos: u64,
+    /// Nanoseconds for the whole fetch, failovers included.
+    pub total_nanos: u64,
+}
+
+/// Client-side router over a set of fabric nodes.
+pub struct FabricRouter {
+    nodes: Vec<RouterNode>,
+    config: RouterConfig,
+    backend: Box<dyn DecodeBackend>,
+    /// Shared instruments: injected into every per-node client so
+    /// `retries` aggregates fleet-wide next to the router's own
+    /// `failovers` / `replica_promotions` counters and `healthy_nodes`
+    /// gauge.
+    telemetry: Arc<Telemetry>,
+    /// Encoder knobs recorded at publish time — what replication
+    /// re-publishes with so replicas are byte-identical.
+    published: Mutex<HashMap<String, EncoderConfig>>,
+    /// Extra holders per name, appended by promotion (primary excluded).
+    promoted: Mutex<HashMap<String, Vec<usize>>>,
+    /// Router-observed per-name fetch counts driving promotion.
+    hits: Mutex<HashMap<String, u64>>,
+    fetches: AtomicU64,
+    /// Re-entrancy guard: replication fetches must not trigger another
+    /// rebalance pass.
+    rebalancing: AtomicBool,
+}
+
+impl FabricRouter {
+    /// Connects one (lazy) [`NetClient`] per node address and probes
+    /// reachability: unreachable nodes start out unhealthy rather than
+    /// failing construction — a fabric is allowed to be degraded at
+    /// router startup. At least one node must answer its probe.
+    pub fn connect(addrs: &[SocketAddr], config: RouterConfig) -> Result<Self, RecoilError> {
+        if addrs.is_empty() {
+            return Err(RecoilError::config(
+                "addrs",
+                "a router needs at least one node",
+            ));
+        }
+        let telemetry = Arc::new(Telemetry::new(config.telemetry));
+        let mut nodes = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            let client = NetClient::connect_lazy(addr, config.client.clone())?
+                .with_telemetry(Arc::clone(&telemetry));
+            // Plain TCP reachability probe; full HELLO validation happens
+            // on the node's first real use.
+            let healthy = std::net::TcpStream::connect(addr).is_ok();
+            nodes.push(RouterNode {
+                addr,
+                client,
+                healthy: AtomicBool::new(healthy),
+            });
+        }
+        let healthy_now = nodes
+            .iter()
+            .filter(|n| n.healthy.load(Ordering::Relaxed))
+            .count();
+        if healthy_now == 0 {
+            return Err(RecoilError::net("no fabric node answered its probe"));
+        }
+        if telemetry.counters_enabled() {
+            telemetry.gauges.healthy_nodes.set(healthy_now as u64);
+        }
+        Ok(Self {
+            nodes,
+            config,
+            backend: Box::new(AutoBackend::with_threads(
+                std::thread::available_parallelism().map_or(1, |p| p.get()),
+            )),
+            telemetry,
+            published: Mutex::new(HashMap::new()),
+            promoted: Mutex::new(HashMap::new()),
+            hits: Mutex::new(HashMap::new()),
+            fetches: AtomicU64::new(0),
+            rebalancing: AtomicBool::new(false),
+        })
+    }
+
+    /// Node count (fixed for the router's lifetime).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The address node `i` is dialed at.
+    pub fn node_addr(&self, i: usize) -> SocketAddr {
+        self.nodes[i].addr
+    }
+
+    /// Nodes currently believed healthy. Health is observational: a node
+    /// is marked down when a dial or stream fails and back up on the
+    /// next successful exchange.
+    pub fn healthy_nodes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.healthy.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// The shared instrument handle: fleet-wide `retries` plus the
+    /// router's `failovers`, `replica_promotions`, and the
+    /// `healthy_nodes` gauge.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// STATS snapshot from node `i`.
+    pub fn node_stats(&self, i: usize) -> Result<StatsReply, RecoilError> {
+        self.nodes[i].client.stats()
+    }
+
+    /// Rendezvous (highest-random-weight) score of `node` for `name`:
+    /// FNV-1a over the name, mixed per node through splitmix64. Every
+    /// router instance computes the same placement with no coordination.
+    fn score(name: &str, node: usize) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in name.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        splitmix64(h ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The rendezvous winner for `name` — where a publish lands.
+    pub fn primary(&self, name: &str) -> usize {
+        (0..self.nodes.len())
+            .max_by_key(|&i| Self::score(name, i))
+            .unwrap_or(0)
+    }
+
+    /// Every node ordered by descending rendezvous score for `name`;
+    /// promotion walks this list, so replica placement is as stable as
+    /// primary placement.
+    pub fn candidates(&self, name: &str) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(Self::score(name, i)));
+        order
+    }
+
+    /// Current holders of `name`: the primary, then promoted replicas.
+    pub fn holders(&self, name: &str) -> Vec<usize> {
+        let mut holders = vec![self.primary(name)];
+        if let Some(extra) = self.promoted.lock().get(name) {
+            for &i in extra {
+                if !holders.contains(&i) {
+                    holders.push(i);
+                }
+            }
+        }
+        holders
+    }
+
+    /// Router-observed fetch count for `name`.
+    pub fn hit_count(&self, name: &str) -> u64 {
+        self.hits.lock().get(name).copied().unwrap_or(0)
+    }
+
+    fn mark_health(&self, node: usize, healthy: bool) {
+        let was = self.nodes[node].healthy.swap(healthy, Ordering::Relaxed);
+        if was != healthy && self.telemetry.counters_enabled() {
+            self.telemetry
+                .gauges
+                .healthy_nodes
+                .set(self.healthy_nodes() as u64);
+        }
+    }
+
+    /// Publishes `data` under `name` on the best healthy rendezvous
+    /// candidate (normally the primary) and records the encoder config
+    /// for later replication. A candidate that fails at the transport
+    /// level is marked unhealthy and the next one is tried; typed
+    /// refusals (e.g. [`RecoilError::AlreadyPublished`]) propagate.
+    pub fn publish(
+        &self,
+        name: &str,
+        data: &[u8],
+        config: &EncoderConfig,
+    ) -> Result<PublishOk, RecoilError> {
+        let mut last_err = RecoilError::net("no healthy fabric node to publish to");
+        for target in self.candidates(name) {
+            if !self.nodes[target].healthy.load(Ordering::Relaxed) {
+                continue;
+            }
+            match self.nodes[target].client.publish(name, data, config) {
+                Ok(ok) => {
+                    self.mark_health(target, true);
+                    self.published
+                        .lock()
+                        .insert(name.to_string(), config.clone());
+                    if target != self.primary(name) {
+                        // Degraded-primary publish: remember where the
+                        // bytes really live so fetches route there.
+                        self.promoted
+                            .lock()
+                            .entry(name.to_string())
+                            .or_default()
+                            .push(target);
+                    }
+                    return Ok(ok);
+                }
+                Err(err @ RecoilError::Net { .. }) => {
+                    self.mark_health(target, false);
+                    last_err = err;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Fetches and decodes `name` at `parallel_segments`, streaming
+    /// chunks into an incremental decoder and failing over mid-stream if
+    /// the serving node dies: the next holder gets a RESUME at the exact
+    /// word offset received so far, already-decoded segments are never
+    /// re-sent, and the result is verified byte-identical (whole-stream
+    /// CRC) to an undisturbed fetch.
+    pub fn fetch(&self, name: &str, parallel_segments: u64) -> Result<FabricFetch, RecoilError> {
+        let n = self.fetches.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.hits.lock().entry(name.to_string()).or_insert(0) += 1;
+        if self.config.rebalance_interval > 0 && n.is_multiple_of(self.config.rebalance_interval) {
+            self.rebalance();
+        }
+        self.fetch_inner(name, parallel_segments)
+    }
+
+    fn fetch_inner(&self, name: &str, parallel_segments: u64) -> Result<FabricFetch, RecoilError> {
+        // Serving order: holders first (primary, then replicas), then —
+        // as a last resort — every other node, in case content moved
+        // under a topology the router did not see. Healthy nodes go
+        // before unhealthy ones, preserving that relative order.
+        let mut order = self.holders(name);
+        for i in 0..self.nodes.len() {
+            if !order.contains(&i) {
+                order.push(i);
+            }
+        }
+        order.sort_by_key(|&i| !self.nodes[i].healthy.load(Ordering::Relaxed));
+
+        let start = Instant::now();
+        let mut attempts: Vec<FetchAttempt> = Vec::new();
+        let mut failovers = 0u32;
+        let mut incr: Option<IncrementalDecoder> = None;
+        let mut out: Vec<u8> = Vec::new();
+        let mut first_segment_nanos = 0u64;
+        let mut crc_state = 0xFFFF_FFFFu32;
+        let mut words_received = 0u64;
+        // Whole-stream (word_bytes, payload_crc, segments) from the first
+        // TRANSMIT header; every later node must agree or it is serving
+        // different content and resume would splice two streams.
+        let mut expected: Option<(u64, u32, u64)> = None;
+        let mut last_err = RecoilError::net(format!("no fabric node could serve `{name}`"));
+
+        for &node in &order {
+            let from_word = words_received;
+            let mut session =
+                match self.nodes[node]
+                    .client
+                    .start_fetch(name, parallel_segments, from_word)
+                {
+                    Ok(session) => session,
+                    Err(err) => {
+                        // Could not even start a stream here. Transport-level
+                        // failures mark the node down; typed refusals
+                        // (NotFound, Busy) leave health alone.
+                        if matches!(err, RecoilError::Net { .. }) {
+                            self.mark_health(node, false);
+                        }
+                        attempts.push(FetchAttempt {
+                            node,
+                            from_word,
+                            chunk_bytes: 0,
+                            completed: false,
+                        });
+                        last_err = err;
+                        continue;
+                    }
+                };
+            match expected {
+                None => {
+                    expected = Some((
+                        session.header.word_bytes,
+                        session.header.payload_crc,
+                        session.header.segments,
+                    ));
+                    incr = Some(IncrementalDecoder::new(
+                        session.metadata.clone(),
+                        session.header.final_states.clone(),
+                        session.model.clone(),
+                    )?);
+                }
+                Some((word_bytes, payload_crc, _)) => {
+                    if session.header.word_bytes != word_bytes
+                        || session.header.payload_crc != payload_crc
+                    {
+                        return Err(RecoilError::net(format!(
+                            "node {node} serves different content for `{name}` \
+                             (stream geometry or CRC disagrees with the original header); \
+                             refusing to splice streams"
+                        )));
+                    }
+                }
+            }
+            let decoder = match incr.as_mut() {
+                Some(decoder) => decoder,
+                None => return Err(RecoilError::net("decoder missing after first header")),
+            };
+
+            let mut node_bytes = 0u64;
+            let mut died = false;
+            while session.remaining_chunks() > 0 {
+                match session.next_chunk() {
+                    Ok(body) => {
+                        // Chunk bodies are whole u16 words by
+                        // construction, so the resume offset below is
+                        // always word-aligned.
+                        crc_state = update_crc32(crc_state, &body);
+                        node_bytes += body.len() as u64;
+                        words_received += body.len() as u64 / 2;
+                        decoder.push_bytes(&body)?;
+                        let ready = decoder.ready_symbols();
+                        if ready > out.len() {
+                            out.resize(ready, 0);
+                        }
+                        let before = decoder.decoded_segments();
+                        decoder.decode_ready_segments(self.backend.as_ref(), &mut out)?;
+                        if decoder.decoded_segments() > before && first_segment_nanos == 0 {
+                            first_segment_nanos = start.elapsed().as_nanos() as u64;
+                        }
+                    }
+                    Err(err) => {
+                        died = true;
+                        last_err = err;
+                        break;
+                    }
+                }
+            }
+            attempts.push(FetchAttempt {
+                node,
+                from_word,
+                chunk_bytes: node_bytes,
+                completed: !died,
+            });
+            if died {
+                // Mid-stream death: the failover the fabric exists for.
+                self.mark_health(node, false);
+                failovers += 1;
+                if self.telemetry.counters_enabled() {
+                    self.telemetry.counters.failovers.bump();
+                }
+                continue;
+            }
+            self.mark_health(node, true);
+
+            let (word_bytes, payload_crc, segments) = match expected {
+                Some(e) => e,
+                None => return Err(RecoilError::net("stream finished without a header")),
+            };
+            if words_received * 2 != word_bytes {
+                return Err(RecoilError::net(format!(
+                    "fabric fetch of `{name}` ended short: {} of {word_bytes} bitstream bytes",
+                    words_received * 2
+                )));
+            }
+            if crc_state ^ 0xFFFF_FFFF != payload_crc {
+                return Err(RecoilError::net(format!(
+                    "bitstream payload checksum mismatch reassembling `{name}` across nodes"
+                )));
+            }
+            if !decoder.is_finished() {
+                return Err(RecoilError::net(format!(
+                    "stream of `{name}` complete but only {} of {} segments decoded",
+                    decoder.decoded_segments(),
+                    decoder.num_segments()
+                )));
+            }
+            out.truncate(decoder.ready_symbols());
+            let total_nanos = start.elapsed().as_nanos() as u64;
+            return Ok(FabricFetch {
+                data: out,
+                segments,
+                attempts,
+                failovers,
+                first_segment_nanos,
+                total_nanos,
+            });
+        }
+        Err(last_err)
+    }
+
+    /// One promotion pass: every name the router has seen at least
+    /// [`RouterConfig::promote_min_hits`] fetches of is replicated onto
+    /// its next-best healthy rendezvous candidates until it has
+    /// [`RouterConfig::replicas`] holders. Returns the number of
+    /// (name, node) promotions performed. Runs automatically every
+    /// [`RouterConfig::rebalance_interval`] fetches; call directly for
+    /// deterministic tests.
+    pub fn rebalance(&self) -> usize {
+        // Replication fetches content through this same router; the
+        // guard stops that inner fetch from recursing into another pass.
+        if self.rebalancing.swap(true, Ordering::Acquire) {
+            return 0;
+        }
+        let hot: Vec<String> = {
+            let hits = self.hits.lock();
+            let mut by_heat: Vec<(&String, u64)> = hits
+                .iter()
+                .filter(|&(_, &count)| count >= self.config.promote_min_hits)
+                .map(|(name, &count)| (name, count))
+                .collect();
+            // Hottest first; ties broken by name so the pass order is
+            // deterministic under a fixed workload.
+            by_heat.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            by_heat.into_iter().map(|(name, _)| name.clone()).collect()
+        };
+        let mut promotions = 0;
+        for name in hot {
+            // Only router-published names carry a recorded encoder
+            // config; anything else cannot be re-encoded identically.
+            let Some(config) = self.published.lock().get(&name).cloned() else {
+                continue;
+            };
+            while self.holders(&name).len() < self.config.replicas.max(1) {
+                let holders = self.holders(&name);
+                let target = self.candidates(&name).into_iter().find(|i| {
+                    !holders.contains(i) && self.nodes[*i].healthy.load(Ordering::Relaxed)
+                });
+                let Some(target) = target else { break };
+                if self.replicate(&name, &config, target).is_err() {
+                    break; // node refused; retry on a later pass
+                }
+                self.promoted
+                    .lock()
+                    .entry(name.clone())
+                    .or_default()
+                    .push(target);
+                promotions += 1;
+                if self.telemetry.counters_enabled() {
+                    self.telemetry.counters.replica_promotions.bump();
+                }
+            }
+        }
+        self.rebalancing.store(false, Ordering::Release);
+        promotions
+    }
+
+    /// Copies `name` onto `target` by fetching the raw content from a
+    /// current holder and re-publishing it with the recorded encoder
+    /// config — deterministic encoding makes the replica's bitstream
+    /// byte-identical, which keeps cross-node resume valid.
+    fn replicate(
+        &self,
+        name: &str,
+        config: &EncoderConfig,
+        target: usize,
+    ) -> Result<(), RecoilError> {
+        let data = self.fetch_inner(name, u64::MAX)?.data;
+        match self.nodes[target].client.publish(name, &data, config) {
+            Ok(_) | Err(RecoilError::AlreadyPublished { .. }) => Ok(()),
+            Err(err) => Err(err),
+        }
+    }
+}

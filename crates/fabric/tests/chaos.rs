@@ -1,0 +1,322 @@
+//! Seeded chaos suite: node deaths at exact byte offsets, resume
+//! correctness down to wire-level byte accounting, and client-side
+//! faults through the chaos proxy.
+
+use recoil_core::{EncoderConfig, RecoilError};
+use recoil_fabric::{ChaosProxy, FabricRouter, ProxyFault, RouterConfig};
+use recoil_net::{
+    FaultPlan, Hello, NetClient, NetClientConfig, NetConfig, NetServer, NetServerHandle,
+};
+use recoil_server::ContentServer;
+use recoil_telemetry::TelemetryLevel;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DATA_LEN: usize = 120_000;
+const SEGMENTS: u64 = 8;
+const FRAME_HDR: u64 = 5; // [type u8][len u32]
+const CHUNK_SEQ: u64 = 4; // seq u32 prefix inside a CHUNK payload
+
+fn sample(len: usize, seed: u32) -> Vec<u8> {
+    (0..len as u32)
+        .map(|i| ((i.wrapping_add(seed).wrapping_mul(2654435761)) >> 23) as u8)
+        .collect()
+}
+
+fn enc() -> EncoderConfig {
+    EncoderConfig {
+        max_segments: SEGMENTS,
+        ..EncoderConfig::default()
+    }
+}
+
+fn node_config(fault: Option<FaultPlan>) -> NetConfig {
+    NetConfig {
+        workers: 2,
+        chunk_bytes: 16 * 1024,
+        telemetry: TelemetryLevel::Counters,
+        fault_plan: fault,
+        ..NetConfig::default()
+    }
+}
+
+fn start(fault: Option<FaultPlan>) -> NetServerHandle {
+    NetServer::bind(
+        Arc::new(ContentServer::new()),
+        "127.0.0.1:0",
+        node_config(fault),
+    )
+    .unwrap()
+}
+
+fn router_config() -> RouterConfig {
+    RouterConfig {
+        rebalance_interval: 0,
+        client: NetClientConfig {
+            retry_budget: 0,
+            ..NetClientConfig::default()
+        },
+        ..RouterConfig::default()
+    }
+}
+
+/// Wire geometry of one undisturbed fetch: per-chunk body sizes plus the
+/// response-byte offset where the first chunk starts, measured off a
+/// clean server so fault offsets can be computed exactly.
+struct Geometry {
+    /// Server→client bytes before the first CHUNK frame (HELLO reply +
+    /// TRANSMIT frame).
+    prefix: u64,
+    /// CHUNK body sizes in order (whole words each).
+    bodies: Vec<u64>,
+    /// Total bitstream bytes (Σ bodies, cross-checked with the header).
+    word_bytes: u64,
+}
+
+impl Geometry {
+    fn measure(data: &[u8]) -> Self {
+        let server = start(None);
+        let client = NetClient::connect(server.addr()).unwrap();
+        client.publish("probe", data, &enc()).unwrap();
+        let mut session = client.start_fetch("probe", SEGMENTS, 0).unwrap();
+        let hello_len = Hello::ours().encode().len() as u64;
+        let transmit_len = session.header.encode().len() as u64;
+        let word_bytes = session.header.word_bytes;
+        let mut bodies = Vec::new();
+        while session.remaining_chunks() > 0 {
+            bodies.push(session.next_chunk().unwrap().len() as u64);
+        }
+        assert_eq!(bodies.iter().sum::<u64>(), word_bytes);
+        assert!(bodies.len() >= 4, "sweep needs several chunks");
+        server.shutdown();
+        Self {
+            prefix: (FRAME_HDR + hello_len) + (FRAME_HDR + transmit_len),
+            bodies,
+            word_bytes,
+        }
+    }
+
+    /// Total server→client bytes of the whole response.
+    fn total(&self) -> u64 {
+        self.prefix
+            + self
+                .bodies
+                .iter()
+                .map(|b| FRAME_HDR + CHUNK_SEQ + b)
+                .sum::<u64>()
+    }
+
+    /// Cumulative body-byte prefix sums — every legal resume offset (in
+    /// bitstream bytes) is one of these, because chunks complete whole
+    /// segments.
+    fn boundaries(&self) -> Vec<u64> {
+        let mut acc = 0;
+        let mut out = vec![0];
+        for b in &self.bodies {
+            acc += b;
+            out.push(acc);
+        }
+        out
+    }
+}
+
+/// Runs one kill-at-`cut` failover scenario: node 0 (the rendezvous
+/// primary for the chosen name) severs every connection after exactly
+/// `cut` response bytes; node 1 is clean and holds an identical copy.
+/// Returns the completed fetch for assertions.
+fn fetch_with_kill_at(data: &[u8], cut: u64) -> recoil_fabric::FabricFetch {
+    let killer = start(Some(FaultPlan::kill_at(cut)));
+    let clean = start(None);
+    let router = FabricRouter::connect(&[killer.addr(), clean.addr()], router_config()).unwrap();
+    // Pick a name whose rendezvous primary is the faulty node, so the
+    // fetch must start there.
+    let name = (0..256)
+        .map(|k| format!("cut-{k}"))
+        .find(|n| router.primary(n) == 0)
+        .expect("some name lands on node 0");
+    // Publish byte-identical copies directly (the deterministic encoder
+    // guarantees both nodes serve the same stream).
+    for handle in [&killer, &clean] {
+        let publisher = NetClient::connect(handle.addr()).unwrap();
+        publisher.publish(&name, data, &enc()).unwrap();
+    }
+    let fetched = router.fetch(&name, SEGMENTS).unwrap();
+    killer.shutdown();
+    clean.shutdown();
+    fetched
+}
+
+/// The satellite corpus test: kill the serving node at every chunk
+/// (= segment-group) boundary, mid-chunk, inside the TRANSMIT header,
+/// inside a CHUNK frame header, and past the end — the resumed decode
+/// must be byte-identical every time, and the wire-level byte accounting
+/// must show no word was ever served twice.
+#[test]
+fn kill_sweep_resumes_byte_identical_with_no_resends() {
+    let data = sample(DATA_LEN, 42);
+    let geo = Geometry::measure(&data);
+    let boundaries = geo.boundaries();
+
+    let mut cuts = vec![
+        geo.prefix - 7,     // torn TRANSMIT header
+        geo.prefix + 4,     // torn first CHUNK frame header
+        geo.total() + 4096, // beyond the end: the kill never fires
+    ];
+    let mut acc = geo.prefix;
+    for body in &geo.bodies {
+        cuts.push(acc + FRAME_HDR + CHUNK_SEQ + body / 2); // mid-chunk
+        acc += FRAME_HDR + CHUNK_SEQ + body;
+        cuts.push(acc); // chunk boundary == segment boundary
+    }
+
+    for &cut in &cuts {
+        let fetched = fetch_with_kill_at(&data, cut);
+        assert_eq!(fetched.data, data, "cut at byte {cut}");
+        assert_eq!(fetched.segments, SEGMENTS);
+
+        // Wire-level accounting: every word arrived exactly once, each
+        // resume continued at precisely the words already held, and
+        // every resume offset is a segment-aligned chunk boundary.
+        let delivered: u64 = fetched.attempts.iter().map(|a| a.chunk_bytes).sum();
+        assert_eq!(delivered, geo.word_bytes, "cut at byte {cut}");
+        for w in fetched.attempts.windows(2) {
+            assert_eq!(
+                w[1].from_word,
+                w[0].from_word + w[0].chunk_bytes / 2,
+                "cut at byte {cut}: resume must skip exactly the delivered words"
+            );
+        }
+        for resume in &fetched.attempts[1..] {
+            assert!(
+                boundaries.contains(&(resume.from_word * 2)),
+                "cut at byte {cut}: resume offset {} is not a segment boundary",
+                resume.from_word * 2
+            );
+        }
+
+        if cut >= geo.total() {
+            // The kill threshold sits past the response: undisturbed.
+            assert_eq!(fetched.failovers, 0, "cut at byte {cut}");
+            assert_eq!(fetched.attempts.len(), 1);
+            assert!(fetched.attempts[0].completed);
+        } else if cut < geo.prefix {
+            // Died before the stream started: a refetch, not a resume.
+            assert_eq!(fetched.failovers, 0, "cut at byte {cut}");
+            assert_eq!(fetched.attempts.len(), 2);
+            assert_eq!(fetched.attempts[1].from_word, 0);
+        } else {
+            // Mid-stream death: exactly one failover, resumed partway.
+            assert_eq!(fetched.failovers, 1, "cut at byte {cut}");
+            assert_eq!(fetched.attempts.len(), 2);
+            assert!(!fetched.attempts[0].completed);
+            assert!(fetched.attempts[1].completed);
+        }
+    }
+}
+
+/// Seeded kills are reproducible end to end: the same seed produces the
+/// same cut, the same attempt trace, and the same resume offset.
+#[test]
+fn seeded_kill_replays_identically() {
+    let data = sample(DATA_LEN, 9);
+    let geo = Geometry::measure(&data);
+    let plan = FaultPlan::seeded_kill(0xC0FFEE, geo.prefix, geo.total());
+    let cut = match plan.kill_after_write_bytes {
+        Some(cut) => cut,
+        None => unreachable!("seeded_kill always arms a cut"),
+    };
+    let first = fetch_with_kill_at(&data, cut);
+    let second = fetch_with_kill_at(&data, cut);
+    assert_eq!(first.attempts, second.attempts);
+    assert_eq!(first.data, data);
+    assert_eq!(second.data, data);
+    assert_eq!(first.failovers, 1);
+}
+
+/// A node that accepts and immediately resets is routed around.
+#[test]
+fn accept_rst_node_is_routed_around() {
+    let rster = start(Some(FaultPlan::accept_rst()));
+    let clean = start(None);
+    let router = FabricRouter::connect(&[rster.addr(), clean.addr()], router_config()).unwrap();
+    let name = (0..256)
+        .map(|k| format!("rst-{k}"))
+        .find(|n| router.primary(n) == 0)
+        .unwrap();
+    let data = sample(30_000, 3);
+    NetClient::connect(clean.addr())
+        .unwrap()
+        .publish(&name, &data, &enc())
+        .unwrap();
+
+    let fetched = router.fetch(&name, 4).unwrap();
+    assert_eq!(fetched.data, data);
+    assert!(!fetched.attempts[0].completed);
+    assert_eq!(fetched.attempts[0].chunk_bytes, 0);
+    assert_eq!(fetched.attempts.last().unwrap().node, 1);
+    assert_eq!(router.healthy_nodes(), 1);
+    rster.shutdown();
+    clean.shutdown();
+}
+
+/// Dribbled (delayed, torn) server writes still produce a byte-identical
+/// decode — frame reassembly is cut-point agnostic.
+#[test]
+fn dribbled_writes_decode_byte_identical() {
+    let server = start(Some(FaultPlan::dribble(1024, Duration::from_micros(200))));
+    let data = sample(40_000, 17);
+    let client = NetClient::connect(server.addr()).unwrap();
+    client.publish("dribble", &data, &enc()).unwrap();
+    assert_eq!(client.fetch_and_decode("dribble", SEGMENTS).unwrap(), data);
+    server.shutdown();
+}
+
+/// Client-side faults through the chaos proxy: kills surface as typed
+/// transport errors, tears and stalls are survived transparently.
+#[test]
+fn chaos_proxy_faults_behave_as_typed() {
+    let server = start(None);
+    let data = sample(30_000, 29);
+    NetClient::connect(server.addr())
+        .unwrap()
+        .publish("proxied", &data, &enc())
+        .unwrap();
+
+    // Torn relay: tiny fragmented writes, identical decode.
+    let torn = ChaosProxy::launch(server.addr(), ProxyFault::Torn(9)).unwrap();
+    let client = NetClient::connect(torn.addr()).unwrap();
+    assert_eq!(client.fetch_and_decode("proxied", 4).unwrap(), data);
+    torn.shutdown();
+
+    // Stalled relay: a pause mid-stream, still completes.
+    let stall = ChaosProxy::launch(
+        server.addr(),
+        ProxyFault::StallAfter(2_000, Duration::from_millis(120)),
+    )
+    .unwrap();
+    let client = NetClient::connect(stall.addr()).unwrap();
+    assert_eq!(client.fetch_and_decode("proxied", 4).unwrap(), data);
+    stall.shutdown();
+
+    // Killed relay: a no-retry client sees a transport error.
+    let kill = ChaosProxy::launch(server.addr(), ProxyFault::KillAfter(2_000)).unwrap();
+    let client = NetClient::connect_with(
+        kill.addr(),
+        NetClientConfig {
+            retry_budget: 0,
+            ..NetClientConfig::default()
+        },
+    )
+    .unwrap();
+    match client.fetch_and_decode("proxied", 4) {
+        Err(RecoilError::Net { .. }) => {}
+        other => panic!("expected a transport error through the killed proxy, got {other:?}"),
+    }
+    kill.shutdown();
+
+    // Reset-on-accept relay: the dial itself fails.
+    let rst = ChaosProxy::launch(server.addr(), ProxyFault::AcceptRst).unwrap();
+    assert!(NetClient::connect(rst.addr()).is_err());
+    rst.shutdown();
+    server.shutdown();
+}

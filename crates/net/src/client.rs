@@ -2,12 +2,14 @@
 //! one-call remote fetch-and-decode through the [`DecodeBackend`]
 //! machinery.
 
+use crate::fault::splitmix64;
 use crate::frame::{
-    decode_error, io_err, read_frame, write_frame, FrameType, ReadOutcome, CAP_CHUNKED,
+    decode_error, io_err, read_frame, write_frame, FrameType, ReadOutcome, CAP_CHUNKED, CAP_RESUME,
     CAP_TELEMETRY, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use crate::proto::{
-    encode_publish, ContentRequest, Hello, PublishOk, StatsReply, TelemetryReply, TransmitHeader,
+    encode_publish, ContentRequest, Hello, PublishOk, ResumeRequest, StatsReply, TelemetryReply,
+    TransmitHeader,
 };
 use parking_lot::Mutex;
 use recoil_core::codec::{DecodeBackend, DecodeRequest, EncoderConfig};
@@ -19,7 +21,7 @@ use recoil_rans::EncodedStream;
 use recoil_simd::AutoBackend;
 use recoil_telemetry::{Stage, Telemetry, TelemetryLevel};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -48,6 +50,21 @@ pub struct NetClientConfig {
     /// the streaming latency breakdown is available by default through
     /// [`NetClient::telemetry`].
     pub telemetry: TelemetryLevel,
+    /// Retries per call after the first attempt, spent only on
+    /// **idempotent** operations (fetch, stats, telemetry — never
+    /// PUBLISH) for transport failures and typed busy sheds. A stale
+    /// pooled connection additionally gets one immediate free redial that
+    /// costs no budget.
+    pub retry_budget: u32,
+    /// First retry backoff; each further retry doubles it (capped by
+    /// [`NetClientConfig::retry_max_backoff`]) and jitters the result by
+    /// ±50% to decorrelate clients hitting the same overloaded server.
+    pub retry_base_backoff: Duration,
+    /// Backoff growth cap.
+    pub retry_max_backoff: Duration,
+    /// Seed for the deterministic backoff jitter sequence (splitmix64), so
+    /// tests replay identical schedules.
+    pub retry_jitter_seed: u64,
 }
 
 impl Default for NetClientConfig {
@@ -59,6 +76,10 @@ impl Default for NetClientConfig {
             write_timeout: Duration::from_secs(10),
             streaming_inflight_chunks: 4,
             telemetry: TelemetryLevel::Counters,
+            retry_budget: 2,
+            retry_base_backoff: Duration::from_millis(10),
+            retry_max_backoff: Duration::from_millis(250),
+            retry_jitter_seed: 0x005E_EDCA_B1E5,
         }
     }
 }
@@ -175,6 +196,9 @@ pub struct NetClient {
     /// Capability bits the server granted in the most recent HELLO
     /// exchange; gates [`NetClient::remote_telemetry`].
     server_caps: AtomicU32,
+    /// Backoff-jitter sequence state (seeded from the config; one
+    /// splitmix64 draw per retry keeps schedules deterministic per seed).
+    jitter_state: AtomicU64,
 }
 
 impl NetClient {
@@ -190,13 +214,29 @@ impl NetClient {
         addr: impl ToSocketAddrs,
         config: NetClientConfig,
     ) -> Result<Self, RecoilError> {
+        let client = Self::connect_lazy(addr, config)?;
+        let probe = client.dial()?;
+        client.checkin(probe);
+        Ok(client)
+    }
+
+    /// [`NetClient::connect_with`] without the probe connection: resolves
+    /// the address but does not dial, so construction succeeds even while
+    /// the server is down. The first operation dials (and HELLO-checks)
+    /// normally. The fabric router uses this to hold clients for nodes
+    /// that may be dead right now and come back later.
+    pub fn connect_lazy(
+        addr: impl ToSocketAddrs,
+        config: NetClientConfig,
+    ) -> Result<Self, RecoilError> {
         let addr = addr
             .to_socket_addrs()
             .map_err(|e| io_err("resolve", e))?
             .next()
             .ok_or_else(|| RecoilError::net("address resolved to nothing"))?;
         let telemetry = Arc::new(Telemetry::new(config.telemetry));
-        let client = Self {
+        let jitter_state = AtomicU64::new(config.retry_jitter_seed);
+        Ok(Self {
             addr,
             config,
             pool: Mutex::new(Vec::new()),
@@ -205,16 +245,23 @@ impl NetClient {
             )),
             telemetry,
             server_caps: AtomicU32::new(0),
-        };
-        let probe = client.dial()?;
-        client.checkin(probe);
-        Ok(client)
+            jitter_state,
+        })
     }
 
     /// Replaces the decode backend used by
     /// [`NetClient::fetch_and_decode`].
     pub fn with_backend(mut self, backend: impl DecodeBackend + 'static) -> Self {
         self.backend = Box::new(backend);
+        self
+    }
+
+    /// Replaces this client's instrument handle with a shared one, so
+    /// several clients can aggregate into a single [`Telemetry`] — the
+    /// fabric router injects one handle into every per-node client and
+    /// its `retries` counter then reflects the whole fleet.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -311,47 +358,91 @@ impl NetClient {
         self.pool.lock().len()
     }
 
-    /// Runs `op` on a pooled (or fresh) connection.
+    /// Runs `op` on a pooled (or fresh) connection under the retry policy.
     ///
     /// In-band server errors ([`OpError::Remote`]) leave the connection
-    /// synchronized: it goes straight back to the pool. Transport failures
-    /// on a **pooled** connection — typically a server-side close while
-    /// the connection idled — are retried once on a fresh dial when the
-    /// operation is idempotent.
+    /// synchronized: it goes straight back to the pool. They are terminal,
+    /// with one exception: a typed [`RecoilError::Busy`] shed is retried
+    /// (idempotent ops only) after honoring the server's retry-after hint.
+    /// Transport failures and dial failures drop the connection and are
+    /// retried for idempotent operations under jittered exponential
+    /// backoff, up to [`NetClientConfig::retry_budget`] retries. A
+    /// transport failure on a **pooled** connection — typically a
+    /// server-side close while the connection idled — first gets one
+    /// immediate free redial: staleness is pool bookkeeping, not server
+    /// failure, so it costs neither budget nor backoff.
     fn with_conn<T>(
         &self,
         idempotent: bool,
         op: impl Fn(&Self, &mut TcpStream) -> Result<T, OpError>,
     ) -> Result<T, RecoilError> {
-        let (mut conn, from_pool) = self.checkout()?;
-        match op(self, &mut conn) {
-            Ok(v) => {
-                self.checkin(conn);
-                Ok(v)
-            }
-            Err(OpError::Remote(e)) => {
-                self.checkin(conn); // the ERROR frame was a complete response
-                Err(e)
-            }
-            Err(OpError::Transport(e)) => {
-                drop(conn); // never pool a connection in an unknown state
-                if from_pool && idempotent {
-                    let mut fresh = self.dial()?;
-                    match op(self, &mut fresh) {
-                        Ok(v) => {
-                            self.checkin(fresh);
-                            Ok(v)
-                        }
-                        Err(OpError::Remote(e)) => {
-                            self.checkin(fresh);
-                            Err(e)
-                        }
-                        Err(OpError::Transport(e)) => Err(e),
+        let budget = if idempotent {
+            self.config.retry_budget
+        } else {
+            0
+        };
+        let mut spent = 0u32;
+        let mut free_redial = idempotent;
+        loop {
+            // (error, server's retry-after hint, whether a pooled conn died)
+            let (err, hint, pool_death) = match self.checkout() {
+                Err(e) => (e, None, false),
+                Ok((mut conn, from_pool)) => match op(self, &mut conn) {
+                    Ok(v) => {
+                        self.checkin(conn);
+                        return Ok(v);
                     }
-                } else {
-                    Err(e)
-                }
+                    Err(OpError::Remote(e)) => {
+                        self.checkin(conn); // the ERROR frame was a complete response
+                        match e {
+                            RecoilError::Busy { retry_after_ms } if idempotent => (
+                                RecoilError::busy(retry_after_ms),
+                                Some(retry_after_ms),
+                                false,
+                            ),
+                            e => return Err(e),
+                        }
+                    }
+                    Err(OpError::Transport(e)) => {
+                        drop(conn); // never pool a connection in an unknown state
+                        (e, None, from_pool)
+                    }
+                },
+            };
+            if pool_death && free_redial {
+                free_redial = false;
+                self.note_retry();
+                continue;
             }
+            if spent >= budget {
+                return Err(err);
+            }
+            spent += 1;
+            self.note_retry();
+            std::thread::sleep(self.backoff_delay(spent - 1, hint));
+        }
+    }
+
+    fn note_retry(&self) {
+        if self.telemetry.counters_enabled() {
+            self.telemetry.counters.retries.bump();
+        }
+    }
+
+    /// Backoff before retry number `retry` (zero-based): base × 2^retry,
+    /// capped, jittered to 50–150%, and never below the server's
+    /// retry-after hint when one was given.
+    fn backoff_delay(&self, retry: u32, retry_after_ms: Option<u32>) -> Duration {
+        let exp = self
+            .config
+            .retry_base_backoff
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.config.retry_max_backoff);
+        let draw = splitmix64(self.jitter_state.fetch_add(1, Ordering::Relaxed));
+        let jittered = exp.mul_f64(0.5 + draw as f64 / (u64::MAX as f64));
+        match retry_after_ms {
+            Some(ms) => jittered.max(Duration::from_millis(u64::from(ms))),
+            None => jittered,
         }
     }
 
@@ -360,27 +451,7 @@ impl NetClient {
     /// [`OpError::Remote`] carrying the decoded [`RecoilError`], anything
     /// that breaks the transport as [`OpError::Transport`].
     fn await_frame(&self, conn: &mut TcpStream) -> Result<(FrameType, Vec<u8>), OpError> {
-        let start = Instant::now();
-        loop {
-            match read_frame(conn).map_err(OpError::Transport)? {
-                ReadOutcome::Frame(FrameType::Error, payload) => {
-                    return Err(OpError::Remote(decode_error(&payload)))
-                }
-                ReadOutcome::Frame(ty, payload) => return Ok((ty, payload)),
-                ReadOutcome::Eof => {
-                    return Err(OpError::Transport(RecoilError::net(
-                        "server closed the connection",
-                    )))
-                }
-                ReadOutcome::Idle => {
-                    if start.elapsed() > self.config.response_timeout {
-                        return Err(OpError::Transport(RecoilError::net(
-                            "timed out waiting for server response",
-                        )));
-                    }
-                }
-            }
-        }
+        await_frame_on(conn, self.config.response_timeout)
     }
 
     /// Rejects names the u16 length prefix cannot carry, before any bytes
@@ -566,21 +637,7 @@ impl NetClient {
     /// body with the 4-byte sequence prefix stripped (zero-copy tail
     /// split).
     fn await_chunk(&self, conn: &mut TcpStream, seq: u32) -> Result<Vec<u8>, OpError> {
-        let bad = |msg: String| OpError::Transport(RecoilError::net(msg));
-        let (ty, mut payload) = self.await_frame(conn)?;
-        if ty != FrameType::Chunk {
-            return Err(bad(format!("expected CHUNK, got {ty:?}")));
-        }
-        if payload.len() < 4 {
-            return Err(bad("chunk frame too short".into()));
-        }
-        let got_seq = u32::from_le_bytes(payload[..4].try_into().expect("4"));
-        if got_seq != seq {
-            return Err(bad(format!(
-                "chunk sequence mismatch: expected {seq}, got {got_seq}"
-            )));
-        }
-        Ok(payload.split_off(4))
+        await_chunk_on(conn, self.config.response_timeout, seq)
     }
 
     /// One call from name to decoded bytes with the network transfer and
@@ -776,17 +833,171 @@ impl NetClient {
             }
         }
     }
+
+    /// Opens a **dedicated** (never pooled) connection and starts a
+    /// chunked fetch of `name`, resuming after the first `from_word`
+    /// complete words when non-zero (requires the server to have
+    /// negotiated [`CAP_RESUME`]). No retry policy applies: the caller
+    /// owns failure handling — this is the primitive the fabric router
+    /// builds mid-stream failover on, so a died session must surface
+    /// immediately with its partial state still in the caller's hands.
+    pub fn start_fetch(
+        &self,
+        name: &str,
+        parallel_segments: u64,
+        from_word: u64,
+    ) -> Result<FetchSession, RecoilError> {
+        Self::check_name(name)?;
+        let mut conn = self.dial()?;
+        if from_word > 0 && self.server_caps.load(Ordering::Relaxed) & CAP_RESUME == 0 {
+            return Err(RecoilError::net(
+                "server did not negotiate the resume capability",
+            ));
+        }
+        let (ty, body) = if from_word > 0 {
+            let msg = ResumeRequest {
+                name: name.to_string(),
+                parallel_segments,
+                from_word,
+            };
+            (FrameType::Resume, msg.encode())
+        } else {
+            let msg = ContentRequest {
+                name: name.to_string(),
+                parallel_segments,
+            };
+            (FrameType::Request, msg.encode())
+        };
+        write_frame(&mut conn, ty, &body)?;
+        let (rty, payload) = self.await_frame(&mut conn).map_err(OpError::into_inner)?;
+        if rty != FrameType::Transmit {
+            return Err(RecoilError::net(format!("expected TRANSMIT, got {rty:?}")));
+        }
+        let header = TransmitHeader::decode(&payload)?;
+        let (model, metadata) = validate_transmit_header(&header)?;
+        Ok(FetchSession {
+            conn,
+            response_timeout: self.config.response_timeout,
+            header,
+            model,
+            metadata,
+            next_seq: 0,
+        })
+    }
+}
+
+/// A low-level chunked fetch in progress on its own dedicated connection —
+/// the building block failover is driven with. [`NetClient::start_fetch`]
+/// sends REQUEST (or RESUME for `from_word > 0`) and validates the
+/// TRANSMIT header; the caller then pulls chunk bodies one at a time and
+/// feeds them wherever it likes (typically an
+/// [`IncrementalDecoder`](recoil_core::IncrementalDecoder)), keeping
+/// enough state — words received so far — to resume on another node if
+/// this connection dies mid-stream.
+pub struct FetchSession {
+    conn: TcpStream,
+    response_timeout: Duration,
+    /// The validated TRANSMIT header. On a resumed serve it still carries
+    /// **whole-stream** geometry and payload CRC (for cross-checking
+    /// against the pre-failure header); only `chunk_count` is trimmed to
+    /// the remaining words.
+    pub header: TransmitHeader,
+    /// The static model rebuilt from the transmitted frequencies.
+    pub model: StaticModelProvider,
+    /// Parsed shrunk metadata for the requested capacity.
+    pub metadata: RecoilMetadata,
+    next_seq: u32,
+}
+
+impl FetchSession {
+    /// CHUNK frames this session has not received yet.
+    pub fn remaining_chunks(&self) -> u32 {
+        self.header.chunk_count - self.next_seq
+    }
+
+    /// Receives the next CHUNK body (sequence-checked, 4-byte prefix
+    /// stripped). Call until [`FetchSession::remaining_chunks`] is zero.
+    pub fn next_chunk(&mut self) -> Result<Vec<u8>, RecoilError> {
+        let body = await_chunk_on(&mut self.conn, self.response_timeout, self.next_seq)
+            .map_err(OpError::into_inner)?;
+        self.next_seq += 1;
+        Ok(body)
+    }
+}
+
+impl std::fmt::Debug for FetchSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FetchSession")
+            .field("chunks", &self.header.chunk_count)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+/// The free-function core of [`NetClient::await_frame`], shared with
+/// [`FetchSession`] (which outlives the client call that opened it).
+fn await_frame_on(
+    conn: &mut TcpStream,
+    response_timeout: Duration,
+) -> Result<(FrameType, Vec<u8>), OpError> {
+    let start = Instant::now();
+    loop {
+        match read_frame(conn).map_err(OpError::Transport)? {
+            ReadOutcome::Frame(FrameType::Error, payload) => {
+                return Err(OpError::Remote(decode_error(&payload)))
+            }
+            ReadOutcome::Frame(ty, payload) => return Ok((ty, payload)),
+            ReadOutcome::Eof => {
+                return Err(OpError::Transport(RecoilError::net(
+                    "server closed the connection",
+                )))
+            }
+            ReadOutcome::Idle => {
+                if start.elapsed() > response_timeout {
+                    return Err(OpError::Transport(RecoilError::net(
+                        "timed out waiting for server response",
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// The free-function core of [`NetClient::await_chunk`], shared with
+/// [`FetchSession`].
+fn await_chunk_on(
+    conn: &mut TcpStream,
+    response_timeout: Duration,
+    seq: u32,
+) -> Result<Vec<u8>, OpError> {
+    let bad = |msg: String| OpError::Transport(RecoilError::net(msg));
+    let (ty, mut payload) = await_frame_on(conn, response_timeout)?;
+    if ty != FrameType::Chunk {
+        return Err(bad(format!("expected CHUNK, got {ty:?}")));
+    }
+    if payload.len() < 4 {
+        return Err(bad("chunk frame too short".into()));
+    }
+    let got_seq = u32::from_le_bytes(payload[..4].try_into().expect("4"));
+    if got_seq != seq {
+        return Err(bad(format!(
+            "chunk sequence mismatch: expected {seq}, got {got_seq}"
+        )));
+    }
+    Ok(payload.split_off(4))
 }
 
 /// Validates a TRANSMIT header before any chunk bytes arrive and returns
 /// the rebuilt model plus the parsed shrunk metadata — the shared front
-/// half of the buffered and streaming receive paths.
+/// half of the buffered and streaming receive paths, public so callers
+/// driving [`FetchSession`]-level resume (the fabric router) can
+/// cross-check a replica's header against the original.
 ///
 /// The checks mirror the container file parser: an information-capacity
 /// bound so a hostile header cannot drive the decode-side allocation, the
 /// quantizer invariants on the transmitted frequencies, the metadata's own
 /// CRC footer, and the metadata's geometry against the header's.
-fn validate_transmit_header(
+pub fn validate_transmit_header(
     header: &TransmitHeader,
 ) -> Result<(StaticModelProvider, RecoilMetadata), RecoilError> {
     let bad = |msg: String| RecoilError::net(msg);

@@ -1,0 +1,120 @@
+//! Deterministic fault injection for chaos testing the serve pipeline.
+//!
+//! A [`FaultPlan`] describes *server-side* misbehavior and is threaded
+//! through [`crate::NetConfig::fault_plan`]: the reactor consults it at
+//! its accept and write hooks, so a faulted node misbehaves identically
+//! on every run — no clocks, no global randomness. Seeded constructors
+//! derive their offsets from a caller-supplied seed with splitmix64, so
+//! a chaos suite can sweep fault points reproducibly.
+//!
+//! Client-observed faults (accept-then-RST relays, stalled proxies) live
+//! in the fabric crate's chaos proxy; this type covers what only the
+//! serving node itself can do: die mid-stream, dribble its writes, and
+//! tear frames across arbitrary syscall boundaries.
+
+use std::time::Duration;
+
+/// Deterministic server-side fault schedule. `Default` is a no-fault plan;
+/// every field composes independently.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Accept incoming connections and immediately drop them without a
+    /// HELLO. The peer has usually already written its HELLO, so the close
+    /// lands as an RST (close-with-unread-data), not a graceful FIN.
+    pub rst_on_accept: bool,
+    /// Abruptly sever each connection once it has written this many
+    /// response bytes — no ERROR frame, no drain. From the client's side
+    /// the node dies mid-stream (typically mid-CHUNK), which is the
+    /// failover trigger the fabric router recovers from.
+    pub kill_after_write_bytes: Option<u64>,
+    /// Sleep this long before every write syscall. Combined with
+    /// [`FaultPlan::torn_write_bytes`] this turns a response into a
+    /// mid-frame dribble — the slow-peer shape clients must tolerate.
+    pub write_delay: Option<Duration>,
+    /// Cap each write syscall to this many bytes, tearing CHUNK frames
+    /// (and everything else) across arbitrary boundaries. Exercises the
+    /// client's partial-frame reassembly; zero is treated as one.
+    pub torn_write_bytes: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A node that dies after writing exactly `bytes` response bytes.
+    pub fn kill_at(bytes: u64) -> Self {
+        Self {
+            kill_after_write_bytes: Some(bytes),
+            ..Self::default()
+        }
+    }
+
+    /// A node that dies at a seed-derived write offset in
+    /// `lo..=hi` — the chaos suite's "kill somewhere mid-transfer".
+    pub fn seeded_kill(seed: u64, lo: u64, hi: u64) -> Self {
+        let span = hi.saturating_sub(lo).saturating_add(1);
+        Self::kill_at(lo + splitmix64(seed) % span.max(1))
+    }
+
+    /// A node that accepts and immediately resets every connection.
+    pub fn accept_rst() -> Self {
+        Self {
+            rst_on_accept: true,
+            ..Self::default()
+        }
+    }
+
+    /// A node that writes in `bytes`-sized fragments with `delay` between
+    /// them (mid-frame stall + torn boundaries).
+    pub fn dribble(bytes: usize, delay: Duration) -> Self {
+        Self {
+            write_delay: Some(delay),
+            torn_write_bytes: Some(bytes),
+            ..Self::default()
+        }
+    }
+
+    /// Whether any fault is armed (a default plan costs nothing per write).
+    pub fn is_active(&self) -> bool {
+        *self != Self::default()
+    }
+}
+
+/// The splitmix64 mixer — one deterministic u64 per seed, good enough to
+/// spread fault offsets across a sweep without a rand dependency.
+pub fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_kill_is_deterministic_and_in_range() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded_kill(seed, 100, 200);
+            let b = FaultPlan::seeded_kill(seed, 100, 200);
+            assert_eq!(a, b, "same seed, same plan");
+            let at = a.kill_after_write_bytes.unwrap();
+            assert!((100..=200).contains(&at), "offset {at} out of range");
+        }
+        // Different seeds spread across the range.
+        let offsets: std::collections::HashSet<u64> = (0..64u64)
+            .map(|s| {
+                FaultPlan::seeded_kill(s, 0, 1_000_000)
+                    .kill_after_write_bytes
+                    .unwrap()
+            })
+            .collect();
+        assert!(offsets.len() > 32, "seeds collapse to too few offsets");
+    }
+
+    #[test]
+    fn default_plan_is_inactive() {
+        assert!(!FaultPlan::default().is_active());
+        assert!(FaultPlan::kill_at(1).is_active());
+        assert!(FaultPlan::accept_rst().is_active());
+        assert!(FaultPlan::dribble(3, Duration::from_millis(1)).is_active());
+    }
+}

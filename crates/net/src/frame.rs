@@ -28,8 +28,14 @@ pub const CAP_CHUNKED: u32 = 1;
 /// old peer that never learned these frame bytes still handshakes cleanly.
 pub const CAP_TELEMETRY: u32 = 2;
 
+/// Capability bit: the peer accepts [`FrameType::Resume`] requests that
+/// restart a chunked transfer from a mid-stream word offset. Negotiated,
+/// not assumed — a router only attempts segment-resume failover against
+/// replicas that advertised it.
+pub const CAP_RESUME: u32 = 4;
+
 /// Every capability this build implements.
-pub const SUPPORTED_CAPS: u32 = CAP_CHUNKED | CAP_TELEMETRY;
+pub const SUPPORTED_CAPS: u32 = CAP_CHUNKED | CAP_TELEMETRY | CAP_RESUME;
 
 /// Hard ceiling on one frame's payload (64 MiB): bigger payloads must be
 /// chunked. Checked before allocating.
@@ -65,6 +71,11 @@ pub enum FrameType {
     /// Server → client: versioned telemetry snapshot — named counters,
     /// gauges, histograms, and (at trace level) the drained event ring.
     TelemetryReply = 0x0A,
+    /// Client → server: like `Request`, but resuming a transfer that died
+    /// mid-stream — carries the word offset already received, so the
+    /// server streams only the remaining chunk-plan suffix (requires the
+    /// negotiated [`CAP_RESUME`] capability).
+    Resume = 0x0B,
     /// Either direction: a typed error (maps onto [`RecoilError`]).
     Error = 0x0E,
 }
@@ -83,6 +94,7 @@ impl FrameType {
             0x08 => Self::StatsReply,
             0x09 => Self::Telemetry,
             0x0A => Self::TelemetryReply,
+            0x0B => Self::Resume,
             0x0E => Self::Error,
             other => {
                 return Err(RecoilError::net(format!(
@@ -403,6 +415,7 @@ pub fn encode_error(e: &RecoilError) -> Vec<u8> {
         RecoilError::Wire { detail } => (6, detail.clone()),
         RecoilError::Net { detail } => (7, detail.clone()),
         RecoilError::UnsupportedSymbol { .. } => (8, e.to_string()),
+        RecoilError::Busy { retry_after_ms } => (9, retry_after_ms.to_string()),
     };
     let mut w = PayloadWriter::preallocated(2 + 4 + detail.len());
     w.u16(code);
@@ -425,6 +438,11 @@ pub fn decode_error(payload: &[u8]) -> RecoilError {
             2 => RecoilError::AlreadyPublished { name: detail },
             6 => RecoilError::Wire { detail },
             7 => RecoilError::Net { detail },
+            // The detail is the decimal retry hint; a peer sending garbage
+            // degrades to "retry immediately" rather than a parse failure.
+            9 => RecoilError::Busy {
+                retry_after_ms: detail.parse().unwrap_or(0),
+            },
             _ => RecoilError::net(format!("remote error: {detail}")),
         })
     })();
@@ -571,5 +589,17 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        // Busy round-trips its retry hint exactly: clients schedule
+        // backoff from it, so it must survive the wire.
+        let busy = RecoilError::busy(125);
+        assert_eq!(decode_error(&encode_error(&busy)), busy);
+        // A hostile hint degrades to "retry immediately", not a parse error.
+        let mut mangled = encode_error(&busy);
+        let at = mangled.len() - 3;
+        mangled[at..].copy_from_slice(b"abc");
+        assert_eq!(
+            decode_error(&mangled),
+            RecoilError::Busy { retry_after_ms: 0 }
+        );
     }
 }

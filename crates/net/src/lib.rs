@@ -29,14 +29,40 @@
 //! | `STATS_REPLY` (0x08) | S→C | counter snapshot + item count |
 //! | `TELEMETRY` (0x09) | C→S | *(empty)*; requires the negotiated `CAP_TELEMETRY` bit |
 //! | `TELEMETRY_REPLY` (0x0A) | S→C | full telemetry snapshot (counters, gauges, stage histograms) + drained stage-trace events |
+//! | `RESUME` (0x0B) | C→S | name, `parallel_segments`, `from_word`; requires the negotiated `CAP_RESUME` bit |
 //! | `ERROR` (0x0E) | both | error code + detail, maps onto [`RecoilError`] |
 //!
 //! Large bitstreams are **chunked**: `TRANSMIT` carries everything except
 //! the words, which follow as ordered `CHUNK` frames; the client verifies a
 //! CRC-32 over the reassembled payload (metadata bytes carry their own
 //! footer from the core wire format). Typed `ERROR` frames round-trip
-//! [`RecoilError`]: `NotFound`/`AlreadyPublished` reconstruct exactly, the
-//! rest degrade to [`RecoilError::Net`] with the remote display text.
+//! [`RecoilError`]: `NotFound`/`AlreadyPublished`/`Busy` reconstruct
+//! exactly, the rest degrade to [`RecoilError::Net`] with the remote
+//! display text.
+//!
+//! ## Segment resume
+//!
+//! `RESUME` is `REQUEST` plus a word offset: "serve `name` at this
+//! parallelism, but I already hold the first `from_word` complete words."
+//! The server replies with the same `TRANSMIT` header an original fetch
+//! gets (whole-stream geometry and payload CRC, so the client can
+//! cross-check against the header it saw before the failure) whose chunk
+//! plan is trimmed to the missing words. Recoil's split metadata is what
+//! makes this cheap: segment *m* is decodable once `splits[m].offset + 1`
+//! words arrived, so readiness is a strict prefix of the word stream and a
+//! byte offset *is* a resume point — no per-segment state to rebuild, no
+//! interleaved stream to unpick. The fabric crate's failover path uses
+//! this to continue a fetch on a replica mid-stream, byte-identical to an
+//! undisturbed fetch, without re-sending segments the client already
+//! decoded.
+//!
+//! ## Fault injection
+//!
+//! [`NetConfig::fault_plan`] arms a deterministic [`FaultPlan`] on a
+//! server: reset every accept, delay or tear each write syscall, or sever
+//! connections at a fixed response-byte offset (a mid-stream crash). Plans
+//! are plain data with seeded constructors, so the chaos suite and
+//! `bench net --chaos` replay the same failures on every run.
 //!
 //! ## Streaming pipelined decode
 //!
@@ -106,10 +132,15 @@
 //!
 //! ## Client
 //!
-//! [`NetClient`] keeps a small pool of negotiated connections (idempotent
-//! operations retry once on a fresh dial when a pooled connection turns out
-//! dead) and decodes through any [`DecodeBackend`] — AVX-512 → AVX2 →
-//! scalar auto-dispatch by default, so a remote fetch-and-decode is:
+//! [`NetClient`] keeps a small pool of negotiated connections and retries
+//! failed calls under a real policy: only idempotent operations (fetch,
+//! stats — never PUBLISH over a live connection), a per-call retry budget
+//! ([`NetClientConfig::retry_budget`]), jittered exponential backoff, and
+//! typed [`RecoilError::Busy`] shed responses honor the server's
+//! retry-after hint. A dead pooled connection still gets one immediate
+//! free redial (staleness is bookkeeping, not server failure). Decode goes
+//! through any [`DecodeBackend`] — AVX-512 → AVX2 → scalar auto-dispatch
+//! by default, so a remote fetch-and-decode is:
 //!
 //! ```no_run
 //! use recoil_net::NetClient;
@@ -129,17 +160,23 @@
 #![forbid(unsafe_code)]
 
 mod client;
+mod fault;
 mod frame;
 mod proto;
 mod server;
 
-pub use client::{NetClient, NetClientConfig, RemoteContent, StreamedFetch};
+pub use client::{
+    validate_transmit_header, FetchSession, NetClient, NetClientConfig, RemoteContent,
+    StreamedFetch,
+};
+pub use fault::{splitmix64, FaultPlan};
 pub use frame::{
-    FrameType, CAP_CHUNKED, CAP_TELEMETRY, HELLO_MAGIC, MAX_FRAME_LEN, PROTOCOL_VERSION,
-    SUPPORTED_CAPS,
+    FrameType, CAP_CHUNKED, CAP_RESUME, CAP_TELEMETRY, HELLO_MAGIC, MAX_FRAME_LEN,
+    PROTOCOL_VERSION, SUPPORTED_CAPS,
 };
 pub use proto::{
-    ContentRequest, Hello, PublishOk, PublishRequest, StatsReply, TelemetryReply, TransmitHeader,
+    ContentRequest, Hello, PublishOk, PublishRequest, ResumeRequest, StatsReply, TelemetryReply,
+    TransmitHeader,
 };
 pub use recoil_reactor::SlabStats;
 pub use server::{NetConfig, NetServer, NetServerHandle};

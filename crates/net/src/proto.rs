@@ -164,6 +164,46 @@ impl ContentRequest {
     }
 }
 
+/// Client → server: resume a chunked transfer that died mid-stream.
+///
+/// `from_word` is how many bitstream words the client already holds (its
+/// [`recoil_core::IncrementalDecoder`] received them before the serving
+/// node died). The server answers with a fresh [`TransmitHeader`] — the
+/// client cross-checks geometry and CRCs against the original — followed
+/// by chunks covering **only** words `from_word..`, so no byte feeding an
+/// already-decoded segment crosses the wire twice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeRequest {
+    pub name: String,
+    /// The client's parallel capacity — must match the original request so
+    /// the replica serves the identical metadata tier.
+    pub parallel_segments: u64,
+    /// Complete words already received (a dangling carry byte is dropped by
+    /// the client and re-sent by the replica).
+    pub from_word: u64,
+}
+
+impl ResumeRequest {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::preallocated(self.name.len() + 18);
+        w.name(&self.name);
+        w.u64(self.parallel_segments);
+        w.u64(self.from_word);
+        w.0
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, RecoilError> {
+        let mut r = PayloadReader::new(payload);
+        let msg = Self {
+            name: r.name()?,
+            parallel_segments: r.u64()?,
+            from_word: r.u64()?,
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
 /// Server → client: everything a remote decoder needs except the bitstream
 /// words, which follow as `chunk_count` ordered `Chunk` frames.
 ///
@@ -565,6 +605,16 @@ mod tests {
             parallel_segments: 16,
         };
         assert_eq!(ContentRequest::decode(&req.encode()).unwrap(), req);
+
+        let resume = ResumeRequest {
+            name: "movie".into(),
+            parallel_segments: 16,
+            from_word: 123_456,
+        };
+        assert_eq!(ResumeRequest::decode(&resume.encode()).unwrap(), resume);
+        let mut trailing = resume.encode();
+        trailing.push(0);
+        assert!(ResumeRequest::decode(&trailing).is_err());
 
         let transmit = TransmitHeader {
             segments: 16,

@@ -15,6 +15,7 @@
 
 mod reactor;
 
+use crate::fault::FaultPlan;
 use crate::frame::{io_err, MAX_FRAME_LEN};
 use recoil_core::RecoilError;
 use recoil_reactor::SlabStats;
@@ -57,6 +58,19 @@ pub struct NetConfig {
     /// over the wire via the negotiated TELEMETRY capability and locally
     /// via [`NetServerHandle::telemetry`].
     pub telemetry: TelemetryLevel,
+    /// Dispatch-queue depth at which PUBLISH/REQUEST offloads are shed with
+    /// a typed busy error instead of queueing unboundedly behind a slow
+    /// worker pool.
+    pub max_queue_depth: usize,
+    /// Retry-after hint (milliseconds) carried in the typed busy error the
+    /// server sheds load with; a well-behaved client backs off at least
+    /// this long before retrying.
+    pub busy_retry_after_ms: u32,
+    /// Deterministic fault schedule for chaos testing ([`FaultPlan`]). A
+    /// `None` (the default) serves faithfully; a plan makes this node
+    /// reset accepts, tear/delay writes, or die mid-stream at a fixed
+    /// write offset — reproducibly, for failover tests and chaos benches.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for NetConfig {
@@ -70,6 +84,9 @@ impl Default for NetConfig {
             chunk_bytes: 256 * 1024,
             poll_fallback: false,
             telemetry: TelemetryLevel::Off,
+            max_queue_depth: 1024,
+            busy_retry_after_ms: 25,
+            fault_plan: None,
         }
     }
 }
@@ -142,6 +159,16 @@ impl NetServerHandle {
     /// server thread. Idempotent (also runs on drop).
     pub fn shutdown(mut self) {
         self.backend.shutdown_impl();
+    }
+
+    /// Kills the node **abruptly**: the listener closes and every open
+    /// connection is severed without draining its response or sending an
+    /// ERROR frame — in-flight transfers die mid-frame, exactly like a
+    /// crashed process (modulo the OS closing its sockets). This is the
+    /// failover trigger the fabric's chaos tests exercise; for orderly
+    /// teardown use [`NetServerHandle::shutdown`].
+    pub fn kill(mut self) {
+        self.backend.kill_impl();
     }
 }
 

@@ -55,7 +55,8 @@
 use super::NetConfig;
 use crate::frame::{
     append_frame, begin_frame, encode_error, end_frame, io_err, FrameType, PayloadReader,
-    PayloadWriter, CAP_CHUNKED, CAP_TELEMETRY, MAX_FRAME_LEN, PROTOCOL_VERSION, SUPPORTED_CAPS,
+    PayloadWriter, CAP_CHUNKED, CAP_RESUME, CAP_TELEMETRY, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    SUPPORTED_CAPS,
 };
 use crate::proto::{self, Hello, PublishOk, PublishRequest, StatsReply, TelemetryReply};
 use parking_lot::{Condvar, Mutex};
@@ -105,6 +106,10 @@ struct Shared {
     /// Pre-clamped words per chunk frame.
     chunk_words: usize,
     shutdown: AtomicBool,
+    /// Abrupt-death flag ([`super::NetServerHandle::kill`]): the loop
+    /// severs every connection without draining and exits immediately,
+    /// mimicking a crashed node for failover tests.
+    killed: AtomicBool,
     /// Set only after the event loop has been joined — workers must keep
     /// draining the queue while the loop is still dispatching.
     jobs_closed: AtomicBool,
@@ -159,6 +164,9 @@ enum Job {
         token: Token,
         name: String,
         parallel_segments: u64,
+        /// Complete words the peer already holds (RESUME); zero for a
+        /// fresh REQUEST.
+        from_word: u64,
         queued_at: Instant,
     },
 }
@@ -180,8 +188,9 @@ impl Job {
 enum Reply {
     /// Pre-framed response bytes, appended to the write buffer verbatim.
     Framed(Vec<u8>),
-    /// A served transmission to stage as TRANSMIT + chunked stream.
-    Stream(Transmission, Arc<StoredContent>),
+    /// A served transmission to stage as TRANSMIT + chunked stream,
+    /// skipping the first `from_word` words the peer already holds.
+    Stream(Transmission, Arc<StoredContent>, u64),
 }
 
 struct Completion {
@@ -238,6 +247,9 @@ struct Conn {
     /// the write-flush span (timed 1-in-8 at `Counters`, always at
     /// `Trace`; the `write_flushes` counter itself stays exact).
     flushes: u64,
+    /// Response bytes written over this connection's lifetime — the
+    /// fault plan's `kill_after_write_bytes` trigger point.
+    written_total: u64,
 }
 
 impl Conn {
@@ -259,6 +271,7 @@ impl Conn {
             caps: 0,
             write_started: None,
             flushes: 0,
+            written_total: 0,
         }
     }
 
@@ -278,6 +291,7 @@ impl Conn {
         self.drain_deadline = now;
         self.caps = 0;
         self.write_started = None;
+        self.written_total = 0;
     }
 
     /// Parks the slot: drops the socket (closing it) and any streamed
@@ -394,17 +408,45 @@ fn stage_error(conn: &mut Conn, e: &RecoilError, close_after: bool) {
 /// Stages a served transmission: TRANSMIT header framed in place (no
 /// owned header struct, no metadata/freqs/final-states copies), then the
 /// chunk plan queued for coalesced streaming from the `Write` phase.
+///
+/// A non-zero `from_word` (RESUME) trims the plan to the words the peer is
+/// missing: split metadata makes word-stream readiness a strict prefix, so
+/// a resuming client continues exactly where the dead node stopped. The
+/// header keeps whole-stream geometry and CRC (the client cross-checks
+/// them against the header it saw before the failure); only `chunk_count`
+/// reflects the trim, and chunk sequence numbers restart at zero over the
+/// trimmed plan.
 fn stage_transmission(
     conn: &mut Conn,
     shared: &Shared,
     transmission: Transmission,
     item: Arc<StoredContent>,
+    from_word: u64,
 ) {
     plan_chunks_into(
         transmission.metadata(),
         shared.chunk_words * 2,
         &mut conn.plan,
     );
+    if from_word > 0 {
+        let total = item.stream.words.len() as u64;
+        if from_word > total {
+            stage_error(
+                conn,
+                &RecoilError::net(format!(
+                    "resume offset {from_word} is beyond the stream ({total} words)"
+                )),
+                true,
+            );
+            return;
+        }
+        conn.plan.chunks.retain(|c| c.words.end > from_word);
+        if let Some(first) = conn.plan.chunks.first_mut() {
+            if first.words.start < from_word {
+                first.words.start = from_word;
+            }
+        }
+    }
     let at = begin_frame(&mut conn.write_buf, FrameType::Transmit);
     let mut w = PayloadWriter(mem::take(&mut conn.write_buf));
     proto::write_transmit_header(&mut w, &transmission, &item, conn.plan.len() as u32);
@@ -503,11 +545,57 @@ enum Handled {
     Dispatched,
 }
 
-/// What an inline REQUEST parse decided.
+/// What an inline REQUEST/RESUME parse decided. The trailing `u64` on the
+/// serve variants is `from_word` (zero for a fresh REQUEST).
 enum ReqAction {
-    Stream(Transmission, Arc<StoredContent>),
-    Offload(String, u64),
+    Stream(Transmission, Arc<StoredContent>, u64),
+    Offload(String, u64, u64),
     Fail(RecoilError, bool),
+}
+
+/// Parses a REQUEST (two fields) or RESUME (three fields) payload and
+/// resolves it against the tier cache.
+fn request_action(shared: &Shared, payload: &[u8], resume: bool) -> ReqAction {
+    let mut r = PayloadReader::new(payload);
+    let parsed = r
+        .name_str()
+        .and_then(|name| Ok((name, r.u64()?)))
+        .and_then(|(name, segs)| {
+            let from_word = if resume { r.u64()? } else { 0 };
+            r.finish()?;
+            Ok((name, segs, from_word))
+        });
+    match parsed {
+        Err(e) => ReqAction::Fail(e, true),
+        Ok((name, parallel_segments, from_word)) => {
+            match shared.content.fetch_cached(name, parallel_segments) {
+                Ok(Some((tx, item))) => ReqAction::Stream(tx, item, from_word),
+                Ok(None) => ReqAction::Offload(name.to_owned(), parallel_segments, from_word),
+                Err(e) => ReqAction::Fail(e, false),
+            }
+        }
+    }
+}
+
+/// Whether the dispatch queue is at its depth cap — offloads are shed with
+/// a typed busy error rather than queueing unboundedly behind a slow pool.
+fn queue_full(shared: &Shared) -> bool {
+    shared.queue_len.load(Ordering::Relaxed) >= shared.config.max_queue_depth as u64
+}
+
+/// Stages the typed busy error (retry-after hint included) and counts the
+/// shed. The connection stays open: the request was never started, so the
+/// peer may retry on this socket after the hint.
+fn stage_busy(conn: &mut Conn, shared: &Shared) {
+    let tel = &shared.telemetry;
+    if tel.counters_enabled() {
+        tel.counters.busy_rejections.bump();
+    }
+    stage_error(
+        conn,
+        &RecoilError::busy(shared.config.busy_retry_after_ms),
+        false,
+    );
 }
 
 /// Handles one complete request frame at the front of `read_buf`.
@@ -520,6 +608,11 @@ fn handle_frame(
 ) -> Handled {
     match ty {
         FrameType::Publish => {
+            if queue_full(shared) {
+                conn.read_buf.drain(..end);
+                stage_busy(conn, shared);
+                return Handled::Continue;
+            }
             // The encode is CPU-bound: lend the whole read buffer to a
             // worker rather than copying a potentially huge payload out.
             let buf = mem::take(&mut conn.read_buf);
@@ -533,38 +626,33 @@ fn handle_frame(
             });
             Handled::Dispatched
         }
-        FrameType::Request => {
-            let action = {
-                let mut r = PayloadReader::new(&conn.read_buf[5..end]);
-                match r
-                    .name_str()
-                    .and_then(|name| Ok((name, r.u64()?)))
-                    .and_then(|(name, segs)| {
-                        r.finish()?;
-                        Ok((name, segs))
-                    }) {
-                    Err(e) => ReqAction::Fail(e, true),
-                    Ok((name, parallel_segments)) => {
-                        match shared.content.fetch_cached(name, parallel_segments) {
-                            Ok(Some((tx, item))) => ReqAction::Stream(tx, item),
-                            Ok(None) => ReqAction::Offload(name.to_owned(), parallel_segments),
-                            Err(e) => ReqAction::Fail(e, false),
-                        }
-                    }
-                }
+        FrameType::Request | FrameType::Resume => {
+            let resume = ty == FrameType::Resume;
+            let action = if resume && conn.caps & CAP_RESUME == 0 {
+                ReqAction::Fail(
+                    RecoilError::net("resume capability was not negotiated"),
+                    true,
+                )
+            } else {
+                request_action(shared, &conn.read_buf[5..end], resume)
             };
             conn.read_buf.drain(..end);
             match action {
-                ReqAction::Stream(tx, item) => {
-                    stage_transmission(conn, shared, tx, item);
+                ReqAction::Stream(tx, item, from_word) => {
+                    stage_transmission(conn, shared, tx, item, from_word);
                     Handled::Continue
                 }
-                ReqAction::Offload(name, parallel_segments) => {
+                ReqAction::Offload(name, parallel_segments, from_word) => {
+                    if queue_full(shared) {
+                        stage_busy(conn, shared);
+                        return Handled::Continue;
+                    }
                     conn.phase = Phase::Dispatching;
                     shared.push_job(Job::Fetch {
                         token,
                         name,
                         parallel_segments,
+                        from_word,
                         queued_at: Instant::now(),
                     });
                     Handled::Dispatched
@@ -661,6 +749,14 @@ fn pump(conn: &mut Conn, token: Token, shared: &Shared) -> Pumped {
 fn pump_inner(conn: &mut Conn, token: Token, shared: &Shared, tally: &mut PumpTally) -> Pumped {
     let mut scratch = [0u8; READ_CHUNK];
     let mut dispatched = 0;
+    // Armed fault schedule, if any (chaos testing only; a faultless server
+    // pays one `Option` check per pump). The write delay sleeps on the
+    // event-loop thread — faulted nodes are slow for *everyone*, which is
+    // exactly the failure shape being simulated.
+    let fault = shared.config.fault_plan.as_ref();
+    let kill_after = fault.and_then(|f| f.kill_after_write_bytes);
+    let write_delay = fault.and_then(|f| f.write_delay);
+    let torn_bytes = fault.and_then(|f| f.torn_write_bytes);
     loop {
         match conn.phase {
             Phase::Handshake | Phase::ReadFrame => match parse_frame(&conn.read_buf) {
@@ -738,13 +834,31 @@ fn pump_inner(conn: &mut Conn, token: Token, shared: &Shared, tally: &mut PumpTa
                 }
                 loop {
                     while conn.write_pos < conn.write_buf.len() {
+                        if let Some(d) = write_delay {
+                            std::thread::sleep(d);
+                        }
+                        let mut slice_end = torn_bytes.map_or(conn.write_buf.len(), |cap| {
+                            (conn.write_pos + cap.max(1)).min(conn.write_buf.len())
+                        });
+                        if let Some(at) = kill_after {
+                            // Never write past the kill offset: the cut is
+                            // byte-exact, so seeded chaos runs are
+                            // reproducible down to the torn frame.
+                            let room = at.saturating_sub(conn.written_total) as usize;
+                            slice_end = slice_end.min(conn.write_pos + room);
+                        }
                         let mut s = conn.stream.as_ref().expect("live conn has a stream");
-                        match s.write(&conn.write_buf[conn.write_pos..]) {
+                        match s.write(&conn.write_buf[conn.write_pos..slice_end]) {
                             Ok(0) => return Pumped::close(dispatched),
                             Ok(n) => {
                                 conn.write_pos += n;
+                                conn.written_total += n as u64;
                                 conn.last_progress = Instant::now();
                                 tally.bytes_written += n as u64;
+                                if kill_after.is_some_and(|at| conn.written_total >= at) {
+                                    // Fault: die abruptly mid-frame, no drain.
+                                    return Pumped::close(dispatched);
+                                }
                             }
                             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                                 return Pumped::keep(dispatched)
@@ -872,6 +986,10 @@ struct EventLoop {
 impl EventLoop {
     fn run(&mut self) {
         loop {
+            if self.shared.killed.load(Ordering::Acquire) {
+                self.kill_now();
+                return;
+            }
             if self.shared.shutdown.load(Ordering::Acquire) {
                 self.begin_shutdown();
                 self.process_completions();
@@ -953,6 +1071,17 @@ impl EventLoop {
         if stream.set_nonblocking(true).is_err() {
             return;
         }
+        if self
+            .shared
+            .config
+            .fault_plan
+            .as_ref()
+            .is_some_and(|f| f.rst_on_accept)
+        {
+            // Fault: accept, then drop without reading the peer's HELLO.
+            // The unread inbound bytes turn the close into an RST.
+            return;
+        }
         let now = Instant::now();
         if self.conns.len() >= self.shared.config.max_connections {
             self.reject(stream, now);
@@ -1001,12 +1130,17 @@ impl EventLoop {
         self.pump_token(token);
     }
 
-    /// Rejects an over-cap connection with a typed busy error, then parks
-    /// it in the morgue until the frame flushes and the peer hangs up.
+    /// Rejects an over-cap connection with a typed busy error (code +
+    /// retry-after hint, so backoff-aware clients pace themselves), then
+    /// parks it in the morgue until the frame flushes and the peer hangs
+    /// up.
     fn reject(&mut self, stream: TcpStream, now: Instant) {
         self.shared.content.connection_rejected();
-        let max_connections = self.shared.config.max_connections;
-        let e = RecoilError::net(format!("server at connection capacity ({max_connections})"));
+        let tel = &self.shared.telemetry;
+        if tel.counters_enabled() {
+            tel.counters.busy_rejections.bump();
+        }
+        let e = RecoilError::busy(self.shared.config.busy_retry_after_ms);
         let mut bytes = Vec::new();
         append_frame(&mut bytes, FrameType::Error, &encode_error(&e))
             .expect("busy errors are far below the frame cap");
@@ -1147,7 +1281,9 @@ impl EventLoop {
                     conn.write_buf.extend_from_slice(&bytes);
                     conn.phase = Phase::Write;
                 }
-                Reply::Stream(tx, item) => stage_transmission(conn, shared, tx, item),
+                Reply::Stream(tx, item, from_word) => {
+                    stage_transmission(conn, shared, tx, item, from_word)
+                }
             }
         }
         self.pump_token(token);
@@ -1240,6 +1376,22 @@ impl EventLoop {
             tel.counters.evictions.bump();
             tel.trace(Stage::Evict, token.0, 0);
         }
+    }
+
+    /// Abrupt death ([`super::NetServerHandle::kill`]): drop the listener
+    /// and sever every connection without draining its response or saying
+    /// goodbye — in-flight transfers cut off mid-frame, like a crashed
+    /// process.
+    fn kill_now(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        let mut tokens = Vec::new();
+        self.conns.collect_tokens(&mut tokens);
+        for token in tokens {
+            self.close_conn(token);
+        }
+        self.morgue.clear();
     }
 
     /// Stops accepting and closes every connection not owed a response;
@@ -1345,6 +1497,7 @@ fn run_job(shared: &Shared, job: Job) -> Completion {
             token,
             name,
             parallel_segments,
+            from_word,
             queued_at: _,
         } => match shared.content.fetch(&name, parallel_segments) {
             Ok((tx, item)) => {
@@ -1358,7 +1511,7 @@ fn run_job(shared: &Shared, job: Job) -> Completion {
                 Completion {
                     token,
                     buf: None,
-                    reply: Reply::Stream(tx, item),
+                    reply: Reply::Stream(tx, item, from_word),
                     close_after: false,
                 }
             }
@@ -1437,6 +1590,7 @@ pub(super) fn bind(
         chunk_words,
         telemetry,
         shutdown: AtomicBool::new(false),
+        killed: AtomicBool::new(false),
         jobs_closed: AtomicBool::new(false),
         jobs: Mutex::new(VecDeque::new()),
         jobs_cv: Condvar::new(),
@@ -1512,6 +1666,19 @@ impl ReactorHandle {
     }
 
     pub(super) fn shutdown_impl(&mut self) {
+        self.stop(false);
+    }
+
+    /// Abrupt death: like [`Self::shutdown_impl`], except the event loop
+    /// severs every connection instead of draining in-flight responses.
+    pub(super) fn kill_impl(&mut self) {
+        self.stop(true);
+    }
+
+    fn stop(&mut self, kill: bool) {
+        if kill {
+            self.shared.killed.store(true, Ordering::Release);
+        }
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.waker.wake();
         if let Some(t) = self.loop_thread.take() {

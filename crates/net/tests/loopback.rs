@@ -264,8 +264,12 @@ fn connection_cap_rejects_with_typed_busy_error() {
     let first = NetClient::connect(server.addr()).unwrap();
     assert_eq!(first.pooled_connections(), 1);
     match NetClient::connect(server.addr()) {
-        Err(RecoilError::Net { detail }) => {
-            assert!(detail.contains("capacity"), "{detail}")
+        Err(RecoilError::Busy { retry_after_ms }) => {
+            assert_eq!(
+                retry_after_ms,
+                NetConfig::default().busy_retry_after_ms,
+                "the shed must carry the configured retry-after hint"
+            )
         }
         other => panic!("expected busy rejection, got {other:?}"),
     }

@@ -88,6 +88,7 @@
 //! | [`data`] | Table 4 dataset generators |
 //! | [`server`] | encode-once / combine-per-request content delivery |
 //! | [`net`] | framed TCP transport: `NetServer` / pooling `NetClient` |
+//! | [`fabric`] | multi-node routing, replication, failover, chaos proxy |
 
 // Safe crate: `unsafe` lives only in the audited allowlist (cargo xtask check).
 #![forbid(unsafe_code)]
@@ -96,6 +97,7 @@ pub use recoil_bitio as bitio;
 pub use recoil_conventional as conventional;
 pub use recoil_core as core;
 pub use recoil_data as data;
+pub use recoil_fabric as fabric;
 pub use recoil_models as models;
 pub use recoil_net as net;
 pub use recoil_parallel as parallel;

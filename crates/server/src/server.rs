@@ -33,6 +33,10 @@ pub struct StoredContent {
     /// Memoized CRC-32 of the wire payload (every word's LE bytes); see
     /// [`StoredContent::payload_crc32`].
     payload_crc: OnceLock<u32>,
+    /// Requests served for this item (any tier, hit or miss) — the
+    /// per-name popularity signal hot-key promotion reads through
+    /// [`ContentServer::hit_counts`].
+    hits: std::sync::atomic::AtomicU64,
 }
 
 impl StoredContent {
@@ -61,6 +65,15 @@ impl StoredContent {
             }
             state ^ 0xFFFF_FFFF
         })
+    }
+
+    /// Requests served for this item so far (any tier, cached or combined).
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn note_hit(&self) {
+        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -292,6 +305,7 @@ impl ContentServer {
             model: Arc::new(encoded.model),
             cache: TierCache::new(self.tier_cache_capacity),
             payload_crc: OnceLock::new(),
+            hits: std::sync::atomic::AtomicU64::new(0),
         });
         match self.shard(name).write().entry(name.to_string()) {
             // Unreachable while every insert goes through the in-flight
@@ -324,6 +338,23 @@ impl ContentServer {
     /// Whether nothing is published.
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Per-name request tallies across every published item, unsorted.
+    /// This is the hot-key signal a replication router polls to decide
+    /// which names deserve promotion onto more replicas; each count is
+    /// exact (bumped on every served request, cached or combined).
+    pub fn hit_counts(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.read();
+            out.extend(
+                shard
+                    .iter()
+                    .map(|(name, item)| (name.clone(), item.hit_count())),
+            );
+        }
+        out
     }
 
     /// Snapshot of the serving counters (cache hits/misses/evictions,
@@ -414,6 +445,7 @@ impl ContentServer {
             return Ok(None);
         };
         bump(&self.stats.requests);
+        item.note_hit();
         let hits = self
             .stats
             .cache_hits
@@ -436,6 +468,7 @@ impl ContentServer {
         parallel_segments: u64,
     ) -> Result<Transmission, RecoilError> {
         let stream_bytes = item.stream.payload_bytes();
+        item.note_hit();
         // Cache by the tier actually served: a request beyond capacity and
         // an exact maximum-capacity request share one entry.
         let segments = parallel_segments.min(item.max_segments());
@@ -627,6 +660,25 @@ mod tests {
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.requests, 2);
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_counts_track_per_name_popularity() {
+        let server = small_server();
+        server.publish("hot", &sample(60_000), &config(8)).unwrap();
+        server.publish("cold", &sample(60_000), &config(8)).unwrap();
+        for _ in 0..5 {
+            server.request("hot", 4).unwrap();
+        }
+        server.request("cold", 4).unwrap();
+        // A failed lookup counts nothing.
+        assert!(server.request("missing", 4).is_err());
+        let mut counts = server.hit_counts();
+        counts.sort();
+        assert_eq!(counts, vec![("cold".into(), 1), ("hot".into(), 5)]);
+        // fetch_cached hit paths count too.
+        server.fetch_cached("hot", 4).unwrap().unwrap();
+        assert_eq!(server.get("hot").unwrap().hit_count(), 6);
     }
 
     #[test]

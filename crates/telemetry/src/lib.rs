@@ -112,6 +112,18 @@ pub struct PipelineCounters {
     pub bytes_written: Counter,
     /// Connections evicted for missing a progress deadline.
     pub evictions: Counter,
+    /// Requests shed with a typed busy error (connection cap or a full
+    /// dispatch queue) instead of being served.
+    pub busy_rejections: Counter,
+    /// Client/router side: fetches re-issued to a replica after the
+    /// serving node died mid-stream.
+    pub failovers: Counter,
+    /// Client side: operation retries after a transport failure or a
+    /// typed busy error (the first attempt is not a retry).
+    pub retries: Counter,
+    /// Router side: content names promoted onto additional replicas by
+    /// hot-key tracking.
+    pub replica_promotions: Counter,
 }
 
 /// Point-in-time values published from one place in the reactor loop.
@@ -121,6 +133,9 @@ pub struct PipelineGauges {
     pub queue_depth: Gauge,
     /// Free connection slots, sampled at the same point.
     pub open_slots: Gauge,
+    /// Router side: fabric nodes currently considered healthy (equals the
+    /// node count when no failures have been observed).
+    pub healthy_nodes: Gauge,
 }
 
 /// Latency / size distributions, one per measured stage.
@@ -286,6 +301,10 @@ impl Telemetry {
             ("write_flushes", c.write_flushes.get()),
             ("bytes_written", c.bytes_written.get()),
             ("evictions", c.evictions.get()),
+            ("busy_rejections", c.busy_rejections.get()),
+            ("failovers", c.failovers.get()),
+            ("retries", c.retries.get()),
+            ("replica_promotions", c.replica_promotions.get()),
             ("decode_spans", d.spans.get()),
             ("decode_fast_groups", d.fast_groups.get()),
             ("decode_fast_symbols", d.fast_symbols.get()),
@@ -298,6 +317,7 @@ impl Telemetry {
         let gauges = vec![
             ("queue_depth".to_string(), self.gauges.queue_depth.get()),
             ("open_slots".to_string(), self.gauges.open_slots.get()),
+            ("healthy_nodes".to_string(), self.gauges.healthy_nodes.get()),
         ];
         let h = &self.hists;
         let hists = vec![
@@ -460,6 +480,7 @@ mod tests {
         let s = t.snapshot();
         assert_eq!(s.counter("frames_read"), Some(5));
         assert_eq!(s.gauge("queue_depth"), Some(3));
+        assert_eq!(s.gauge("healthy_nodes"), Some(0));
         assert_eq!(s.hist("inline_serve_ns").unwrap().count, 1);
         assert_eq!(s.counter("no_such_counter"), None);
         // Every name a downstream consumer keys on must be present.
@@ -471,6 +492,10 @@ mod tests {
             "write_flushes",
             "bytes_written",
             "evictions",
+            "busy_rejections",
+            "failovers",
+            "retries",
+            "replica_promotions",
             "decode_spans",
             "decode_fast_groups",
             "decode_fast_symbols",
